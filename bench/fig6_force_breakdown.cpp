@@ -1,0 +1,87 @@
+// Figure 6 reproduction: per-step execution time Tt and the force
+// computation times Fmax / Fave / Fmin across PEs, for DDM (a) and DLB-DDM
+// (b) at m = 4.
+//
+// Paper observations to reproduce in shape:
+//   * Tt tracks Fmax (PEs synchronise every step);
+//   * under DDM the gap Fmax - Fmin widens steadily as the gas condenses;
+//   * under DLB-DDM the gap stays small until the concentration exceeds the
+//     DLB limit, after which it starts to grow too.
+//
+//   ./fig6_force_breakdown [--steps 1500] [--interval 125]
+//                          [--density 0.384] [--seed 1] [--full]
+// (default density 0.384 > paper's 0.256 so condensation develops within
+//  the scaled step budget; --full restores paper conditions)
+
+#include "theory/effective_range.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace pcmd;
+
+namespace {
+
+void print_breakdown(const char* title,
+                     const theory::MdTrajectoryResult& result, int interval) {
+  std::printf("%s\n", title);
+  Table table({"steps", "Tt [s]", "Fmax [s]", "Fave [s]", "Fmin [s]",
+               "(Fmax-Fmin)/Fave"});
+  const int steps = static_cast<int>(result.t_step.size());
+  for (int hi = interval; hi <= steps; hi += interval) {
+    double tt = 0, fmax = 0, fave = 0, fmin = 0;
+    for (int i = hi - interval; i < hi; ++i) {
+      tt += result.t_step[i];
+      fmax += result.f_max[i];
+      fave += result.f_avg[i];
+      fmin += result.f_min[i];
+    }
+    const double inv = 1.0 / interval;
+    tt *= inv;
+    fmax *= inv;
+    fave *= inv;
+    fmin *= inv;
+    table.add_row({std::to_string(hi), Table::num(tt, 4), Table::num(fmax, 4),
+                   Table::num(fave, 4), Table::num(fmin, 4),
+                   Table::num(fave > 0 ? (fmax - fmin) / fave : 0.0, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool full = cli.get_bool("full", false);
+  const int steps = static_cast<int>(cli.get_int("steps", full ? 10000 : 1500));
+  const int interval =
+      static_cast<int>(cli.get_int("interval", std::max(1, steps / 12)));
+
+  theory::MdTrajectoryConfig config;
+  config.spec.pe_count = full ? 36 : 9;
+  config.spec.m = 4;
+  config.spec.density = cli.get_double("density", full ? 0.256 : 0.384);
+  config.spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.steps = steps;
+
+  std::printf("== Figure 6: Tt and Fmax/Fave/Fmin, m = 4, %d virtual PEs "
+              "(T3E cost model) ==\n\n",
+              config.spec.pe_count);
+
+  config.dlb_enabled = false;
+  const auto ddm = run_md_trajectory(config);
+  print_breakdown("(a) DDM — the Fmax/Fmin gap widens with condensation",
+                  ddm, interval);
+
+  config.dlb_enabled = true;
+  const auto dlb = run_md_trajectory(config);
+  print_breakdown("(b) DLB-DDM — the gap stays small inside the DLB limit",
+                  dlb, interval);
+
+  std::puts("paper shape: Tt follows Fmax in both; DLB-DDM holds "
+            "Fmax ~ Fave ~ Fmin until concentration exceeds the DLB limit.");
+  return 0;
+}

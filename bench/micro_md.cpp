@@ -1,0 +1,128 @@
+// Micro-benchmarks M1: the MD kernels.
+//
+// Measures the real (host) cost of the force loop — cell-list vs O(N^2) —
+// the cell binning, and the potential evaluation. These are host-machine
+// microbenchmarks (google-benchmark); the virtual-machine cost model charges
+// pair evaluations independently of these numbers.
+
+#include "md/cell_grid.hpp"
+#include "md/lj.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/serial_md.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace pcmd;
+
+md::ParticleVector make_gas(std::int64_t n, const Box& box) {
+  Rng rng(42);
+  workload::GasConfig config;
+  config.min_separation = 0.8;
+  return workload::random_gas(n, box, config, rng);
+}
+
+// Box size scaled so density stays at rho* = 0.256 as N grows.
+Box box_for(std::int64_t n) {
+  const double volume = static_cast<double>(n) / 0.256;
+  return Box::cubic(std::cbrt(volume));
+}
+
+void BM_ForcesCellList(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Box box = box_for(n);
+  auto particles = make_gas(n, box);
+  const md::CellGrid grid(box, 2.5);
+  md::CellBins bins(grid, particles);
+  const md::LennardJones lj(2.5);
+  std::vector<int> all(grid.num_cells());
+  std::iota(all.begin(), all.end(), 0);
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    bins.rebuild(grid, particles);
+    const auto result = md::accumulate_forces(particles, grid, bins, all, lj);
+    pairs = result.pair_evaluations;
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pairs));
+}
+BENCHMARK(BM_ForcesCellList)->Arg(250)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ForcesNaive(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Box box = box_for(n);
+  auto particles = make_gas(n, box);
+  const md::LennardJones lj(2.5);
+  for (auto _ : state) {
+    const auto result = md::accumulate_forces_naive(particles, box, lj);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ForcesNaive)->Arg(250)->Arg(1000)->Arg(4000);
+
+void BM_CellBinsRebuild(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Box box = box_for(n);
+  auto particles = make_gas(n, box);
+  const md::CellGrid grid(box, 2.5);
+  md::CellBins bins(grid, particles);
+  for (auto _ : state) {
+    bins.rebuild(grid, particles);
+    benchmark::DoNotOptimize(bins.total());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CellBinsRebuild)->Arg(1000)->Arg(16000);
+
+void BM_LennardJonesKernel(benchmark::State& state) {
+  const md::LennardJones lj(2.5);
+  double r2 = 1.1;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += lj.force_over_r(r2) + lj.potential_r2(r2);
+    r2 = 0.8 + (r2 * 1.37 - std::floor(r2 * 1.37) ) * 5.0;  // wander in range
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_LennardJonesKernel);
+
+void BM_ForcesNeighborList(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Box box = box_for(n);
+  auto particles = make_gas(n, box);
+  const md::LennardJones lj(2.5);
+  md::NeighborList list(box, 2.5, 0.4);
+  list.rebuild(particles);
+  for (auto _ : state) {
+    if (list.needs_rebuild(particles)) list.rebuild(particles);
+    const auto result = list.compute(particles, lj);
+    benchmark::DoNotOptimize(result.potential_energy);
+  }
+  state.counters["pairs"] = static_cast<double>(list.pair_count());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(list.pair_count()));
+}
+BENCHMARK(BM_ForcesNeighborList)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SerialMdStep(benchmark::State& state) {
+  const auto n = state.range(0);
+  const Box box = box_for(n);
+  md::SerialMdConfig config;
+  config.dt = 0.004;
+  md::SerialMd sim(box, make_gas(n, box), config);
+  for (auto _ : state) {
+    const auto stats = sim.step();
+    benchmark::DoNotOptimize(stats.kinetic_energy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SerialMdStep)->Arg(1000)->Arg(8000);
+
+}  // namespace

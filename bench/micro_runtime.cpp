@@ -1,0 +1,83 @@
+// Micro-benchmarks M2: the virtual parallel machine runtime.
+//
+// Host-side overhead of phases, message passing and collectives on both
+// engines — the fixed cost the simulation harness pays per MD step, as
+// opposed to the modelled (virtual) time.
+
+#include "sim/comm.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace pcmd::sim;
+
+void BM_SeqPhase(benchmark::State& state) {
+  SeqEngine engine(static_cast<int>(state.range(0)),
+                   MachineModel::ideal_network());
+  for (auto _ : state) {
+    engine.run_phase([](Comm& comm) { comm.advance(1e-9); });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqPhase)->Arg(9)->Arg(36)->Arg(64);
+
+void BM_ThreadPhase(benchmark::State& state) {
+  ThreadEngine engine(static_cast<int>(state.range(0)),
+                      MachineModel::ideal_network());
+  for (auto _ : state) {
+    engine.run_phase([](Comm& comm) { comm.advance(1e-9); });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThreadPhase)->Arg(9)->Arg(36);
+
+void BM_SendRecvRing(benchmark::State& state) {
+  const int ranks = 16;
+  SeqEngine engine(ranks, MachineModel::ideal_network());
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    engine.run_phase([bytes](Comm& comm) {
+      Buffer payload(bytes);
+      comm.send((comm.rank() + 1) % comm.size(), 0, std::move(payload));
+    });
+    engine.run_phase([](Comm& comm) {
+      const int src = (comm.rank() + comm.size() - 1) % comm.size();
+      benchmark::DoNotOptimize(comm.recv(src, 0));
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * ranks *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SendRecvRing)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Collective(benchmark::State& state) {
+  SeqEngine engine(static_cast<int>(state.range(0)),
+                   MachineModel::ideal_network());
+  for (auto _ : state) {
+    engine.run_phase([](Comm& comm) {
+      comm.reduce_begin(ReduceOp::kSum, 1.0);
+    });
+    engine.run_phase([](Comm& comm) {
+      benchmark::DoNotOptimize(comm.reduce_end());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Collective)->Arg(9)->Arg(64);
+
+void BM_PackUnpackParticles(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<double> values(count, 1.25);
+  for (auto _ : state) {
+    Packer packer;
+    packer.put_vector(values);
+    Unpacker unpacker(packer.take());
+    benchmark::DoNotOptimize(unpacker.get_vector<double>());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_PackUnpackParticles)->Arg(64)->Arg(4096);
+
+}  // namespace

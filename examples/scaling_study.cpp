@@ -1,0 +1,93 @@
+// Scaling study: how the square-pillar decomposition behaves as the virtual
+// machine grows, and why the paper prefers it over plane and cube domains
+// for mid-size systems (Section 2.2).
+//
+// Part 1 runs a weak-scaling sweep (fixed density, growing PE grid) on the
+// virtual T3E and reports per-step time and parallel efficiency. Part 2
+// prints the analytic communication profiles of the three domain shapes.
+//
+//   ./scaling_study [--steps 100] [--density 0.256] [--m 2]
+
+#include "ddm/comm_volume.hpp"
+#include "ddm/parallel_md.hpp"
+#include "sim/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/paper_system.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace pcmd;
+  const Cli cli(argc, argv);
+  const auto steps = cli.get_int("steps", 100);
+  const double density = cli.get_double("density", 0.256);
+  const int m = static_cast<int>(cli.get_int("m", 2));
+
+  std::puts("== weak scaling: fixed density, growing PE grid ==");
+  Table scaling({"PEs", "N", "cells", "time/step [s]", "efficiency",
+                 "msgs/step/PE"});
+  for (const int side : {3, 4, 5, 6}) {
+    workload::PaperSystemSpec spec;
+    spec.pe_count = side * side;
+    spec.m = m;
+    spec.density = density;
+    spec.seed = 42;
+    Rng rng(spec.seed);
+    const auto initial = workload::make_paper_system(spec, rng);
+
+    sim::SeqEngine engine(spec.pe_count);
+    ddm::ParallelMdConfig config;
+    config.pe_side = side;
+    config.m = m;
+    config.dt = spec.dt;
+    config.rescale_temperature = spec.temperature;
+    config.dlb_enabled = true;
+    ddm::ParallelMd md(engine, spec.box(), initial, config);
+
+    const double before = engine.makespan();
+    md.run(steps);
+    const double per_step = (engine.makespan() - before) / steps;
+    const auto report = sim::machine_report(engine);
+    scaling.add_row(
+        {std::to_string(spec.pe_count), std::to_string(initial.size()),
+         std::to_string(spec.total_cells()), Table::num(per_step, 4),
+         Table::num(report.efficiency(), 3),
+         Table::num(static_cast<double>(report.total_messages) /
+                        (steps * spec.pe_count),
+                    3)});
+  }
+  scaling.print(std::cout);
+
+  std::puts("\n== domain shapes (paper Fig. 2): analytic per-PE per-step "
+            "communication ==");
+  Table shapes({"shape", "PEs", "neighbours", "halo cells", "surface ratio",
+                "T3E comm [ms]"});
+  const auto t3e = sim::MachineModel::t3e();
+  // Per-halo-cell transfer time: ~4 particles/cell at rho* = 0.256, 32 B per
+  // halo record.
+  const double per_cell = 4.0 * 32.0 / t3e.bandwidth;
+  for (const int k : {24}) {
+    struct Case {
+      ddm::DomainShape shape;
+      int pe;
+    };
+    for (const auto& c : {Case{ddm::DomainShape::kPlane, 24},
+                          Case{ddm::DomainShape::kSquarePillar, 36},
+                          Case{ddm::DomainShape::kCube, 27}}) {
+      const auto profile = ddm::comm_profile(c.shape, k, c.pe);
+      shapes.add_row(
+          {ddm::to_string(c.shape), std::to_string(c.pe),
+           std::to_string(profile.neighbor_count),
+           Table::num(profile.halo_cells, 5),
+           Table::num(profile.surface_ratio, 3),
+           Table::num(1e3 * profile.comm_seconds(t3e.msg_latency, per_cell),
+                      3)});
+    }
+  }
+  shapes.print(std::cout);
+  std::puts("\nsquare pillar keeps 8 neighbours with moderate halo volume — "
+            "the mid-size sweet spot the paper builds DLB on.");
+  return 0;
+}

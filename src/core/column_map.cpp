@@ -1,0 +1,60 @@
+#include "core/column_map.hpp"
+
+#include <stdexcept>
+
+namespace pcmd::core {
+
+ColumnMap::ColumnMap(const PillarLayout& layout) {
+  owner_.resize(layout.num_columns());
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    owner_[col] = layout.home_rank(col);
+  }
+}
+
+void ColumnMap::set_owner(int col, int rank) {
+  if (col < 0 || col >= num_columns()) {
+    throw std::out_of_range("ColumnMap::set_owner: column out of range");
+  }
+  owner_[col] = rank;
+}
+
+std::vector<int> ColumnMap::columns_of(int rank) const {
+  std::vector<int> cols;
+  for (int col = 0; col < num_columns(); ++col) {
+    if (owner_[col] == rank) cols.push_back(col);
+  }
+  return cols;
+}
+
+int ColumnMap::count_of(int rank) const {
+  int count = 0;
+  for (const int o : owner_) {
+    if (o == rank) ++count;
+  }
+  return count;
+}
+
+std::vector<int> ColumnMap::foreign_columns_of(
+    int rank, const PillarLayout& layout) const {
+  std::vector<int> cols;
+  for (int col = 0; col < num_columns(); ++col) {
+    if (owner_[col] == rank && layout.home_rank(col) != rank) {
+      cols.push_back(col);
+    }
+  }
+  return cols;
+}
+
+std::vector<int> ColumnMap::own_movable_columns_of(
+    int rank, const PillarLayout& layout) const {
+  std::vector<int> cols;
+  for (int col = 0; col < num_columns(); ++col) {
+    if (owner_[col] == rank && layout.home_rank(col) == rank &&
+        layout.is_movable(col)) {
+      cols.push_back(col);
+    }
+  }
+  return cols;
+}
+
+}  // namespace pcmd::core

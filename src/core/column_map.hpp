@@ -1,0 +1,45 @@
+// Ownership map: which PE currently holds each cross-section column.
+//
+// In the SPMD engine each rank carries its own ColumnMap replica, updated
+// only through the DLB announcement/digest messages — never by peeking at
+// other ranks' state — so the map faithfully models the distributed
+// bookkeeping the paper describes.
+#pragma once
+
+#include "core/pillar_layout.hpp"
+
+#include <vector>
+
+namespace pcmd::core {
+
+class ColumnMap {
+ public:
+  // Initial state: every column owned by its home block.
+  explicit ColumnMap(const PillarLayout& layout);
+
+  int owner(int col) const { return owner_.at(col); }
+  void set_owner(int col, int rank);
+
+  int num_columns() const { return static_cast<int>(owner_.size()); }
+
+  // Columns currently owned by `rank`, ascending.
+  std::vector<int> columns_of(int rank) const;
+  int count_of(int rank) const;
+
+  // Foreign columns held by `rank`: owned by rank but homed elsewhere.
+  // These are exactly the columns rank may have to return (case 3).
+  std::vector<int> foreign_columns_of(int rank,
+                                      const PillarLayout& layout) const;
+
+  // Own movable columns of `rank` still in its possession — the case-1
+  // send candidates.
+  std::vector<int> own_movable_columns_of(int rank,
+                                          const PillarLayout& layout) const;
+
+  friend bool operator==(const ColumnMap&, const ColumnMap&) = default;
+
+ private:
+  std::vector<int> owner_;
+};
+
+}  // namespace pcmd::core

@@ -1,0 +1,220 @@
+#include "core/dlb_protocol.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pcmd::core {
+
+DlbProtocol::DlbProtocol(const PillarLayout& layout, DlbConfig config)
+    : layout_(&layout), config_(config) {
+  if (config.interval < 1) {
+    throw std::invalid_argument("DlbConfig: interval must be >= 1");
+  }
+  if (config.min_relative_gap < 0.0) {
+    throw std::invalid_argument("DlbConfig: min_relative_gap must be >= 0");
+  }
+}
+
+int DlbProtocol::find_fastest(int rank, const NeighborTimes& times) const {
+  const auto neighbors = layout_->pe_torus().neighbors8(rank);
+  if (times.neighbor_times.size() != neighbors.size()) {
+    throw std::invalid_argument(
+        "DlbProtocol::find_fastest: need one time per neighbour");
+  }
+  int fastest = rank;
+  double best = times.self_time;
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    const double t = times.neighbor_times[k];
+    if (t < best || (t == best && neighbors[k] < fastest)) {
+      best = t;
+      fastest = neighbors[k];
+    }
+  }
+  return fastest;
+}
+
+namespace {
+// Continuous wrapped displacement from a to b on a ring of size dim,
+// in [-dim/2, dim/2).
+double ring_displacement(double a, double b, double dim) {
+  double d = std::fmod(b - a, dim);
+  if (d < -dim / 2) d += dim;
+  if (d >= dim / 2) d -= dim;
+  return d;
+}
+}  // namespace
+
+int DlbProtocol::select_column(
+    const std::vector<int>& candidates, int receiver,
+    const std::function<double(int)>& column_load) const {
+  if (candidates.empty()) return -1;
+  switch (config_.policy) {
+    case SelectionPolicy::kLowestIndex:
+      return candidates.front();  // candidates are sorted ascending
+    case SelectionPolicy::kMostLoaded:
+    case SelectionPolicy::kLeastLoaded: {
+      int best = candidates.front();
+      double best_load = column_load(best);
+      for (const int c : candidates) {
+        const double load = column_load(c);
+        const bool better = config_.policy == SelectionPolicy::kMostLoaded
+                                ? load > best_load
+                                : load < best_load;
+        if (better) {
+          best = c;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case SelectionPolicy::kNearestToReceiver: {
+      const double k = layout_->cells_axis();
+      const sim::Coord2 rb = layout_->pe_torus().coord_of(receiver);
+      const double half = (layout_->m() - 1) / 2.0;
+      const double rx = rb.i * layout_->m() + half;
+      const double ry = rb.j * layout_->m() + half;
+      int best = candidates.front();
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (const int c : candidates) {
+        const auto [cx, cy] = layout_->column_coord(c);
+        const double dx = ring_displacement(rx, cx, k);
+        const double dy = ring_displacement(ry, cy, k);
+        const double d2 = dx * dx + dy * dy;
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates.front();
+}
+
+namespace {
+// Removes candidates whose load exceeds the cap (overshoot prevention).
+std::vector<int> filter_by_load(std::vector<int> candidates,
+                                const std::function<double(int)>& column_load,
+                                double max_column_load) {
+  if (max_column_load == std::numeric_limits<double>::infinity()) {
+    return candidates;
+  }
+  std::erase_if(candidates, [&](int col) {
+    return column_load(col) >= max_column_load;
+  });
+  return candidates;
+}
+}  // namespace
+
+DlbDecision DlbProtocol::decide_for_target(
+    int rank, const ColumnMap& map, int target,
+    const std::function<double(int)>& column_load,
+    double max_column_load) const {
+  DlbDecision decision;
+  const auto& torus = layout_->pe_torus();
+  const auto disp =
+      torus.displacement(torus.coord_of(rank), torus.coord_of(target));
+  const int di = disp[0];
+  const int dj = disp[1];
+
+  if (di <= 0 && dj <= 0) {
+    // Case 1: upper-left neighbour — send one of my own movable columns.
+    const auto candidates =
+        filter_by_load(map.own_movable_columns_of(rank, *layout_),
+                       column_load, max_column_load);
+    const int col = select_column(candidates, target, column_load);
+    if (col >= 0) {
+      decision.target = target;
+      decision.column = col;
+      decision.is_return = false;
+    }
+    return decision;
+  }
+  if (!(di > 0 && dj > 0) && di * dj != 0) {
+    // Case 2: anti-diagonal neighbours (-1,+1)/(+1,-1) — nothing can move.
+    return decision;
+  }
+
+  // Case 3: lower-right neighbour — return a column I previously received
+  // from the fast block, if I hold any.
+  std::vector<int> candidates;
+  for (const int col : map.foreign_columns_of(rank, *layout_)) {
+    if (layout_->home_rank(col) == target) candidates.push_back(col);
+  }
+  candidates = filter_by_load(std::move(candidates), column_load,
+                              max_column_load);
+  const int col = select_column(candidates, target, column_load);
+  if (col >= 0) {
+    decision.target = target;
+    decision.column = col;
+    decision.is_return = true;
+  }
+  return decision;
+}
+
+DlbDecision DlbProtocol::decide(
+    int rank, const ColumnMap& map, const NeighborTimes& times,
+    const std::function<double(int)>& column_load) const {
+  const int fastest = find_fastest(rank, times);
+  if (fastest == rank) return DlbDecision{};
+
+  // Neighbours that pass the hysteresis gate, fastest first (deterministic
+  // tie-break by rank id). In strict paper mode only the overall fastest is
+  // ever considered; in fallback mode the list is walked until a transfer
+  // is possible.
+  const auto neighbors = layout_->pe_torus().neighbors8(rank);
+  if (times.neighbor_times.size() != neighbors.size()) {
+    throw std::invalid_argument("DlbProtocol::decide: need 8 neighbour times");
+  }
+  std::vector<std::pair<double, int>> ordered;
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    ordered.emplace_back(times.neighbor_times[k], neighbors[k]);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+
+  auto passes_gate = [&](double t) {
+    if (t > times.self_time) return false;
+    if (config_.min_relative_gap > 0.0 && times.self_time > 0.0 &&
+        (times.self_time - t) / times.self_time < config_.min_relative_gap) {
+      return false;
+    }
+    return true;
+  };
+
+  // Overshoot prevention: the moved column must cost less than the time gap
+  // to the receiver. Loads are in the caller's units (particles or pair
+  // counts); seconds convert via my own time per unit of my own load.
+  double self_load = 0.0;
+  if (config_.avoid_overshoot) {
+    for (const int col : map.columns_of(rank)) self_load += column_load(col);
+  }
+  auto load_cap = [&](double target_time) {
+    if (!config_.avoid_overshoot || times.self_time <= 0.0 ||
+        self_load <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (times.self_time - target_time) / times.self_time * self_load;
+  };
+
+  for (const auto& [t, nb] : ordered) {
+    if (nb == rank) continue;
+    if (!passes_gate(t)) break;
+    const DlbDecision d =
+        decide_for_target(rank, map, nb, column_load, load_cap(t));
+    if (!config_.fallback_to_helpable) {
+      // Strict mode: only PE_fast is considered, helpable or not.
+      return nb == fastest ? d : DlbDecision{};
+    }
+    if (d.target >= 0) return d;
+  }
+  return DlbDecision{};
+}
+
+void DlbProtocol::apply(ColumnMap& map, const DlbDecision& decision) {
+  if (decision.target < 0 || decision.column < 0) return;
+  map.set_owner(decision.column, decision.target);
+}
+
+}  // namespace pcmd::core

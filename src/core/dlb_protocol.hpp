@@ -1,0 +1,118 @@
+// The permanent-cell dynamic load balancing protocol (paper Section 2.3).
+//
+// Every time step each PE:
+//   1. sends its previous-step execution time to its 8 torus neighbours,
+//   2. finds the fastest PE among itself and those 8 (PE_fast),
+//   3. decides a column C_send to hand to PE_fast:
+//        case 1  PE_fast is an upper-left neighbour (di, dj in {0,-1}, not
+//                both 0): send one of its *own movable* columns, if any;
+//        case 2  PE_fast is an anti-diagonal neighbour (-1,+1) or (+1,-1):
+//                nothing can be sent;
+//        case 3  PE_fast is a lower-right neighbour (di, dj in {0,+1}, not
+//                both 0): *return* one of the columns previously received
+//                from PE_fast's block, if it holds any;
+//   4. announces (PE_fast, C_send) to all 8 neighbours so their ownership
+//      maps stay consistent.
+//
+// The decision is a pure function of the ownership map, the neighbour times
+// and the per-column loads, so it is deterministic and unit-testable in
+// isolation from the MD engine.
+#pragma once
+
+#include "core/column_map.hpp"
+#include "core/pillar_layout.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace pcmd::core {
+
+// Which column to pick when several are eligible.
+enum class SelectionPolicy {
+  // Column geometrically closest to the receiving block's centre — keeps
+  // domains compact (default).
+  kNearestToReceiver,
+  // Heaviest eligible column — sheds the most load per transfer.
+  kMostLoaded,
+  // Lightest eligible column — most conservative correction.
+  kLeastLoaded,
+  // Lowest column id — the simplest deterministic choice.
+  kLowestIndex,
+};
+
+struct DlbConfig {
+  SelectionPolicy policy = SelectionPolicy::kNearestToReceiver;
+  // Send only when (t_self - t_fast) / t_self exceeds this; 0 reproduces the
+  // paper (a column moves whenever a neighbour is strictly faster).
+  double min_relative_gap = 0.0;
+  // Run the decision every `interval` steps (>= 1); the paper uses 1.
+  int interval = 1;
+  // Extension beyond the paper: when the fastest neighbour cannot be helped
+  // (case 2, or no eligible column), consider the next-fastest neighbours in
+  // order. The strict paper protocol (false) can stall on static loads when
+  // PE_fast happens to be an anti-diagonal neighbour; real MD time noise
+  // usually unsticks it. See bench/ablation_policies for the comparison.
+  bool fallback_to_helpable = false;
+  // Overshoot prevention (default on): transfer a column only when the time
+  // gap to the receiver exceeds the column's own cost, i.e. when the move
+  // cannot leave the receiver slower than the sender was. The literal paper
+  // protocol (false) moves a column for *any* positive gap; with this
+  // library's exact virtual times that degenerates into a bang-bang limit
+  // cycle on balanced loads (one column is ~1/m^2 of a domain, far larger
+  // than the gaps being corrected). Hardware timing noise masks the effect
+  // on the paper's T3E; see bench/ablation_policies.
+  bool avoid_overshoot = true;
+};
+
+// Outcome of one PE's decision. target == -1 means "no transfer".
+struct DlbDecision {
+  int target = -1;
+  int column = -1;
+  bool is_return = false;  // true when a foreign column goes home (case 3)
+};
+
+// Per-rank timing view: times[k] is the execution time of the k-th entry of
+// PillarLayout::pe_torus().neighbors8(rank) order; self_time is this rank's.
+struct NeighborTimes {
+  double self_time = 0.0;
+  std::vector<double> neighbor_times;  // size 8, neighbors8 order
+};
+
+class DlbProtocol {
+ public:
+  DlbProtocol(const PillarLayout& layout, DlbConfig config);
+
+  const DlbConfig& config() const { return config_; }
+
+  // The fastest rank among `rank` and its 8 neighbours; deterministic
+  // tie-break by lowest rank id.
+  int find_fastest(int rank, const NeighborTimes& times) const;
+
+  // Full decision for `rank` given its ownership view. `column_load`
+  // returns the current computational load of a column (particles or pair
+  // count); it is only consulted by the load-aware policies.
+  DlbDecision decide(int rank, const ColumnMap& map, const NeighborTimes& times,
+                     const std::function<double(int)>& column_load) const;
+
+  // Applies a decision to an ownership map (both sender and observers call
+  // this when the announcement arrives).
+  static void apply(ColumnMap& map, const DlbDecision& decision);
+
+  // Decision restricted to a specific target PE (the case-1/2/3 dispatch
+  // for that direction); exposed for tests and for fallback mode.
+  // `max_column_load` caps the load of the column that may move (overshoot
+  // prevention); pass infinity to disable.
+  DlbDecision decide_for_target(
+      int rank, const ColumnMap& map, int target,
+      const std::function<double(int)>& column_load,
+      double max_column_load) const;
+
+ private:
+  int select_column(const std::vector<int>& candidates, int receiver,
+                    const std::function<double(int)>& column_load) const;
+
+  const PillarLayout* layout_;
+  DlbConfig config_;
+};
+
+}  // namespace pcmd::core

@@ -1,0 +1,77 @@
+#include "core/invariant.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace pcmd::core {
+
+void InvariantReport::fail(std::string message) {
+  ok = false;
+  violations.push_back(std::move(message));
+}
+
+InvariantReport check_invariants(const PillarLayout& layout,
+                                 const ColumnMap& map) {
+  InvariantReport report;
+  const auto& pe_torus = layout.pe_torus();
+  const auto& col_torus = layout.column_torus();
+
+  std::vector<int> counts(layout.pe_count(), 0);
+
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    const int owner = map.owner(col);
+    if (owner < 0 || owner >= layout.pe_count()) {
+      std::ostringstream os;
+      os << "column " << col << " has invalid owner " << owner;
+      report.fail(os.str());
+      continue;
+    }
+    ++counts[owner];
+
+    const auto allowed = layout.allowed_owners(col);
+    if (!std::binary_search(allowed.begin(), allowed.end(), owner)) {
+      std::ostringstream os;
+      os << (layout.is_permanent(col) ? "permanent" : "movable") << " column "
+         << col << " owned by disallowed rank " << owner << " (home "
+         << layout.home_rank(col) << ")";
+      report.fail(os.str());
+    }
+  }
+
+  for (int rank = 0; rank < layout.pe_count(); ++rank) {
+    if (counts[rank] > layout.max_columns_per_rank()) {
+      std::ostringstream os;
+      os << "rank " << rank << " owns " << counts[rank]
+         << " columns, exceeding C' = " << layout.max_columns_per_rank();
+      report.fail(os.str());
+    }
+  }
+
+  // Adjacent columns must have 8-neighbouring owners. Checking the two
+  // forward neighbours (+x, +y) and the two forward diagonals covers every
+  // unordered adjacent pair exactly once.
+  auto valid_rank = [&](int r) { return r >= 0 && r < layout.pe_count(); };
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    const auto [cx, cy] = layout.column_coord(col);
+    const int owner = map.owner(col);
+    if (!valid_rank(owner)) continue;  // already reported above
+    const std::pair<int, int> deltas[] = {{1, 0}, {0, 1}, {1, 1}, {1, -1}};
+    for (const auto& [dx, dy] : deltas) {
+      const int other = col_torus.rank_of({cx + dx, cy + dy});
+      const int other_owner = map.owner(other);
+      if (!valid_rank(other_owner)) continue;
+      if (!pe_torus.adjacent8(owner, other_owner)) {
+        std::ostringstream os;
+        os << "columns " << col << " (owner " << owner << ") and " << other
+           << " (owner " << other_owner
+           << ") are adjacent but their owners are not PE neighbours";
+        report.fail(os.str());
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pcmd::core

@@ -1,0 +1,31 @@
+// Structural invariants of the permanent-cell scheme. The whole point of
+// permanent cells is that these hold after *any* legal sequence of
+// redistributions; the property tests hammer exactly that.
+#pragma once
+
+#include "core/column_map.hpp"
+#include "core/pillar_layout.hpp"
+
+#include <string>
+#include <vector>
+
+namespace pcmd::core {
+
+struct InvariantReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string message);
+};
+
+// Checks, for the given ownership state:
+//  * every permanent column is owned by its home block,
+//  * every movable column is owned by its home block or one of the home
+//    block's three upper-left neighbours,
+//  * the owners of any two 8-adjacent columns are 8-neighbours (or equal)
+//    on the PE torus — the regular-communication guarantee,
+//  * no rank owns more than m^2 + 3(m-1)^2 columns (the paper's C' bound).
+InvariantReport check_invariants(const PillarLayout& layout,
+                                 const ColumnMap& map);
+
+}  // namespace pcmd::core

@@ -1,0 +1,88 @@
+#include "core/pillar_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcmd::core {
+
+PillarLayout::PillarLayout(int pe_side, int m)
+    : pe_side_(pe_side),
+      m_(m),
+      pe_torus_(std::max(pe_side, 1), std::max(pe_side, 1)),
+      column_torus_(std::max(pe_side * m, 1), std::max(pe_side * m, 1)) {
+  if (pe_side < 3) {
+    throw std::invalid_argument(
+        "PillarLayout: pe_side must be >= 3 so the 8 torus neighbours are "
+        "distinct PEs");
+  }
+  if (m < 2) {
+    throw std::invalid_argument(
+        "PillarLayout: m must be >= 2 (m = 1 leaves no movable columns)");
+  }
+}
+
+int PillarLayout::column_id(int cx, int cy) const {
+  return column_torus_.rank_of({cx, cy});
+}
+
+std::pair<int, int> PillarLayout::column_coord(int col) const {
+  const sim::Coord2 c = column_torus_.coord_of(col);
+  return {c.i, c.j};
+}
+
+int PillarLayout::home_rank(int col) const {
+  return pe_torus_.rank_of(block_coord_of_column(col));
+}
+
+sim::Coord2 PillarLayout::block_coord_of_column(int col) const {
+  const auto [cx, cy] = column_coord(col);
+  return {cx / m_, cy / m_};
+}
+
+bool PillarLayout::is_permanent(int col) const {
+  const auto [cx, cy] = column_coord(col);
+  return (cx % m_ == m_ - 1) || (cy % m_ == m_ - 1);
+}
+
+std::vector<int> PillarLayout::columns_of_block(int rank) const {
+  const sim::Coord2 b = pe_torus_.coord_of(rank);
+  std::vector<int> cols;
+  cols.reserve(static_cast<std::size_t>(m_) * m_);
+  for (int dx = 0; dx < m_; ++dx) {
+    for (int dy = 0; dy < m_; ++dy) {
+      cols.push_back(column_id(b.i * m_ + dx, b.j * m_ + dy));
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+std::vector<int> PillarLayout::movable_columns_of_block(int rank) const {
+  std::vector<int> cols = columns_of_block(rank);
+  std::erase_if(cols, [this](int c) { return is_permanent(c); });
+  return cols;
+}
+
+std::vector<int> PillarLayout::allowed_owners(int col) const {
+  const sim::Coord2 b = block_coord_of_column(col);
+  std::vector<int> owners;
+  owners.reserve(4);
+  if (is_permanent(col)) {
+    owners.push_back(pe_torus_.rank_of(b));
+    return owners;
+  }
+  for (int di = 0; di >= -1; --di) {
+    for (int dj = 0; dj >= -1; --dj) {
+      owners.push_back(pe_torus_.rank_of({b.i + di, b.j + dj}));
+    }
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+int PillarLayout::max_columns_per_rank() const {
+  return m_ * m_ + 3 * (m_ - 1) * (m_ - 1);
+}
+
+}  // namespace pcmd::core

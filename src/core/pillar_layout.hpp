@@ -1,0 +1,74 @@
+// Square-pillar domain layout with permanent cells (paper Sections 2.2-2.3).
+//
+// The K x K x K cell grid (K = m * sqrt(P)) is decomposed into P = s^2
+// square pillars: PE block (i, j) initially owns the m x m *columns* with
+// cx in [i*m, (i+1)*m) and cy in [j*m, (j+1)*m); each column is the full
+// z-extent of K cubic cells, so load balancing acts on the 2-D cross-section
+// exactly as in the paper.
+//
+// Permanent-cell orientation: within each block, the columns on the block's
+// high-i edge (cx % m == m-1) and high-j edge (cy % m == m-1) are permanent;
+// the remaining (m-1) x (m-1) sub-block is movable. Movable columns may only
+// migrate to the block's three *upper-left* torus neighbours — (i-1, j-1),
+// (i-1, j), (i, j-1) — and may only return home afterwards. The permanent
+// columns therefore form a wall on the side movable columns flow away from,
+// which yields the paper's invariant: the owners of any two adjacent columns
+// are 8-neighbours on the PE torus, so the communication pattern stays
+// regular no matter how load is redistributed. The largest possible domain
+// is m^2 + 3(m-1)^2 columns (the paper's C').
+#pragma once
+
+#include "sim/topology.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace pcmd::core {
+
+class PillarLayout {
+ public:
+  // pe_side = sqrt(P) >= 3 (so the 8 torus neighbours are distinct);
+  // m >= 2 (m = 1 has no movable columns and DLB degenerates).
+  PillarLayout(int pe_side, int m);
+
+  int pe_side() const { return pe_side_; }
+  int m() const { return m_; }
+  int pe_count() const { return pe_side_ * pe_side_; }
+  int cells_axis() const { return pe_side_ * m_; }  // K
+  int num_columns() const { return cells_axis() * cells_axis(); }
+
+  // PE torus (s x s) and column torus (K x K).
+  const sim::Torus2D& pe_torus() const { return pe_torus_; }
+  const sim::Torus2D& column_torus() const { return column_torus_; }
+
+  // Column ids are ranks on the column torus: id = cx * K + cy.
+  int column_id(int cx, int cy) const;
+  std::pair<int, int> column_coord(int col) const;
+
+  // The block (home PE) a column belongs to.
+  int home_rank(int col) const;
+  sim::Coord2 block_coord_of_column(int col) const;
+
+  // Permanent / movable classification (relative to the column's own block).
+  bool is_permanent(int col) const;
+  bool is_movable(int col) const { return !is_permanent(col); }
+
+  // All columns / movable columns of a block, sorted ascending.
+  std::vector<int> columns_of_block(int rank) const;
+  std::vector<int> movable_columns_of_block(int rank) const;
+
+  // Ranks allowed to own a column: the home block and its three upper-left
+  // neighbours, i.e. blocks (i + di, j + dj) for di, dj in {0, -1}.
+  std::vector<int> allowed_owners(int col) const;
+
+  // Cross-section size bound of a maximal domain: m^2 + 3 (m-1)^2.
+  int max_columns_per_rank() const;
+
+ private:
+  int pe_side_;
+  int m_;
+  sim::Torus2D pe_torus_;
+  sim::Torus2D column_torus_;
+};
+
+}  // namespace pcmd::core

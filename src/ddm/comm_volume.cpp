@@ -1,0 +1,97 @@
+#include "ddm/comm_volume.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pcmd::ddm {
+
+std::string to_string(DomainShape shape) {
+  switch (shape) {
+    case DomainShape::kPlane:
+      return "plane";
+    case DomainShape::kSquarePillar:
+      return "square-pillar";
+    case DomainShape::kCube:
+      return "cube";
+  }
+  return "?";
+}
+
+double CommProfile::comm_seconds(double msg_latency,
+                                 double per_cell_seconds) const {
+  return neighbor_count * msg_latency + halo_cells * per_cell_seconds;
+}
+
+namespace {
+int exact_root(int value, int degree, const char* what) {
+  const double r = degree == 2 ? std::sqrt(static_cast<double>(value))
+                               : std::cbrt(static_cast<double>(value));
+  const int root = static_cast<int>(std::lround(r));
+  int power = 1;
+  for (int i = 0; i < degree; ++i) power *= root;
+  if (power != value) {
+    throw std::invalid_argument(std::string(what) + ": " +
+                                std::to_string(value) + " is not a perfect " +
+                                (degree == 2 ? "square" : "cube"));
+  }
+  return root;
+}
+
+void require_divides(int divisor, int value, const char* what) {
+  if (divisor < 1 || value % divisor != 0) {
+    throw std::invalid_argument(std::string(what) + ": " +
+                                std::to_string(divisor) + " does not divide " +
+                                std::to_string(value));
+  }
+}
+}  // namespace
+
+CommProfile comm_profile(DomainShape shape, int cells_axis, int pe_count) {
+  if (cells_axis < 1 || pe_count < 1) {
+    throw std::invalid_argument("comm_profile: non-positive arguments");
+  }
+  const double k = cells_axis;
+  CommProfile profile;
+  profile.shape = shape;
+  profile.pe_count = pe_count;
+  profile.cells_per_pe = k * k * k / pe_count;
+
+  switch (shape) {
+    case DomainShape::kPlane: {
+      require_divides(pe_count, cells_axis, "plane decomposition");
+      const int thickness = cells_axis / pe_count;
+      // Ring of PEs; with thickness == K the domain is the whole box and no
+      // halo is needed (single PE).
+      profile.neighbor_count = pe_count > 1 ? 2 : 0;
+      profile.halo_cells = pe_count > 1 ? 2.0 * k * k : 0.0;
+      (void)thickness;
+      break;
+    }
+    case DomainShape::kSquarePillar: {
+      const int side = exact_root(pe_count, 2, "pillar decomposition");
+      require_divides(side, cells_axis, "pillar decomposition");
+      const double m = k / side;
+      profile.neighbor_count = pe_count > 1 ? 8 : 0;
+      // Perimeter ring of columns, each K cells tall.
+      profile.halo_cells =
+          pe_count > 1 ? ((m + 2) * (m + 2) - m * m) * k : 0.0;
+      break;
+    }
+    case DomainShape::kCube: {
+      const int side = exact_root(pe_count, 3, "cube decomposition");
+      require_divides(side, cells_axis, "cube decomposition");
+      const double b = k / side;
+      profile.neighbor_count = pe_count > 1 ? 26 : 0;
+      profile.halo_cells =
+          pe_count > 1 ? (b + 2) * (b + 2) * (b + 2) - b * b * b : 0.0;
+      break;
+    }
+  }
+  profile.surface_ratio =
+      profile.cells_per_pe > 0 ? profile.halo_cells / profile.cells_per_pe
+                               : 0.0;
+  return profile;
+}
+
+}  // namespace pcmd::ddm

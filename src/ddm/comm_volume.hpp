@@ -1,0 +1,40 @@
+// Analytic communication model for the three 3-D domain shapes of the
+// paper's Figure 2 (plane / square pillar / cube). This is the quantitative
+// basis for the paper's claim (Section 2.2, ref [8]) that the square pillar
+// is the best shape for mid-size simulations on mid-size machines: it trades
+// the plane's enormous per-PE halo volume against the cube's larger
+// neighbour count and per-message latency.
+#pragma once
+
+#include <string>
+
+namespace pcmd::ddm {
+
+enum class DomainShape { kPlane, kSquarePillar, kCube };
+
+std::string to_string(DomainShape shape);
+
+struct CommProfile {
+  DomainShape shape = DomainShape::kSquarePillar;
+  int pe_count = 0;
+  double cells_per_pe = 0.0;
+  // Distinct neighbour PEs exchanged with per step.
+  int neighbor_count = 0;
+  // Cells received as halo per PE per step.
+  double halo_cells = 0.0;
+  // Halo cells / owned cells — the communication-to-computation surface
+  // ratio.
+  double surface_ratio = 0.0;
+  // Modelled per-step communication seconds on a machine with the given
+  // per-message latency and per-halo-cell transfer time.
+  double comm_seconds(double msg_latency, double per_cell_seconds) const;
+};
+
+// K = cells per axis (C = K^3). Requirements per shape:
+//   plane:  P divides K             (slab thickness K/P >= 1)
+//   pillar: sqrt(P) integer, divides K
+//   cube:   cbrt(P) integer, divides K
+// Throws std::invalid_argument when the shape cannot tile the grid.
+CommProfile comm_profile(DomainShape shape, int cells_axis, int pe_count);
+
+}  // namespace pcmd::ddm

@@ -1,0 +1,548 @@
+#include "ddm/parallel_md.hpp"
+
+#include "ddm/wire.hpp"
+#include "md/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcmd::ddm {
+
+namespace {
+// Composite encodings for the "which PE has the maximum" reductions: both
+// component values stay far below 1e6, so cells * 1e6 + empty is exact in a
+// double and its max identifies the PE with the most cells together with
+// that PE's empty-cell count.
+constexpr double kComposite = 1.0e6;
+
+std::pair<int, int> decode_composite(double value) {
+  const auto hi = static_cast<int>(value / kComposite);
+  const auto lo = static_cast<int>(std::llround(value - hi * kComposite));
+  return {hi, lo};
+}
+}  // namespace
+
+ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
+                       const md::ParticleVector& initial,
+                       const ParallelMdConfig& config)
+    : engine_(&engine),
+      box_(box),
+      config_(config),
+      layout_(config.pe_side, config.m),
+      grid_(box, layout_.cells_axis(), layout_.cells_axis(),
+            layout_.cells_axis()),
+      lj_(config.cutoff),
+      integrator_(config.dt),
+      protocol_(layout_, config.dlb) {
+  if (engine.size() != layout_.pe_count()) {
+    throw std::invalid_argument(
+        "ParallelMd: engine rank count must equal pe_side^2");
+  }
+  if (!grid_.covers_cutoff(config.cutoff)) {
+    throw std::invalid_argument(
+        "ParallelMd: cell edge smaller than the cut-off; box too small for "
+        "this (pe_side, m)");
+  }
+  if (config.rescale_temperature) {
+    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
+  }
+
+  ranks_.reserve(layout_.pe_count());
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    ranks_.push_back(std::make_unique<Rank>(layout_));
+  }
+
+  for (const auto& particle : initial) {
+    if (!in_primary_image(particle.position, box_)) {
+      throw std::invalid_argument(
+          "ParallelMd: initial particle outside the primary image");
+    }
+    const int col = column_of_position(particle.position);
+    ranks_[layout_.home_rank(col)]->owned.push_back(particle);
+  }
+
+  // Initial force computation so the first step's drift has f(t).
+  engine_->run_phase([this](sim::Comm& comm) {
+    send_halo(comm, *ranks_[comm.rank()], kTagInitHalo);
+  });
+  engine_->run_phase([this](sim::Comm& comm) {
+    Rank& rank = *ranks_[comm.rank()];
+    absorb_halo(comm, rank, kTagInitHalo);
+    rank.bins.rebuild(grid_, rank.with_halo);
+    std::vector<int> targets;
+    for (const int col : owned_columns(rank, comm.rank())) {
+      const auto [cx, cy] = layout_.column_coord(col);
+      for (int z = 0; z < grid_.nz(); ++z) {
+        targets.push_back(grid_.flat_index({cx, cy, z}));
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+    const auto result =
+        md::accumulate_forces(rank.with_halo, grid_, rank.bins, targets, lj_);
+    const double cost =
+        engine_->model().pair_cost * result.pair_evaluations +
+        engine_->model().cell_cost * targets.size();
+    rank.busy_accum = 0.0;
+    rank.last_busy = advance_compute(comm, rank, cost);
+    rank.owned.assign(rank.with_halo.begin(),
+                      rank.with_halo.begin() + rank.owned.size());
+  });
+}
+
+int ParallelMd::column_of_position(const Vec3& position) const {
+  const md::CellCoord cell = grid_.coord_of(grid_.cell_of_position(position));
+  return layout_.column_id(cell.x, cell.y);
+}
+
+std::vector<int> ParallelMd::owned_columns(const Rank& rank,
+                                           int rank_id) const {
+  return rank.map.columns_of(rank_id);
+}
+
+double ParallelMd::advance_compute(sim::Comm& comm, Rank& rank,
+                                   double seconds) {
+  comm.advance(seconds);
+  rank.busy_accum += seconds;
+  return seconds;
+}
+
+void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int tag) {
+  const int me = comm.rank();
+  const auto& col_torus = layout_.column_torus();
+  const auto neighbors = layout_.pe_torus().neighbors8(me);
+
+  // Which of my columns each neighbour needs: my column c goes to the owner
+  // of every column adjacent to c.
+  std::vector<std::vector<int>> columns_for(neighbors.size());
+  for (const int col : owned_columns(rank, me)) {
+    const auto [cx, cy] = layout_.column_coord(col);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        if (dx == 0 && dy == 0) continue;
+        const int adj = col_torus.rank_of({cx + dx, cy + dy});
+        const int owner = rank.map.owner(adj);
+        if (owner == me) continue;
+        const auto it = std::find(neighbors.begin(), neighbors.end(), owner);
+        if (it == neighbors.end()) {
+          std::ostringstream os;
+          os << "halo plan: column " << adj << " owned by rank " << owner
+             << " which is not a neighbour of rank " << me
+             << " — ownership invariant violated";
+          throw std::logic_error(os.str());
+        }
+        columns_for[it - neighbors.begin()].push_back(col);
+      }
+    }
+  }
+
+  // Index owned particles by column once.
+  std::vector<std::vector<std::int32_t>> by_column(layout_.num_columns());
+  for (std::size_t i = 0; i < rank.owned.size(); ++i) {
+    by_column[column_of_position(rank.owned[i].position)].push_back(
+        static_cast<std::int32_t>(i));
+  }
+
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    auto& cols = columns_for[k];
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    std::vector<HaloRecord> records;
+    for (const int col : cols) {
+      for (const std::int32_t idx : by_column[col]) {
+        records.push_back(
+            {rank.owned[idx].id, rank.owned[idx].position});
+      }
+    }
+    comm.send(neighbors[k], tag, pack_halo(records));
+  }
+}
+
+void ParallelMd::absorb_halo(sim::Comm& comm, Rank& rank, int tag) {
+  const int me = comm.rank();
+  rank.with_halo = rank.owned;
+  for (const int nb : layout_.pe_torus().neighbors8(me)) {
+    for (const auto& record : unpack_halo(comm.recv(nb, tag))) {
+      md::Particle p;
+      p.id = record.id;
+      p.position = record.position;
+      rank.with_halo.push_back(p);
+    }
+  }
+}
+
+void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm) {
+  const int me = comm.rank();
+  Rank& rank = *ranks_[me];
+  rank.busy_accum = 0.0;
+  rank.transfers_made = 0;
+
+  advance_compute(comm, rank,
+                  engine_->model().particle_cost * rank.owned.size());
+  integrator_.drift(rank.owned, box_);
+
+  std::vector<std::int32_t> columns;
+  for (const int col : owned_columns(rank, me)) {
+    columns.push_back(static_cast<std::int32_t>(col));
+  }
+  for (const int nb : layout_.pe_torus().neighbors8(me)) {
+    comm.send(nb, kTagDigest, pack_digest(rank.last_busy, columns));
+  }
+}
+
+void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
+  const int me = comm.rank();
+  Rank& rank = *ranks_[me];
+  const auto neighbors = layout_.pe_torus().neighbors8(me);
+
+  rank.neighbor_times.assign(neighbors.size(), 0.0);
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    double busy = 0.0;
+    std::vector<std::int32_t> columns;
+    unpack_digest(comm.recv(neighbors[k], kTagDigest), busy, columns);
+    rank.neighbor_times[k] = busy;
+    for (const std::int32_t col : columns) {
+      rank.map.set_owner(col, neighbors[k]);
+    }
+  }
+
+  AnnounceRecord announce;
+  if (dlb_active_this_step_) {
+    // Per-column particle counts as the load proxy for the selection policy.
+    std::vector<double> column_load(layout_.num_columns(), 0.0);
+    for (const auto& p : rank.owned) {
+      column_load[column_of_position(p.position)] += 1.0;
+    }
+    core::NeighborTimes times;
+    times.self_time = rank.last_busy;
+    times.neighbor_times = rank.neighbor_times;
+    const core::DlbDecision decision = protocol_.decide(
+        me, rank.map, times, [&](int col) { return column_load[col]; });
+    if (decision.target >= 0) {
+      core::DlbProtocol::apply(rank.map, decision);
+      announce.target = decision.target;
+      announce.column = decision.column;
+      rank.transfers_made = 1;
+
+      md::ParticleVector moving;
+      auto keep = rank.owned.begin();
+      for (auto& p : rank.owned) {
+        if (column_of_position(p.position) == decision.column) {
+          moving.push_back(p);
+        } else {
+          *keep++ = p;
+        }
+      }
+      rank.owned.erase(keep, rank.owned.end());
+      comm.send(decision.target, kTagTransfer, pack_particles(moving));
+    }
+  }
+  for (const int nb : neighbors) {
+    comm.send(nb, kTagAnnounce, pack_announce(announce));
+  }
+
+  // Round-1 migration: particles that drifted out of my columns.
+  std::vector<md::ParticleVector> outgoing(neighbors.size());
+  auto keep = rank.owned.begin();
+  for (auto& p : rank.owned) {
+    const int owner = rank.map.owner(column_of_position(p.position));
+    if (owner == me) {
+      *keep++ = p;
+      continue;
+    }
+    const auto it = std::find(neighbors.begin(), neighbors.end(), owner);
+    if (it == neighbors.end()) {
+      throw std::logic_error(
+          "migration: particle crossed to a non-neighbour domain in one "
+          "step — time step too large for the cell size");
+    }
+    outgoing[it - neighbors.begin()].push_back(p);
+  }
+  rank.owned.erase(keep, rank.owned.end());
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    comm.send(neighbors[k], kTagMigrate1, pack_particles(outgoing[k]));
+  }
+}
+
+void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
+  const int me = comm.rank();
+  Rank& rank = *ranks_[me];
+  const auto neighbors = layout_.pe_torus().neighbors8(me);
+
+  // Announcements first, so forwarding below sees fresh ownership.
+  std::vector<int> transfers_to_me;
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    const AnnounceRecord announce =
+        unpack_announce(comm.recv(neighbors[k], kTagAnnounce));
+    if (announce.target < 0) continue;
+    rank.map.set_owner(announce.column, announce.target);
+    if (announce.target == me) {
+      transfers_to_me.push_back(static_cast<int>(k));
+    }
+  }
+  for (const int k : transfers_to_me) {
+    for (const auto& p :
+         unpack_particles(comm.recv(neighbors[k], kTagTransfer))) {
+      rank.owned.push_back(p);
+    }
+  }
+
+  // Round-1 migrants; forward any whose column changed hands this step.
+  std::vector<md::ParticleVector> forward(neighbors.size());
+  for (const int nb : neighbors) {
+    for (const auto& p : unpack_particles(comm.recv(nb, kTagMigrate1))) {
+      const int owner = rank.map.owner(column_of_position(p.position));
+      if (owner == me) {
+        rank.owned.push_back(p);
+        continue;
+      }
+      const auto it = std::find(neighbors.begin(), neighbors.end(), owner);
+      if (it == neighbors.end()) {
+        throw std::logic_error(
+            "migration round 2: correct owner is not a neighbour — "
+            "ownership invariant violated");
+      }
+      forward[it - neighbors.begin()].push_back(p);
+    }
+  }
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    comm.send(neighbors[k], kTagMigrate2, pack_particles(forward[k]));
+  }
+}
+
+void ParallelMd::phase_d_halo_send(sim::Comm& comm) {
+  const int me = comm.rank();
+  Rank& rank = *ranks_[me];
+  for (const int nb : layout_.pe_torus().neighbors8(me)) {
+    for (const auto& p : unpack_particles(comm.recv(nb, kTagMigrate2))) {
+      const int owner = rank.map.owner(column_of_position(p.position));
+      if (owner != me) {
+        throw std::logic_error(
+            "migration round 2 delivered a particle to the wrong rank");
+      }
+      rank.owned.push_back(p);
+    }
+  }
+  send_halo(comm, rank, kTagHalo);
+}
+
+void ParallelMd::phase_e_forces(sim::Comm& comm) {
+  const int me = comm.rank();
+  Rank& rank = *ranks_[me];
+  absorb_halo(comm, rank, kTagHalo);
+  rank.bins.rebuild(grid_, rank.with_halo);
+
+  std::vector<int> targets;
+  const auto cols = owned_columns(rank, me);
+  targets.reserve(cols.size() * grid_.nz());
+  for (const int col : cols) {
+    const auto [cx, cy] = layout_.column_coord(col);
+    for (int z = 0; z < grid_.nz(); ++z) {
+      targets.push_back(grid_.flat_index({cx, cy, z}));
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+
+  const auto result =
+      md::accumulate_forces(rank.with_halo, grid_, rank.bins, targets, lj_);
+  rank.force_seconds = advance_compute(
+      comm, rank,
+      engine_->model().pair_cost * result.pair_evaluations +
+          engine_->model().cell_cost * targets.size());
+
+  rank.owned.assign(rank.with_halo.begin(),
+                    rank.with_halo.begin() + rank.owned.size());
+  integrator_.kick(rank.owned);
+
+  rank.local_pe = result.potential_energy;
+  rank.local_virial = result.virial;
+  rank.local_pairs = result.pair_evaluations;
+  int empty = 0;
+  for (const int cell : targets) {
+    if (rank.bins.cell(cell).empty()) ++empty;
+  }
+  const double ke = md::kinetic_energy(rank.owned);
+  const double owned_cells = static_cast<double>(targets.size());
+
+  const double sums[8] = {rank.local_pe,
+                          ke,
+                          static_cast<double>(rank.local_pairs),
+                          static_cast<double>(rank.owned.size()),
+                          static_cast<double>(empty),
+                          static_cast<double>(rank.transfers_made),
+                          rank.force_seconds,
+                          rank.local_virial};
+  comm.collective_begin(sim::ReduceOp::kSum, sums);
+  const double maxes[3] = {rank.force_seconds,
+                           owned_cells * kComposite + empty,
+                           empty * kComposite + owned_cells};
+  comm.collective_begin(sim::ReduceOp::kMax, maxes);
+  const double mins[1] = {rank.force_seconds};
+  comm.collective_begin(sim::ReduceOp::kMin, mins);
+
+  rank.last_busy = rank.busy_accum;
+}
+
+void ParallelMd::phase_f_finish(sim::Comm& comm) {
+  Rank& rank = *ranks_[comm.rank()];
+  rank.sums = comm.collective_end();
+  rank.maxes = comm.collective_end();
+  rank.mins = comm.collective_end();
+
+  const std::int64_t step_number = step_count_ + 1;
+  if (thermostat_ && thermostat_->due(step_number)) {
+    const double ke_total = rank.sums[1];
+    const auto n_total = static_cast<std::int64_t>(rank.sums[3]);
+    const double factor = thermostat_->scale_factor(ke_total, n_total);
+    md::RescaleThermostat::apply(rank.owned, factor);
+  }
+}
+
+ParallelStepStats ParallelMd::step() {
+  const double makespan_before = engine_->makespan();
+  const std::int64_t step_number = step_count_ + 1;
+  dlb_active_this_step_ =
+      config_.dlb_enabled && (step_number % config_.dlb.interval == 0);
+
+  engine_->run_phase([this](sim::Comm& c) { phase_a_drift_and_digest(c); });
+  engine_->run_phase([this](sim::Comm& c) { phase_b_decide_and_migrate(c); });
+  engine_->run_phase([this](sim::Comm& c) { phase_c_absorb_and_forward(c); });
+  engine_->run_phase([this](sim::Comm& c) { phase_d_halo_send(c); });
+  engine_->run_phase([this](sim::Comm& c) { phase_e_forces(c); });
+  engine_->run_phase([this](sim::Comm& c) { phase_f_finish(c); });
+
+  ++step_count_;
+
+  const Rank& r0 = *ranks_[0];
+  ParallelStepStats stats;
+  stats.step = step_count_;
+  stats.t_step = engine_->makespan() - makespan_before;
+  stats.potential_energy = r0.sums[0];
+  stats.kinetic_energy = r0.sums[1];
+  stats.pair_evaluations = static_cast<std::uint64_t>(r0.sums[2]);
+  stats.total_particles = static_cast<std::int64_t>(r0.sums[3]);
+  stats.empty_cells = static_cast<int>(r0.sums[4]);
+  stats.transfers = static_cast<int>(r0.sums[5]);
+  stats.force_max = r0.maxes[0];
+  stats.force_avg = 0.0;
+  stats.force_min = r0.mins[0];
+  stats.temperature =
+      md::temperature_from_ke(stats.kinetic_energy, stats.total_particles);
+  stats.virial = r0.sums[7];
+  stats.pressure = md::pressure(stats.temperature, stats.virial,
+                                stats.total_particles, box_.volume());
+
+  const auto [cells_a, empty_a] = decode_composite(r0.maxes[1]);
+  stats.max_domain_cells = cells_a;
+  stats.max_domain_empty = empty_a;
+  const auto [empty_b, cells_b] = decode_composite(r0.maxes[2]);
+  stats.max_empty_cells = empty_b;
+  stats.max_empty_domain_cells = cells_b;
+
+  stats.force_avg = r0.sums[6] / static_cast<double>(ranks_.size());
+  return stats;
+}
+
+ParallelStepStats ParallelMd::run(std::int64_t steps) {
+  ParallelStepStats stats;
+  for (std::int64_t i = 0; i < steps; ++i) stats = step();
+  return stats;
+}
+
+md::ParticleVector ParallelMd::gather_particles() const {
+  md::ParticleVector all;
+  for (const auto& rank : ranks_) {
+    all.insert(all.end(), rank->owned.begin(), rank->owned.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const md::Particle& a, const md::Particle& b) {
+              return a.id < b.id;
+            });
+  return all;
+}
+
+const core::ColumnMap& ParallelMd::column_map_view(int rank) const {
+  return ranks_.at(rank)->map;
+}
+
+core::InvariantReport ParallelMd::check_ownership() const {
+  core::InvariantReport report;
+
+  // Authoritative ownership: rank r owns column c iff r's *own* map says so.
+  // Exactly one rank may claim each column.
+  std::vector<int> truth(layout_.num_columns(), -1);
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    for (const int col : ranks_[r]->map.columns_of(r)) {
+      if (truth[col] != -1) {
+        std::ostringstream os;
+        os << "column " << col << " claimed by both rank " << truth[col]
+           << " and rank " << r;
+        report.fail(os.str());
+      }
+      truth[col] = r;
+    }
+  }
+  core::ColumnMap authoritative(layout_);
+  for (int col = 0; col < layout_.num_columns(); ++col) {
+    if (truth[col] == -1) {
+      std::ostringstream os;
+      os << "column " << col << " claimed by no rank";
+      report.fail(os.str());
+    } else {
+      authoritative.set_owner(col, truth[col]);
+    }
+  }
+  const auto structural = core::check_invariants(layout_, authoritative);
+  if (!structural.ok) {
+    for (const auto& v : structural.violations) {
+      report.fail(v);
+    }
+  }
+
+  // Local-view freshness where it matters: a rank's map must be correct for
+  // every column adjacent to one of its own columns — those are the entries
+  // halo planning and migration consult. (Entries for far columns may lag by
+  // one step's announcements; the protocol never reads them.)
+  const auto& col_torus = layout_.column_torus();
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    for (const int col : ranks_[r]->map.columns_of(r)) {
+      const auto [cx, cy] = layout_.column_coord(col);
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          const int adj = col_torus.rank_of({cx + dx, cy + dy});
+          if (ranks_[r]->map.owner(adj) != truth[adj]) {
+            std::ostringstream os;
+            os << "rank " << r << " has a stale owner for column " << adj
+               << " (thinks " << ranks_[r]->map.owner(adj) << ", truth "
+               << truth[adj] << ") adjacent to its own column " << col;
+            report.fail(os.str());
+          }
+        }
+      }
+    }
+  }
+  // Every particle must sit in a column its holder owns.
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    for (const auto& p : ranks_[r]->owned) {
+      const int col = column_of_position(p.position);
+      if (ranks_[r]->map.owner(col) != r) {
+        std::ostringstream os;
+        os << "rank " << r << " holds particle " << p.id
+           << " in column " << col << " owned by " << ranks_[r]->map.owner(col);
+        report.fail(os.str());
+      }
+    }
+  }
+  return report;
+}
+
+std::size_t ParallelMd::owned_count(int rank) const {
+  return ranks_.at(rank)->owned.size();
+}
+
+double ParallelMd::force_seconds(int rank) const {
+  return ranks_.at(rank)->force_seconds;
+}
+
+}  // namespace pcmd::ddm

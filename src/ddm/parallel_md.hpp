@@ -1,0 +1,161 @@
+// SPMD parallel MD engine: square-pillar domain decomposition over the
+// virtual parallel machine, with optional permanent-cell dynamic load
+// balancing (the paper's DLB-DDM vs DDM comparison).
+//
+// One time step is six BSP phases:
+//   A  drift (first Verlet half-step) and send {last-step busy time, owned
+//      column digest} to the 8 torus neighbours;
+//   B  apply digests; run the DLB decision (paper Section 2.3) and, when a
+//      column moves, extract its particles and send them to the receiver;
+//      announce (PE_fast, C_send) to all 8 neighbours (paper protocol step
+//      4); send round-1 migration (particles that drifted out of my
+//      columns);
+//   C  apply announcements, absorb column transfers and round-1 migrants;
+//      forward any migrant whose column changed hands this very step
+//      (round 2);
+//   D  absorb round-2 migrants; build the halo plan from the (now globally
+//      consistent) ownership view and send boundary-cell positions;
+//   E  absorb halo, compute forces for owned cells (charged to the virtual
+//      clock), second Verlet half-step; post the step's reductions;
+//   F  finish reductions: temperature rescaling and the step statistics.
+//
+// Physics parity: the force kernel, integrator and thermostat are shared
+// with md::SerialMd, and iteration orders are fixed, so a parallel run
+// reproduces the serial trajectory (bitwise until the first velocity
+// rescale, whose global kinetic-energy sum differs only in rounding).
+#pragma once
+
+#include "core/column_map.hpp"
+#include "core/dlb_protocol.hpp"
+#include "core/invariant.hpp"
+#include "core/pillar_layout.hpp"
+#include "md/cell_grid.hpp"
+#include "md/integrator.hpp"
+#include "md/lj.hpp"
+#include "md/particle.hpp"
+#include "md/thermostat.hpp"
+#include "sim/comm.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace pcmd::ddm {
+
+struct ParallelMdConfig {
+  int pe_side = 3;  // sqrt(P) >= 3
+  int m = 2;        // pillar cross-section; cells per axis K = m * pe_side
+  double cutoff = 2.5;
+  double dt = 0.005;
+  std::optional<double> rescale_temperature;
+  int rescale_interval = 50;
+  bool dlb_enabled = false;
+  core::DlbConfig dlb;
+};
+
+// Per-step statistics (globally reduced; identical on every rank).
+struct ParallelStepStats {
+  std::int64_t step = 0;
+  double t_step = 0.0;      // virtual seconds for the step (the paper's Tt)
+  double force_max = 0.0;   // Fmax: slowest PE's force-computation seconds
+  double force_avg = 0.0;   // Fave
+  double force_min = 0.0;   // Fmin
+  double potential_energy = 0.0;
+  double kinetic_energy = 0.0;
+  double temperature = 0.0;
+  double virial = 0.0;
+  double pressure = 0.0;
+  std::uint64_t pair_evaluations = 0;
+  std::int64_t total_particles = 0;
+  int transfers = 0;        // columns moved by DLB this step
+  // Concentration bookkeeping for the Section 4 analysis:
+  int empty_cells = 0;           // C0: cells with no particle, whole space
+  int max_domain_cells = 0;      // cells of the PE owning the most cells
+  int max_domain_empty = 0;      // empty cells of that same PE
+  int max_empty_cells = 0;       // most empty cells on any PE
+  int max_empty_domain_cells = 0;  // cells of that PE
+};
+
+class ParallelMd {
+ public:
+  // `initial` must lie inside `box`; the box edge must equal
+  // (m * pe_side) * cell_edge with cell_edge >= cutoff.
+  ParallelMd(sim::Engine& engine, const Box& box,
+             const md::ParticleVector& initial, const ParallelMdConfig& config);
+
+  // Advances one step; the returned statistics are the globally reduced
+  // values every PE agreed on.
+  ParallelStepStats step();
+  ParallelStepStats run(std::int64_t steps);
+
+  std::int64_t step_count() const { return step_count_; }
+  const core::PillarLayout& layout() const { return layout_; }
+  const md::CellGrid& grid() const { return grid_; }
+  const Box& box() const { return box_; }
+  int total_cells() const { return grid_.num_cells(); }
+
+  // ---- validation / diagnostics (outside the SPMD model) ----
+  // All particles across ranks, sorted by id.
+  md::ParticleVector gather_particles() const;
+  // A rank's local ownership view.
+  const core::ColumnMap& column_map_view(int rank) const;
+  // Structural invariants on rank 0's view plus cross-rank consistency of
+  // every rank's view of its own and its neighbours' columns.
+  core::InvariantReport check_ownership() const;
+  // Particles currently held by a rank.
+  std::size_t owned_count(int rank) const;
+  // Last step's force-computation virtual seconds on a rank.
+  double force_seconds(int rank) const;
+
+ private:
+  struct Rank {
+    md::ParticleVector owned;
+    core::ColumnMap map;
+    std::vector<double> neighbor_times;  // digest times, neighbors8 order
+    double last_busy = 0.0;   // previous step's compute seconds
+    double busy_accum = 0.0;  // this step's compute seconds so far
+    double force_seconds = 0.0;
+    int transfers_made = 0;
+    // Scratch reused across phases of one step:
+    md::ParticleVector with_halo;
+    md::CellBins bins;
+    double local_pe = 0.0;
+    double local_virial = 0.0;
+    std::uint64_t local_pairs = 0;
+    // Reduced results stored in phase F:
+    std::vector<double> sums, maxes, mins;
+
+    explicit Rank(const core::PillarLayout& layout) : map(layout) {}
+  };
+
+  // Phase bodies.
+  void phase_a_drift_and_digest(sim::Comm& comm);
+  void phase_b_decide_and_migrate(sim::Comm& comm);
+  void phase_c_absorb_and_forward(sim::Comm& comm);
+  void phase_d_halo_send(sim::Comm& comm);
+  void phase_e_forces(sim::Comm& comm);
+  void phase_f_finish(sim::Comm& comm);
+
+  // Helpers.
+  int column_of_position(const Vec3& position) const;
+  std::vector<int> owned_columns(const Rank& rank, int rank_id) const;
+  void send_halo(sim::Comm& comm, Rank& rank, int tag);
+  void absorb_halo(sim::Comm& comm, Rank& rank, int tag);
+  double advance_compute(sim::Comm& comm, Rank& rank, double seconds);
+
+  sim::Engine* engine_;
+  Box box_;
+  ParallelMdConfig config_;
+  core::PillarLayout layout_;
+  md::CellGrid grid_;
+  md::LennardJones lj_;
+  md::VelocityVerlet integrator_;
+  std::optional<md::RescaleThermostat> thermostat_;
+  core::DlbProtocol protocol_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::int64_t step_count_ = 0;
+  bool dlb_active_this_step_ = false;
+};
+
+}  // namespace pcmd::ddm

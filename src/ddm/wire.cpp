@@ -1,0 +1,53 @@
+#include "ddm/wire.hpp"
+
+namespace pcmd::ddm {
+
+sim::Buffer pack_digest(double busy_seconds,
+                        const std::vector<std::int32_t>& columns) {
+  sim::Packer packer;
+  packer.put(DigestHeader{busy_seconds});
+  packer.put_vector(columns);
+  return packer.take();
+}
+
+void unpack_digest(sim::Buffer buffer, double& busy_seconds,
+                   std::vector<std::int32_t>& columns) {
+  sim::Unpacker unpacker(std::move(buffer));
+  busy_seconds = unpacker.get<DigestHeader>().busy_seconds;
+  columns = unpacker.get_vector<std::int32_t>();
+}
+
+sim::Buffer pack_announce(const AnnounceRecord& record) {
+  sim::Packer packer;
+  packer.put(record);
+  return packer.take();
+}
+
+AnnounceRecord unpack_announce(sim::Buffer buffer) {
+  sim::Unpacker unpacker(std::move(buffer));
+  return unpacker.get<AnnounceRecord>();
+}
+
+sim::Buffer pack_particles(const std::vector<md::Particle>& particles) {
+  sim::Packer packer;
+  packer.put_vector(particles);
+  return packer.take();
+}
+
+std::vector<md::Particle> unpack_particles(sim::Buffer buffer) {
+  sim::Unpacker unpacker(std::move(buffer));
+  return unpacker.get_vector<md::Particle>();
+}
+
+sim::Buffer pack_halo(const std::vector<HaloRecord>& records) {
+  sim::Packer packer;
+  packer.put_vector(records);
+  return packer.take();
+}
+
+std::vector<HaloRecord> unpack_halo(sim::Buffer buffer) {
+  sim::Unpacker unpacker(std::move(buffer));
+  return unpacker.get_vector<HaloRecord>();
+}
+
+}  // namespace pcmd::ddm

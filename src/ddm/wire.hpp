@@ -1,0 +1,61 @@
+// Wire formats of the SPMD MD engine's per-step messages.
+//
+// Message tags and payload layouts are fixed here so the packing code in the
+// engine and any test double stay in sync. All records are trivially
+// copyable and go through sim::Packer/Unpacker.
+#pragma once
+
+#include "md/particle.hpp"
+#include "sim/message.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmd::ddm {
+
+// BSP message tags. One step uses each tag at most once per (src, dst).
+enum MessageTag : int {
+  kTagDigest = 1,      // {busy_seconds, owned column ids}
+  kTagAnnounce = 2,    // {target_rank, column} of this step's DLB decision
+  kTagTransfer = 3,    // full particles of a transferred column
+  kTagMigrate1 = 4,    // particles that left my columns (round 1)
+  kTagMigrate2 = 5,    // forwarded misdelivered migrants (round 2)
+  kTagHalo = 6,        // boundary-cell particle positions
+  kTagInitHalo = 7,    // halo for the initial force computation
+};
+
+// Position-only particle copy used for halo exchange (velocities are not
+// needed to compute forces).
+struct HaloRecord {
+  std::int64_t id = -1;
+  Vec3 position;
+};
+static_assert(std::is_trivially_copyable_v<HaloRecord>);
+
+struct DigestHeader {
+  double busy_seconds = 0.0;
+};
+
+struct AnnounceRecord {
+  std::int32_t target = -1;  // -1: no transfer this step
+  std::int32_t column = -1;
+};
+static_assert(std::is_trivially_copyable_v<AnnounceRecord>);
+
+// Packing helpers -----------------------------------------------------------
+
+sim::Buffer pack_digest(double busy_seconds,
+                        const std::vector<std::int32_t>& columns);
+void unpack_digest(sim::Buffer buffer, double& busy_seconds,
+                   std::vector<std::int32_t>& columns);
+
+sim::Buffer pack_announce(const AnnounceRecord& record);
+AnnounceRecord unpack_announce(sim::Buffer buffer);
+
+sim::Buffer pack_particles(const std::vector<md::Particle>& particles);
+std::vector<md::Particle> unpack_particles(sim::Buffer buffer);
+
+sim::Buffer pack_halo(const std::vector<HaloRecord>& records);
+std::vector<HaloRecord> unpack_halo(sim::Buffer buffer);
+
+}  // namespace pcmd::ddm

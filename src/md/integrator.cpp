@@ -1,0 +1,29 @@
+#include "md/integrator.hpp"
+
+#include <stdexcept>
+
+namespace pcmd::md {
+
+VelocityVerlet::VelocityVerlet(double dt) : dt_(dt) {
+  if (dt <= 0.0) {
+    throw std::invalid_argument("VelocityVerlet: dt must be positive");
+  }
+}
+
+void VelocityVerlet::drift(std::span<Particle> particles, const Box& box) const {
+  const double half_dt = 0.5 * dt_;
+  for (auto& p : particles) {
+    p.velocity += p.force * half_dt;
+    p.position += p.velocity * dt_;
+    p.position = wrap(p.position, box);
+  }
+}
+
+void VelocityVerlet::kick(std::span<Particle> particles) const {
+  const double half_dt = 0.5 * dt_;
+  for (auto& p : particles) {
+    p.velocity += p.force * half_dt;
+  }
+}
+
+}  // namespace pcmd::md

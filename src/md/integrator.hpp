@@ -1,0 +1,33 @@
+// Velocity form of the Verlet algorithm (paper Section 3.2, ref [1]):
+//   x(t+dt) = x(t) + v(t) dt + f(t) dt^2 / 2
+//   v(t+dt) = v(t) + [f(t) + f(t+dt)] dt / 2
+// Split into the two half-updates around the force computation so both the
+// serial engine and the SPMD parallel engine share the arithmetic (and
+// therefore produce bitwise-identical trajectories).
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+
+#include <span>
+
+namespace pcmd::md {
+
+class VelocityVerlet {
+ public:
+  explicit VelocityVerlet(double dt);
+
+  double dt() const { return dt_; }
+
+  // Position update using the current forces; wraps positions back into the
+  // primary image. Velocities get the first half-kick.
+  void drift(std::span<Particle> particles, const Box& box) const;
+
+  // Second half-kick with the freshly computed forces.
+  void kick(std::span<Particle> particles) const;
+
+ private:
+  double dt_;
+};
+
+}  // namespace pcmd::md

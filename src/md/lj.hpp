@@ -1,0 +1,34 @@
+// Truncated Lennard-Jones 12-6 potential (paper eq. (1)):
+//   V(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ],  truncated at r_c.
+// Reduced units: eps = sigma = 1. The paper uses plain truncation (no shift);
+// an optional energy shift is provided for energy-conservation studies.
+#pragma once
+
+namespace pcmd::md {
+
+class LennardJones {
+ public:
+  explicit LennardJones(double cutoff = 2.5, bool shift_energy = false);
+
+  double cutoff() const { return cutoff_; }
+  double cutoff2() const { return cutoff2_; }
+  bool shifted() const { return shift_energy_; }
+
+  // Potential at squared distance r2 (0 beyond the cut-off).
+  double potential_r2(double r2) const;
+
+  // Force magnitude divided by r: F(r) / r, so the force vector on particle i
+  // from j is  (x_i - x_j) * force_over_r(r2). Zero beyond the cut-off.
+  double force_over_r(double r2) const;
+
+  // Potential value at the cut-off (the shift amount when shifting).
+  double potential_at_cutoff() const;
+
+ private:
+  double cutoff_;
+  double cutoff2_;
+  bool shift_energy_;
+  double shift_;
+};
+
+}  // namespace pcmd::md

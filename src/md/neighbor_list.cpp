@@ -1,0 +1,90 @@
+#include "md/neighbor_list.hpp"
+
+#include <stdexcept>
+
+namespace pcmd::md {
+
+NeighborList::NeighborList(const Box& box, double cutoff, double skin)
+    : box_(box), cutoff_(cutoff), skin_(skin) {
+  if (cutoff <= 0.0 || skin < 0.0) {
+    throw std::invalid_argument(
+        "NeighborList: cutoff must be > 0 and skin >= 0");
+  }
+  const double reach = cutoff + skin;
+  reach2_ = reach * reach;
+}
+
+void NeighborList::rebuild(const ParticleVector& particles) {
+  const double reach = cutoff_ + skin_;
+  const CellGrid grid(box_, reach);
+  const CellBins bins(grid, particles);
+
+  offsets_.assign(particles.size() + 1, 0);
+  neighbors_.clear();
+  // Half list: for particle index i keep only j > i (by index). The cell
+  // stencil visits each unordered pair from both sides; the index order
+  // filter keeps exactly one.
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    offsets_[i] = static_cast<std::int32_t>(neighbors_.size());
+    const int cell = grid.cell_of_position(particles[i].position);
+    for (const int nc : grid.stencil(cell)) {
+      for (const std::int32_t j : bins.cell(nc)) {
+        if (static_cast<std::size_t>(j) <= i) continue;
+        if (minimum_image_distance2(particles[i].position,
+                                    particles[j].position, box_) < reach2_) {
+          neighbors_.push_back(j);
+        }
+      }
+    }
+  }
+  offsets_[particles.size()] = static_cast<std::int32_t>(neighbors_.size());
+
+  built_positions_.resize(particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    built_positions_[i] = particles[i].position;
+  }
+  ++rebuilds_;
+}
+
+bool NeighborList::needs_rebuild(const ParticleVector& particles) const {
+  if (particles.size() != built_positions_.size()) return true;
+  const double limit = 0.5 * skin_;
+  const double limit2 = limit * limit;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (minimum_image_distance2(particles[i].position, built_positions_[i],
+                                box_) > limit2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ForceResult NeighborList::compute(ParticleVector& particles,
+                                  const LennardJones& lj) const {
+  if (offsets_.size() != particles.size() + 1) {
+    throw std::logic_error("NeighborList::compute: list not built for this "
+                           "particle count");
+  }
+  ForceResult result;
+  for (auto& p : particles) p.force = Vec3{};
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::int32_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+      const std::int32_t j = neighbors_[k];
+      const Vec3 d =
+          minimum_image(particles[i].position, particles[j].position, box_);
+      const double r2 = norm2(d);
+      ++result.pair_evaluations;
+      if (r2 < lj.cutoff2()) {
+        const double fov = lj.force_over_r(r2);
+        const Vec3 f = d * fov;
+        particles[i].force += f;
+        particles[j].force -= f;
+        result.potential_energy += lj.potential_r2(r2);
+        result.virial += fov * r2;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pcmd::md

@@ -1,0 +1,40 @@
+#include "md/observables.hpp"
+
+namespace pcmd::md {
+
+double kinetic_energy(std::span<const Particle> particles) {
+  double ke = 0.0;
+  for (const auto& p : particles) ke += 0.5 * norm2(p.velocity);
+  return ke;
+}
+
+double temperature_from_ke(double ke, std::int64_t n) {
+  if (n <= 0) return 0.0;
+  return 2.0 * ke / (3.0 * static_cast<double>(n));
+}
+
+double temperature(std::span<const Particle> particles) {
+  return temperature_from_ke(kinetic_energy(particles),
+                             static_cast<std::int64_t>(particles.size()));
+}
+
+Vec3 total_momentum(std::span<const Particle> particles) {
+  Vec3 p{};
+  for (const auto& particle : particles) p += particle.velocity;
+  return p;
+}
+
+double pressure(double temperature, double virial, std::int64_t n,
+                double volume) {
+  if (volume <= 0.0) return 0.0;
+  return (static_cast<double>(n) * temperature + virial / 3.0) / volume;
+}
+
+void zero_momentum(std::span<Particle> particles) {
+  if (particles.empty()) return;
+  const Vec3 drift =
+      total_momentum(particles) * (1.0 / static_cast<double>(particles.size()));
+  for (auto& p : particles) p.velocity -= drift;
+}
+
+}  // namespace pcmd::md

@@ -1,0 +1,29 @@
+// Scalar observables of a particle set (reduced units, unit mass).
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/vec3.hpp"
+
+#include <span>
+
+namespace pcmd::md {
+
+// Kinetic energy: sum v^2 / 2.
+double kinetic_energy(std::span<const Particle> particles);
+
+// Instantaneous temperature T = 2 KE / (3 N); 0 for an empty set.
+double temperature(std::span<const Particle> particles);
+double temperature_from_ke(double ke, std::int64_t n);
+
+// Total momentum (should stay ~0 for a drift-free initialisation).
+Vec3 total_momentum(std::span<const Particle> particles);
+
+// Removes centre-of-mass drift in place.
+void zero_momentum(std::span<Particle> particles);
+
+// Instantaneous pressure from the virial theorem (reduced units):
+//   P = (N T + W / 3) / V,   W = sum over pairs of r . F.
+double pressure(double temperature, double virial, std::int64_t n,
+                double volume);
+
+}  // namespace pcmd::md

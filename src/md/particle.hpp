@@ -1,0 +1,24 @@
+// Particle representation. Trivially copyable so particles can be packed
+// directly into messages when cells migrate between PEs.
+#pragma once
+
+#include "util/vec3.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmd::md {
+
+struct Particle {
+  std::int64_t id = -1;  // globally unique, stable across migrations
+  Vec3 position;
+  Vec3 velocity;
+  Vec3 force;  // force at the current positions (used by velocity Verlet)
+};
+
+static_assert(std::is_trivially_copyable_v<Particle>,
+              "Particle must be wire-compatible");
+
+using ParticleVector = std::vector<Particle>;
+
+}  // namespace pcmd::md

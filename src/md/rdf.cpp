@@ -1,0 +1,98 @@
+#include "md/rdf.hpp"
+
+#include "md/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pcmd::md {
+
+RadialDistribution::RadialDistribution(const Box& box, double r_max, int bins)
+    : box_(box), r_max_(r_max) {
+  if (bins < 1) {
+    throw std::invalid_argument("RadialDistribution: need at least one bin");
+  }
+  const double half_min_edge =
+      0.5 * std::min({box.length.x, box.length.y, box.length.z});
+  if (r_max <= 0.0 || r_max > half_min_edge) {
+    throw std::invalid_argument(
+        "RadialDistribution: r_max must be in (0, half the box edge]");
+  }
+  bin_width_ = r_max / bins;
+  histogram_.assign(bins, 0);
+}
+
+void RadialDistribution::accumulate(const ParticleVector& particles) {
+  const double r_max2 = r_max_ * r_max_;
+  // Cell-accelerated pair sweep when the box is large enough to subdivide.
+  const CellGrid grid(box_, r_max_);
+  const bool use_cells = grid.num_cells() >= 27;
+  if (use_cells) {
+    const CellBins cells(grid, particles);
+    for (int c = 0; c < grid.num_cells(); ++c) {
+      for (const std::int32_t i : cells.cell(c)) {
+        for (const int nc : grid.stencil(c)) {
+          for (const std::int32_t j : cells.cell(nc)) {
+            if (j <= i) continue;
+            const double r2 = minimum_image_distance2(
+                particles[i].position, particles[j].position, box_);
+            if (r2 < r_max2) {
+              const auto bin =
+                  static_cast<std::size_t>(std::sqrt(r2) / bin_width_);
+              if (bin < histogram_.size()) ++histogram_[bin];
+            }
+          }
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      for (std::size_t j = i + 1; j < particles.size(); ++j) {
+        const double r2 = minimum_image_distance2(particles[i].position,
+                                                  particles[j].position, box_);
+        if (r2 < r_max2) {
+          const auto bin = static_cast<std::size_t>(std::sqrt(r2) / bin_width_);
+          if (bin < histogram_.size()) ++histogram_[bin];
+        }
+      }
+    }
+  }
+  ++samples_;
+  particle_sum_ += particles.size();
+}
+
+double RadialDistribution::radius(int bin) const {
+  return (bin + 0.5) * bin_width_;
+}
+
+std::vector<double> RadialDistribution::g() const {
+  std::vector<double> out(histogram_.size(), 0.0);
+  if (samples_ == 0 || particle_sum_ == 0) return out;
+  const double n_avg =
+      static_cast<double>(particle_sum_) / static_cast<double>(samples_);
+  const double density = n_avg / box_.volume();
+  for (std::size_t b = 0; b < histogram_.size(); ++b) {
+    const double r_lo = b * bin_width_;
+    const double r_hi = r_lo + bin_width_;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    // Expected pairs per configuration in this shell for an ideal gas:
+    // N * density * shell / 2 (each pair counted once).
+    const double expected = 0.5 * n_avg * density * shell;
+    if (expected > 0.0) {
+      out[b] = static_cast<double>(histogram_[b]) /
+               (static_cast<double>(samples_) * expected);
+    }
+  }
+  return out;
+}
+
+void RadialDistribution::reset() {
+  std::fill(histogram_.begin(), histogram_.end(), 0);
+  samples_ = 0;
+  particle_sum_ = 0;
+}
+
+}  // namespace pcmd::md

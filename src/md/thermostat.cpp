@@ -1,0 +1,33 @@
+#include "md/thermostat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcmd::md {
+
+RescaleThermostat::RescaleThermostat(double target_temperature, int interval)
+    : target_(target_temperature), interval_(interval) {
+  if (target_temperature <= 0.0) {
+    throw std::invalid_argument("RescaleThermostat: target must be positive");
+  }
+  if (interval < 0) {
+    throw std::invalid_argument("RescaleThermostat: interval must be >= 0");
+  }
+}
+
+bool RescaleThermostat::due(std::int64_t step) const {
+  return interval_ > 0 && step > 0 && step % interval_ == 0;
+}
+
+double RescaleThermostat::scale_factor(double ke, std::int64_t n) const {
+  if (ke <= 0.0 || n <= 0) return 1.0;
+  // Reduced units: KE = 3/2 N T  =>  T = 2 KE / (3 N).
+  const double current = 2.0 * ke / (3.0 * static_cast<double>(n));
+  return std::sqrt(target_ / current);
+}
+
+void RescaleThermostat::apply(std::span<Particle> particles, double factor) {
+  for (auto& p : particles) p.velocity *= factor;
+}
+
+}  // namespace pcmd::md

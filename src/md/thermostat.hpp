@@ -1,0 +1,35 @@
+// Velocity-rescale thermostat: the paper scales the temperature back to
+// T_ref every 50 time steps (NVE otherwise).
+#pragma once
+
+#include "md/particle.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace pcmd::md {
+
+class RescaleThermostat {
+ public:
+  // interval == 0 disables rescaling entirely.
+  RescaleThermostat(double target_temperature, int interval = 50);
+
+  double target() const { return target_; }
+  int interval() const { return interval_; }
+
+  // True if this step index (1-based) is a rescale step.
+  bool due(std::int64_t step) const;
+
+  // Scale factor that brings kinetic energy `ke` of `n` particles to the
+  // target temperature; 1 when ke or n is zero.
+  double scale_factor(double ke, std::int64_t n) const;
+
+  // Applies the factor in place.
+  static void apply(std::span<Particle> particles, double factor);
+
+ private:
+  double target_;
+  int interval_;
+};
+
+}  // namespace pcmd::md

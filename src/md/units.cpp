@@ -1,0 +1,21 @@
+#include "md/units.hpp"
+
+namespace pcmd::md {
+
+double ArgonUnits::temperature_kelvin(double t_reduced) {
+  return t_reduced * epsilon_over_kb;
+}
+
+double ArgonUnits::reduced_temperature(double kelvin) {
+  return kelvin / epsilon_over_kb;
+}
+
+double ArgonUnits::length_angstrom(double r_reduced) {
+  return r_reduced * sigma_angstrom;
+}
+
+double ArgonUnits::time_picoseconds(double t_reduced) {
+  return t_reduced * tau_picoseconds;
+}
+
+}  // namespace pcmd::md

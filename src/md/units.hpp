@@ -1,0 +1,36 @@
+// Reduced Lennard-Jones units and the Argon mapping the paper uses.
+//
+// All library code works in reduced units: sigma = epsilon = m = kB = 1.
+// Reduced temperature T* = kB T / epsilon, reduced density rho* = rho sigma^3,
+// reduced time t* = t sqrt(epsilon / (m sigma^2)). The paper simulates Argon
+// at T* = 0.722 (below Argon's boiling point -> supercooled gas) and
+// rho* in {0.128, 0.256, 0.384, 0.512}.
+#pragma once
+
+namespace pcmd::md {
+
+// Lennard-Jones parameters of Argon (Heermann, "Computer Simulation Methods
+// in Theoretical Physics", the paper's ref [1]).
+struct ArgonUnits {
+  static constexpr double sigma_angstrom = 3.405;     // length scale
+  static constexpr double epsilon_over_kb = 119.8;    // K
+  static constexpr double mass_amu = 39.948;          // atomic mass
+  static constexpr double tau_picoseconds = 2.161;    // reduced time unit
+
+  // Conversions between reduced and physical values.
+  static double temperature_kelvin(double t_reduced);
+  static double reduced_temperature(double kelvin);
+  static double length_angstrom(double r_reduced);
+  static double time_picoseconds(double t_reduced);
+};
+
+// The physical conditions of the paper's Section 3.2.
+struct PaperConditions {
+  static constexpr double reduced_temperature = 0.722;
+  static constexpr double default_density = 0.256;
+  static constexpr double cutoff = 2.5;
+  static constexpr double time_step = 0.005;
+  static constexpr int rescale_interval = 50;
+};
+
+}  // namespace pcmd::md

@@ -1,0 +1,78 @@
+#include "md/xyz.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcmd::md {
+
+void write_xyz_frame(std::ostream& os, const ParticleVector& particles,
+                     const Box& box, const std::string& comment,
+                     bool with_velocities) {
+  os << particles.size() << '\n';
+  os << "box " << box.length.x << ' ' << box.length.y << ' ' << box.length.z;
+  if (!comment.empty()) os << " # " << comment;
+  os << '\n';
+  const auto previous = os.precision(17);
+  for (const auto& p : particles) {
+    os << "Ar " << p.position.x << ' ' << p.position.y << ' ' << p.position.z;
+    if (with_velocities) {
+      os << ' ' << p.velocity.x << ' ' << p.velocity.y << ' ' << p.velocity.z;
+    }
+    os << '\n';
+  }
+  os.precision(previous);
+}
+
+bool read_xyz_frame(std::istream& is, ParticleVector& particles, Box& box,
+                    bool with_velocities) {
+  std::string line;
+  // Skip blank lines between frames.
+  do {
+    if (!std::getline(is, line)) return false;
+  } while (line.empty());
+
+  std::size_t count = 0;
+  try {
+    count = std::stoul(line);
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_xyz_frame: bad particle count line: " +
+                             line);
+  }
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("read_xyz_frame: missing comment line");
+  }
+  {
+    std::istringstream comment(line);
+    std::string tag;
+    comment >> tag;
+    if (tag != "box" ||
+        !(comment >> box.length.x >> box.length.y >> box.length.z)) {
+      throw std::runtime_error("read_xyz_frame: comment line lacks box: " +
+                               line);
+    }
+  }
+  particles.clear();
+  particles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("read_xyz_frame: truncated frame");
+    }
+    std::istringstream fields(line);
+    std::string species;
+    Particle p;
+    p.id = static_cast<std::int64_t>(i);
+    if (!(fields >> species >> p.position.x >> p.position.y >> p.position.z)) {
+      throw std::runtime_error("read_xyz_frame: bad particle line: " + line);
+    }
+    if (with_velocities &&
+        !(fields >> p.velocity.x >> p.velocity.y >> p.velocity.z)) {
+      throw std::runtime_error("read_xyz_frame: missing velocities: " + line);
+    }
+    particles.push_back(p);
+  }
+  return true;
+}
+
+}  // namespace pcmd::md

@@ -1,0 +1,26 @@
+// Minimal XYZ trajectory I/O so runs can be inspected in standard viewers
+// (VMD, OVITO) and states can be saved/replayed in tests.
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace pcmd::md {
+
+// Writes one frame in extended-XYZ form: the comment line carries the box
+// edge lengths and optional metadata. Positions only (the XYZ format has no
+// standard velocity columns; velocities go as extra columns when
+// `with_velocities` is set).
+void write_xyz_frame(std::ostream& os, const ParticleVector& particles,
+                     const Box& box, const std::string& comment = "",
+                     bool with_velocities = false);
+
+// Reads one frame written by write_xyz_frame. Returns false cleanly on EOF
+// before the frame starts; throws std::runtime_error on malformed input.
+bool read_xyz_frame(std::istream& is, ParticleVector& particles, Box& box,
+                    bool with_velocities = false);
+
+}  // namespace pcmd::md

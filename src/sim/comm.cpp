@@ -1,0 +1,208 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pcmd::sim {
+
+// ---------------------------------------------------------------- Comm ----
+
+int Comm::size() const { return engine_->size(); }
+
+void Comm::advance(double seconds) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("Comm::advance: negative time");
+  }
+  auto& state = *engine_->states_[rank_];
+  state.clock += seconds;
+  state.counters.compute_seconds += seconds;
+}
+
+double Comm::clock() const { return engine_->states_[rank_]->clock; }
+
+void Comm::send(int dst, int tag, Buffer payload) {
+  engine_->do_send(rank_, dst, tag, std::move(payload));
+}
+
+Buffer Comm::recv(int src, int tag) { return engine_->do_recv(rank_, src, tag); }
+
+std::optional<Buffer> Comm::try_recv(int src, int tag) {
+  return engine_->do_try_recv(rank_, src, tag);
+}
+
+bool Comm::has_message(int src, int tag) const {
+  return engine_->states_[rank_]->mailbox.has(src, tag,
+                                              engine_->current_phase());
+}
+
+std::vector<int> Comm::sources_with(int tag) const {
+  return engine_->states_[rank_]->mailbox.sources_with(
+      tag, engine_->current_phase());
+}
+
+void Comm::collective_begin(ReduceOp op, std::span<const double> values) {
+  engine_->do_collective_begin(rank_, op, values);
+}
+
+std::vector<double> Comm::collective_end() {
+  return engine_->do_collective_end(rank_);
+}
+
+const RankCounters& Comm::counters() const {
+  return engine_->states_[rank_]->counters;
+}
+
+// -------------------------------------------------------------- Engine ----
+
+Engine::Engine(int ranks, MachineModel model)
+    : ranks_(ranks), model_(std::move(model)), hop_model_(std::max(ranks, 1)) {
+  if (ranks < 1) {
+    throw std::invalid_argument("Engine: need at least one rank");
+  }
+  states_.reserve(ranks_);
+  for (int r = 0; r < ranks_; ++r) {
+    states_.push_back(std::make_unique<RankState>());
+  }
+}
+
+Engine::~Engine() = default;
+
+double Engine::clock(int rank) const { return states_.at(rank)->clock; }
+
+const RankCounters& Engine::counters(int rank) const {
+  return states_.at(rank)->counters;
+}
+
+double Engine::makespan() const {
+  double m = 0.0;
+  for (const auto& s : states_) m = std::max(m, s->clock);
+  return m;
+}
+
+void Engine::align_clocks() {
+  const double m = makespan();
+  for (auto& s : states_) s->clock = m;
+}
+
+void Engine::do_send(int src, int dst, int tag, Buffer payload) {
+  if (dst < 0 || dst >= ranks_) {
+    throw std::out_of_range("Comm::send: destination rank out of range");
+  }
+  auto& sender = *states_[src];
+  const auto bytes = static_cast<std::uint64_t>(payload.size());
+  const int hops = hop_model_.hops(src, dst);
+
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.phase = phase_;
+  msg.arrival = sender.clock + model_.message_time(bytes, hops);
+  msg.payload = std::move(payload);
+
+  sender.counters.messages_sent += 1;
+  sender.counters.bytes_sent += bytes;
+  states_[dst]->mailbox.push(std::move(msg));
+}
+
+Buffer Engine::do_recv(int rank, int src, int tag) {
+  auto msg = do_try_recv(rank, src, tag);
+  if (!msg) {
+    throw ProtocolError("Comm::recv: no message from rank " +
+                        std::to_string(src) + " tag " + std::to_string(tag) +
+                        " visible to rank " + std::to_string(rank) +
+                        " in phase " + std::to_string(phase_) +
+                        " (receives must follow the send's phase)");
+  }
+  return std::move(*msg);
+}
+
+std::optional<Buffer> Engine::do_try_recv(int rank, int src, int tag) {
+  auto& state = *states_[rank];
+  auto msg = state.mailbox.pop(src, tag, phase_);
+  if (!msg) return std::nullopt;
+  if (msg->arrival > state.clock) {
+    state.counters.comm_wait_seconds += msg->arrival - state.clock;
+    state.clock = msg->arrival;
+  }
+  state.counters.messages_received += 1;
+  state.counters.bytes_received += msg->payload.size();
+  return std::move(msg->payload);
+}
+
+void Engine::do_collective_begin(int rank, ReduceOp op,
+                                 std::span<const double> values) {
+  std::lock_guard lock(collective_mutex_);
+  auto& state = *states_[rank];
+  const std::size_t slot_index = state.begin_seq++;
+  if (slot_index >= collectives_.size()) {
+    collectives_.resize(slot_index + 1);
+  }
+  auto& slot = collectives_[slot_index];
+  if (slot.contributions == 0) {
+    slot.op = op;
+    slot.width = values.size();
+    slot.per_rank.assign(slot.width * ranks_, 0.0);
+    slot.present.assign(ranks_, false);
+  } else if (slot.op != op || slot.width != values.size()) {
+    throw ProtocolError("collective_begin: mismatched op/width across ranks");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    slot.per_rank[slot.width * rank + i] = values[i];
+  }
+  slot.present[rank] = true;
+  slot.max_clock = std::max(slot.max_clock, state.clock);
+  slot.last_begin_phase = std::max(slot.last_begin_phase, phase_);
+  slot.contributions += 1;
+}
+
+std::vector<double> Engine::do_collective_end(int rank) {
+  std::lock_guard lock(collective_mutex_);
+  auto& state = *states_[rank];
+  const std::size_t slot_index = state.end_seq;
+  if (slot_index >= collectives_.size() ||
+      collectives_[slot_index].contributions < ranks_ ||
+      collectives_[slot_index].last_begin_phase >= phase_) {
+    throw ProtocolError(
+        "collective_end: not all ranks have called collective_begin in an "
+        "earlier phase (begin and end must be in different phases)");
+  }
+  state.end_seq++;
+  auto& slot = collectives_[slot_index];
+  if (!slot.have_combined) {
+    // Combine in rank order so rounding never depends on scheduling.
+    slot.combined.assign(slot.width, 0.0);
+    for (std::size_t i = 0; i < slot.width; ++i) {
+      double acc = slot.per_rank[i];  // rank 0
+      for (int r = 1; r < ranks_; ++r) {
+        const double v = slot.per_rank[slot.width * r + i];
+        switch (slot.op) {
+          case ReduceOp::kSum:
+            acc += v;
+            break;
+          case ReduceOp::kMax:
+            acc = std::max(acc, v);
+            break;
+          case ReduceOp::kMin:
+            acc = std::min(acc, v);
+            break;
+        }
+      }
+      slot.combined[i] = acc;
+    }
+    slot.per_rank.clear();
+    slot.per_rank.shrink_to_fit();
+    slot.have_combined = true;
+  }
+  const double cost =
+      model_.collective_time(ranks_, slot.width * sizeof(double));
+  const double finish = slot.max_clock + cost;
+  if (finish > state.clock) {
+    state.counters.collective_seconds += finish - state.clock;
+    state.clock = finish;
+  }
+  return slot.combined;
+}
+
+}  // namespace pcmd::sim

@@ -1,0 +1,202 @@
+// The SPMD communication interface and the engine that executes SPMD
+// programs on the virtual parallel machine.
+//
+// Programming model (BSP phases):
+//   * A program is driven as a sequence of *phases*. In each phase the same
+//     callable runs once per rank (sequentially in SeqEngine, concurrently in
+//     ThreadEngine).
+//   * `send` is asynchronous and may target any rank.
+//   * `recv` may only consume messages sent in an *earlier* phase. Receiving
+//     a message that was never sent (or was sent in the same phase) is a
+//     protocol error and throws — this guarantee is what makes the
+//     sequential and threaded engines bitwise-identical.
+//   * Collectives are split-phase: `collective_begin` in one phase,
+//     `collective_end` in a later phase.
+//
+// Virtual time: each rank carries a clock. `advance` charges modelled compute
+// time; `recv` forwards the clock to the message arrival time if the message
+// is "still in flight"; collectives synchronise clocks to the latest
+// participant plus a tree-reduction cost. MPI_Wtime in the paper's programs
+// maps to Comm::clock().
+#pragma once
+
+#include "sim/cost_model.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/message.hpp"
+#include "sim/topology.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace pcmd::sim {
+
+// Reduction operators for collectives.
+enum class ReduceOp { kSum, kMax, kMin };
+
+// Per-rank accounting, inspectable after (or during) a run.
+struct RankCounters {
+  double compute_seconds = 0.0;    // charged via advance()
+  double comm_wait_seconds = 0.0;  // time the clock jumped forward in recv()
+  double collective_seconds = 0.0; // cost charged by collective_end()
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Engine;
+
+// Lightweight per-rank handle passed to phase bodies.
+class Comm {
+ public:
+  Comm(Engine* engine, int rank) : engine_(engine), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  // Charges modelled compute time to this rank's clock.
+  void advance(double seconds);
+
+  // Current virtual time on this rank.
+  double clock() const;
+
+  // Asynchronous point-to-point send; the payload is charged to the sender's
+  // counters and arrives at `clock() + message_time(bytes, hops)`.
+  void send(int dst, int tag, Buffer payload);
+
+  // Receives the message sent by `src` with `tag` in an earlier phase.
+  // Throws ProtocolError if no such message exists.
+  Buffer recv(int src, int tag);
+
+  // Non-throwing variant.
+  std::optional<Buffer> try_recv(int src, int tag);
+
+  // True if recv(src, tag) would succeed.
+  bool has_message(int src, int tag) const;
+
+  // Sources with a visible message of `tag`, sorted (deterministic).
+  std::vector<int> sources_with(int tag) const;
+
+  // Split-phase collective over all ranks. Every rank must call begin with
+  // the same op and width in the same phase, then end in a later phase.
+  void collective_begin(ReduceOp op, std::span<const double> values);
+  std::vector<double> collective_end();
+
+  // Convenience wrappers for the common scalar cases.
+  void reduce_begin(ReduceOp op, double value) {
+    collective_begin(op, std::span<const double>(&value, 1));
+  }
+  double reduce_end() { return collective_end().at(0); }
+
+  // Barrier = zero-width collective.
+  void barrier_begin() { collective_begin(ReduceOp::kSum, {}); }
+  void barrier_end() { (void)collective_end(); }
+
+  const RankCounters& counters() const;
+
+ private:
+  Engine* engine_;
+  int rank_;
+};
+
+// Thrown on violations of the phase/message protocol.
+class ProtocolError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Engine: owns rank state (clocks, mailboxes, collectives) and executes
+// phases. Concrete subclasses decide sequential vs threaded execution.
+class Engine {
+ public:
+  Engine(int ranks, MachineModel model);
+  virtual ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int size() const { return ranks_; }
+  const MachineModel& model() const { return model_; }
+
+  // Runs `body` once per rank as the next phase.
+  virtual void run_phase(const std::function<void(Comm&)>& body) = 0;
+
+  // Inspection (valid between phases).
+  double clock(int rank) const;
+  const RankCounters& counters(int rank) const;
+  int current_phase() const { return phase_; }
+
+  // Maximum clock across ranks — the virtual makespan so far.
+  double makespan() const;
+
+  // Aligns every rank's clock to the maximum (used by harnesses to model a
+  // hard synchronisation point without paying collective cost).
+  void align_clocks();
+
+ protected:
+  int phase_ = 0;
+
+ private:
+  friend class Comm;
+
+  struct CollectiveSlot {
+    ReduceOp op = ReduceOp::kSum;
+    std::size_t width = 0;
+    int contributions = 0;
+    int last_begin_phase = -1;
+    double max_clock = 0.0;
+    // Per-rank contributions, combined in rank order at the first end() so
+    // floating-point rounding is independent of execution order.
+    std::vector<double> per_rank;  // width * ranks, rank-major
+    std::vector<bool> present;     // which ranks contributed
+    std::vector<double> combined;  // length == width, filled lazily
+    bool have_combined = false;
+  };
+
+  struct RankState {
+    double clock = 0.0;
+    RankCounters counters;
+    Mailbox mailbox;
+    std::size_t begin_seq = 0;  // collectives begun by this rank
+    std::size_t end_seq = 0;    // collectives completed by this rank
+  };
+
+  void do_send(int src, int dst, int tag, Buffer payload);
+  Buffer do_recv(int rank, int src, int tag);
+  std::optional<Buffer> do_try_recv(int rank, int src, int tag);
+  void do_collective_begin(int rank, ReduceOp op,
+                           std::span<const double> values);
+  std::vector<double> do_collective_end(int rank);
+
+  int ranks_;
+  MachineModel model_;
+  HopModel hop_model_;
+  std::vector<std::unique_ptr<RankState>> states_;
+  std::vector<CollectiveSlot> collectives_;
+  mutable std::mutex collective_mutex_;
+};
+
+// Deterministic sequential engine: ranks run one after another per phase.
+class SeqEngine final : public Engine {
+ public:
+  SeqEngine(int ranks, MachineModel model = MachineModel::t3e());
+  void run_phase(const std::function<void(Comm&)>& body) override;
+};
+
+// Thread-backed engine: one persistent worker per rank, phases separated by
+// barriers. Produces results identical to SeqEngine.
+class ThreadEngine final : public Engine {
+ public:
+  ThreadEngine(int ranks, MachineModel model = MachineModel::t3e());
+  ~ThreadEngine() override;
+  void run_phase(const std::function<void(Comm&)>& body) override;
+
+ private:
+  struct Pool;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace pcmd::sim

@@ -1,0 +1,56 @@
+#include "sim/cost_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pcmd::sim {
+
+namespace {
+int collective_rounds(int ranks) {
+  int rounds = 0;
+  int span = 1;
+  while (span < ranks) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+}  // namespace
+
+double MachineModel::message_time(std::uint64_t bytes, int hops) const {
+  return msg_latency + hop_latency * hops +
+         static_cast<double>(bytes) / bandwidth;
+}
+
+double MachineModel::collective_time(int ranks, std::uint64_t bytes) const {
+  const int rounds = collective_rounds(ranks);
+  return rounds * (msg_latency + collective_overhead +
+                   static_cast<double>(bytes) / bandwidth);
+}
+
+MachineModel MachineModel::t3e() { return MachineModel{}; }
+
+MachineModel MachineModel::ideal_network() {
+  MachineModel m;
+  m.name = "ideal-network";
+  m.msg_latency = 0.0;
+  m.hop_latency = 0.0;
+  m.bandwidth = std::numeric_limits<double>::infinity();
+  m.collective_overhead = 0.0;
+  return m;
+}
+
+MachineModel MachineModel::beowulf() {
+  MachineModel m;
+  m.name = "beowulf";
+  m.pair_cost = 2.0e-7;       // ~10x faster CPU than the EV5
+  m.particle_cost = 2.5e-7;
+  m.cell_cost = 0.6e-7;
+  m.msg_latency = 6.0e-5;     // ethernet-class latency
+  m.hop_latency = 0.0;        // switched, flat
+  m.bandwidth = 1.0e8;
+  m.collective_overhead = 2.0e-5;
+  return m;
+}
+
+}  // namespace pcmd::sim

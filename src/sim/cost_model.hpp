@@ -1,0 +1,52 @@
+// Machine cost model: maps counted work and communication to virtual
+// seconds. Calibrated so that paper-scale configurations land in the range
+// of execution times the paper reports for the Cray T3E (DEC Alpha EV5 at
+// 300 MHz, 3-D torus, 2.8 GB/s raw link bandwidth with much lower achieved
+// MPI throughput).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcmd::sim {
+
+struct MachineModel {
+  std::string name = "t3e";
+
+  // --- compute ---
+  // Seconds per pair distance evaluation in the force loop (includes the
+  // fraction that falls inside the cut-off and pays the full LJ evaluation).
+  double pair_cost = 1.5e-6;
+  // Seconds per owned particle per step (integration, re-binning).
+  double particle_cost = 2.0e-6;
+  // Seconds per owned cell per step (stencil bookkeeping).
+  double cell_cost = 0.5e-6;
+
+  // --- communication ---
+  // Per-message fixed software latency (seconds).
+  double msg_latency = 2.0e-5;
+  // Additional per-network-hop latency (seconds).
+  double hop_latency = 1.0e-6;
+  // Achieved point-to-point bandwidth (bytes/second).
+  double bandwidth = 3.0e8;
+  // Per-participant factor for tree collectives: a barrier/allreduce over P
+  // ranks costs collective_rounds(P) * (msg_latency + collective_overhead).
+  double collective_overhead = 5.0e-6;
+
+  // Transfer time for one message of `bytes` crossing `hops` network hops.
+  double message_time(std::uint64_t bytes, int hops) const;
+
+  // Cost of a tree-structured collective over `ranks` participants carrying
+  // `bytes` of payload.
+  double collective_time(int ranks, std::uint64_t bytes) const;
+
+  // --- presets ---
+  // Calibrated T3E-like machine (default).
+  static MachineModel t3e();
+  // Zero-cost communication; isolates pure compute imbalance.
+  static MachineModel ideal_network();
+  // Commodity cluster: faster CPU, slower network (higher latency).
+  static MachineModel beowulf();
+};
+
+}  // namespace pcmd::sim

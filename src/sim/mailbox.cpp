@@ -1,0 +1,47 @@
+#include "sim/mailbox.hpp"
+
+#include <algorithm>
+
+namespace pcmd::sim {
+
+void Mailbox::push(Message msg) {
+  std::lock_guard lock(mutex_);
+  messages_.push_back(std::move(msg));
+}
+
+std::optional<Message> Mailbox::pop(int src, int tag, int before_phase) {
+  std::lock_guard lock(mutex_);
+  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+    if (it->src == src && it->tag == tag && it->phase < before_phase) {
+      Message msg = std::move(*it);
+      messages_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::has(int src, int tag, int before_phase) const {
+  std::lock_guard lock(mutex_);
+  return std::any_of(messages_.begin(), messages_.end(), [&](const Message& m) {
+    return m.src == src && m.tag == tag && m.phase < before_phase;
+  });
+}
+
+std::vector<int> Mailbox::sources_with(int tag, int before_phase) const {
+  std::lock_guard lock(mutex_);
+  std::vector<int> sources;
+  for (const auto& m : messages_) {
+    if (m.tag == tag && m.phase < before_phase) sources.push_back(m.src);
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard lock(mutex_);
+  return messages_.size();
+}
+
+}  // namespace pcmd::sim

@@ -1,0 +1,35 @@
+// Per-rank message store. Thread-safe because the thread engine pushes from
+// many ranks concurrently; in the sequential engine the mutex is uncontended.
+#pragma once
+
+#include "sim/message.hpp"
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace pcmd::sim {
+
+class Mailbox {
+ public:
+  void push(Message msg);
+
+  // Removes and returns the oldest message from `src` with `tag` whose phase
+  // is < `before_phase` (the BSP visibility rule). Empty when none matches.
+  std::optional<Message> pop(int src, int tag, int before_phase);
+
+  // True if a matching message is available.
+  bool has(int src, int tag, int before_phase) const;
+
+  // Source ranks with at least one visible message of `tag`, sorted
+  // ascending and deduplicated — gives deterministic iteration order.
+  std::vector<int> sources_with(int tag, int before_phase) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Message> messages_;
+};
+
+}  // namespace pcmd::sim

@@ -1,0 +1,5 @@
+#include "sim/message.hpp"
+
+// Header-only logic; this translation unit exists so the target always has a
+// symbol and header hygiene is compile-checked.
+namespace pcmd::sim {}

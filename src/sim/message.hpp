@@ -1,0 +1,107 @@
+// Typed message payloads. MPI-style: the sender packs trivially copyable
+// values into a byte buffer; the receiver unpacks them in the same order.
+// Pack/unpack is bounds-checked so protocol mismatches fail loudly instead
+// of reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pcmd::sim {
+
+using Buffer = std::vector<std::uint8_t>;
+
+class Packer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Packer::put requires a trivially copyable type");
+    const auto offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Packer::put_vector requires a trivially copyable type");
+    put<std::uint64_t>(values.size());
+    const auto offset = buffer_.size();
+    buffer_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(buffer_.data() + offset, values.data(),
+                  values.size() * sizeof(T));
+    }
+  }
+
+  Buffer take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Buffer buffer_;
+};
+
+class Unpacker {
+ public:
+  // Owns the buffer: accepting by value lets callers hand over the result of
+  // Comm::recv directly without lifetime pitfalls.
+  explicit Unpacker(Buffer buffer) : buffer_(std::move(buffer)) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Unpacker::get requires a trivially copyable type");
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, buffer_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Unpacker::get_vector requires a trivially copyable type");
+    const auto count = get<std::uint64_t>();
+    require(count * sizeof(T));
+    std::vector<T> values(count);
+    if (count > 0) {
+      std::memcpy(values.data(), buffer_.data() + cursor_, count * sizeof(T));
+    }
+    cursor_ += count * sizeof(T);
+    return values;
+  }
+
+  bool exhausted() const { return cursor_ == buffer_.size(); }
+  std::size_t remaining() const { return buffer_.size() - cursor_; }
+
+ private:
+  void require(std::size_t bytes) const {
+    if (cursor_ + bytes > buffer_.size()) {
+      throw std::out_of_range("Unpacker: buffer underflow (need " +
+                              std::to_string(bytes) + " bytes, have " +
+                              std::to_string(buffer_.size() - cursor_) + ")");
+    }
+  }
+
+  Buffer buffer_;
+  std::size_t cursor_ = 0;
+};
+
+// An in-flight message. `arrival` is the virtual time at which the payload is
+// available at the destination; `phase` is the BSP phase it was sent in.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  int phase = -1;
+  double arrival = 0.0;
+  Buffer payload;
+};
+
+}  // namespace pcmd::sim

@@ -1,0 +1,16 @@
+#include "sim/comm.hpp"
+
+namespace pcmd::sim {
+
+SeqEngine::SeqEngine(int ranks, MachineModel model)
+    : Engine(ranks, std::move(model)) {}
+
+void SeqEngine::run_phase(const std::function<void(Comm&)>& body) {
+  ++phase_;
+  for (int r = 0; r < size(); ++r) {
+    Comm comm(this, r);
+    body(comm);
+  }
+}
+
+}  // namespace pcmd::sim

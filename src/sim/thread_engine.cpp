@@ -1,0 +1,99 @@
+#include "sim/comm.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcmd::sim {
+
+// Persistent worker pool: one thread per rank, woken per phase. A generation
+// counter implements the phase barrier; the first stored exception is
+// rethrown on the driving thread.
+struct ThreadEngine::Pool {
+  explicit Pool(ThreadEngine* engine) : engine(engine) {
+    const int n = engine->size();
+    workers.reserve(n);
+    for (int r = 0; r < n; ++r) {
+      workers.emplace_back([this, r] { worker_loop(r); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard lock(mutex);
+      shutdown = true;
+    }
+    cv.notify_all();
+    for (auto& t : workers) t.join();
+  }
+
+  void run(const std::function<void(Comm&)>& phase_body) {
+    {
+      std::lock_guard lock(mutex);
+      body = &phase_body;
+      pending = static_cast<int>(workers.size());
+      ++generation;
+    }
+    cv.notify_all();
+    {
+      std::unique_lock lock(mutex);
+      done_cv.wait(lock, [this] { return pending == 0; });
+      body = nullptr;
+      if (error) {
+        auto e = error;
+        error = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+  void worker_loop(int rank) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(Comm&)>* my_body = nullptr;
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        my_body = body;
+      }
+      try {
+        Comm comm(engine, rank);
+        (*my_body)(comm);
+      } catch (...) {
+        std::lock_guard lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mutex);
+        if (--pending == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  ThreadEngine* engine;
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::condition_variable done_cv;
+  const std::function<void(Comm&)>* body = nullptr;
+  std::uint64_t generation = 0;
+  int pending = 0;
+  bool shutdown = false;
+  std::exception_ptr error;
+};
+
+ThreadEngine::ThreadEngine(int ranks, MachineModel model)
+    : Engine(ranks, std::move(model)), pool_(std::make_unique<Pool>(this)) {}
+
+ThreadEngine::~ThreadEngine() = default;
+
+void ThreadEngine::run_phase(const std::function<void(Comm&)>& body) {
+  ++phase_;
+  pool_->run(body);
+}
+
+}  // namespace pcmd::sim

@@ -1,0 +1,158 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace pcmd::sim {
+
+namespace {
+int wrap_index(int v, int dim) {
+  int w = v % dim;
+  if (w < 0) w += dim;
+  return w;
+}
+
+// Signed minimal displacement from a to b on a ring of size dim, in
+// [-dim/2, dim/2].
+int ring_displacement(int a, int b, int dim) {
+  int d = wrap_index(b - a, dim);
+  if (d > dim / 2) d -= dim;
+  return d;
+}
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, const Coord2& c) {
+  return os << "PE(" << c.i << ", " << c.j << ")";
+}
+
+Torus2D::Torus2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("Torus2D: dimensions must be positive");
+  }
+}
+
+int Torus2D::rank_of(Coord2 c) const {
+  c = wrap(c);
+  return c.i * cols_ + c.j;
+}
+
+Coord2 Torus2D::coord_of(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("Torus2D: rank out of range");
+  }
+  return {rank / cols_, rank % cols_};
+}
+
+Coord2 Torus2D::wrap(Coord2 c) const {
+  return {wrap_index(c.i, rows_), wrap_index(c.j, cols_)};
+}
+
+std::array<int, 2> Torus2D::displacement(Coord2 a, Coord2 b) const {
+  return {ring_displacement(a.i, b.i, rows_),
+          ring_displacement(a.j, b.j, cols_)};
+}
+
+int Torus2D::chebyshev_distance(Coord2 a, Coord2 b) const {
+  const auto d = displacement(a, b);
+  return std::max(std::abs(d[0]), std::abs(d[1]));
+}
+
+int Torus2D::manhattan_distance(Coord2 a, Coord2 b) const {
+  const auto d = displacement(a, b);
+  return std::abs(d[0]) + std::abs(d[1]);
+}
+
+std::vector<int> Torus2D::neighbors8(int rank) const {
+  const Coord2 c = coord_of(rank);
+  std::vector<int> out;
+  out.reserve(8);
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      if (di == 0 && dj == 0) continue;
+      out.push_back(rank_of({c.i + di, c.j + dj}));
+    }
+  }
+  return out;
+}
+
+bool Torus2D::adjacent8(int a, int b) const {
+  return chebyshev_distance(coord_of(a), coord_of(b)) <= 1;
+}
+
+Torus3D::Torus3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("Torus3D: dimensions must be positive");
+  }
+}
+
+int Torus3D::rank_of(Coord3 c) const {
+  c = wrap(c);
+  return (c.z * ny_ + c.y) * nx_ + c.x;
+}
+
+Coord3 Torus3D::coord_of(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("Torus3D: rank out of range");
+  }
+  const int x = rank % nx_;
+  const int y = (rank / nx_) % ny_;
+  const int z = rank / (nx_ * ny_);
+  return {x, y, z};
+}
+
+Coord3 Torus3D::wrap(Coord3 c) const {
+  return {wrap_index(c.x, nx_), wrap_index(c.y, ny_), wrap_index(c.z, nz_)};
+}
+
+std::array<int, 3> Torus3D::displacement(Coord3 a, Coord3 b) const {
+  return {ring_displacement(a.x, b.x, nx_), ring_displacement(a.y, b.y, ny_),
+          ring_displacement(a.z, b.z, nz_)};
+}
+
+int Torus3D::manhattan_distance(Coord3 a, Coord3 b) const {
+  const auto d = displacement(a, b);
+  return std::abs(d[0]) + std::abs(d[1]) + std::abs(d[2]);
+}
+
+int Torus3D::chebyshev_distance(Coord3 a, Coord3 b) const {
+  const auto d = displacement(a, b);
+  return std::max({std::abs(d[0]), std::abs(d[1]), std::abs(d[2])});
+}
+
+std::vector<int> Torus3D::neighbors26(int rank) const {
+  const Coord3 c = coord_of(rank);
+  std::vector<int> out;
+  out.reserve(26);
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        out.push_back(rank_of({c.x + dx, c.y + dy, c.z + dz}));
+      }
+    }
+  }
+  return out;
+}
+
+HopModel::HopModel(int ranks) : torus_(1, 1, 1) {
+  if (ranks < 1) {
+    throw std::invalid_argument("HopModel: need at least one rank");
+  }
+  // Choose nx >= ny >= nz as close to cubic as possible with nx*ny*nz >= ranks.
+  const int side = std::max(1, static_cast<int>(std::ceil(std::cbrt(ranks))));
+  int nx = side, ny = side, nz = side;
+  // Shrink dimensions greedily while capacity still suffices.
+  while (nx * ny * (nz - 1) >= ranks && nz > 1) --nz;
+  while (nx * (ny - 1) * nz >= ranks && ny > 1) --ny;
+  while ((nx - 1) * ny * nz >= ranks && nx > 1) --nx;
+  torus_ = Torus3D(nx, ny, nz);
+}
+
+int HopModel::hops(int src, int dst) const {
+  if (src == dst) return 0;
+  return torus_.manhattan_distance(torus_.coord_of(src), torus_.coord_of(dst));
+}
+
+}  // namespace pcmd::sim

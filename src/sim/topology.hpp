@@ -1,0 +1,117 @@
+// Virtual processor topologies.
+//
+// The paper's square-pillar decomposition connects PEs as a 2-D torus with
+// 8-neighbour (Chebyshev) relationships; the underlying Cray T3E is a 3-D
+// torus. Both are provided: the 2-D torus is the *virtual* PE arrangement the
+// algorithms reason about, the 3-D torus is used by the machine cost model to
+// charge hop counts for a message between two PEs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace pcmd::sim {
+
+// Coordinates on a 2-D torus of P = rows x cols processing elements.
+struct Coord2 {
+  int i = 0;  // row index
+  int j = 0;  // column index
+  friend constexpr bool operator==(const Coord2&, const Coord2&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Coord2& c);
+
+// 2-D torus of PEs. Ranks are row-major: rank = i * cols + j.
+class Torus2D {
+ public:
+  Torus2D(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+
+  int rank_of(Coord2 c) const;       // wraps coordinates first
+  Coord2 coord_of(int rank) const;   // inverse of rank_of
+  Coord2 wrap(Coord2 c) const;       // periodic wrap into [0,rows)x[0,cols)
+
+  // Signed minimal displacement from a to b per axis (each in
+  // [-dim/2, dim/2]); Chebyshev distance derives from it.
+  std::array<int, 2> displacement(Coord2 a, Coord2 b) const;
+
+  // Chebyshev (8-neighbour) distance on the torus.
+  int chebyshev_distance(Coord2 a, Coord2 b) const;
+
+  // Manhattan distance on the torus — the hop count of dimension-ordered
+  // routing on a 2-D torus network.
+  int manhattan_distance(Coord2 a, Coord2 b) const;
+
+  // The 8 neighbours of a PE in fixed order: (di, dj) for di, dj in
+  // {-1, 0, +1} \ {(0,0)}, row-major. With small tori the same rank can
+  // appear more than once (e.g. 2x2); callers needing unique ranks must
+  // deduplicate.
+  std::vector<int> neighbors8(int rank) const;
+
+  // True if b is within Chebyshev distance 1 of a (i.e. a neighbour or a
+  // itself).
+  bool adjacent8(int a, int b) const;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+// 3-D torus used for the physical machine hop model and for cube-shaped
+// domain decompositions. Ranks are x-major then y then z:
+// rank = (z * ny + y) * nx + x.
+struct Coord3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  friend constexpr bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+class Torus3D {
+ public:
+  Torus3D(int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int size() const { return nx_ * ny_ * nz_; }
+
+  int rank_of(Coord3 c) const;
+  Coord3 coord_of(int rank) const;
+  Coord3 wrap(Coord3 c) const;
+
+  std::array<int, 3> displacement(Coord3 a, Coord3 b) const;
+  int manhattan_distance(Coord3 a, Coord3 b) const;
+  int chebyshev_distance(Coord3 a, Coord3 b) const;
+
+  // The 26 Chebyshev neighbours in fixed order.
+  std::vector<int> neighbors26(int rank) const;
+
+ private:
+  int nx_;
+  int ny_;
+  int nz_;
+};
+
+// Factory used by the machine model: embeds P virtual PEs into a near-cubic
+// 3-D torus (like the T3E's physical network) and reports routing hops
+// between virtual ranks. The embedding is the identity on rank ids.
+class HopModel {
+ public:
+  // Builds a 3-D torus with dimensions as close to cubic as possible whose
+  // size is >= ranks.
+  explicit HopModel(int ranks);
+
+  int hops(int src, int dst) const;
+  const Torus3D& torus() const { return torus_; }
+
+ private:
+  Torus3D torus_;
+};
+
+}  // namespace pcmd::sim

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pcmd::sim {
+
+double MachineReport::efficiency() const {
+  if (ranks == 0 || makespan <= 0.0) return 0.0;
+  return total_compute / (ranks * makespan);
+}
+
+MachineReport machine_report(const Engine& engine) {
+  MachineReport report;
+  report.ranks = engine.size();
+  report.makespan = engine.makespan();
+  report.min_clock = report.makespan;
+  for (int r = 0; r < engine.size(); ++r) {
+    const auto& c = engine.counters(r);
+    report.min_clock = std::min(report.min_clock, engine.clock(r));
+    report.total_compute += c.compute_seconds;
+    report.total_wait += c.comm_wait_seconds;
+    report.total_collective += c.collective_seconds;
+    report.total_messages += c.messages_sent;
+    report.total_bytes += c.bytes_sent;
+  }
+  return report;
+}
+
+std::ostream& operator<<(std::ostream& os, const MachineReport& report) {
+  os << "machine: ranks=" << report.ranks << " makespan=" << report.makespan
+     << "s compute=" << report.total_compute << "s wait=" << report.total_wait
+     << "s collectives=" << report.total_collective
+     << "s messages=" << report.total_messages
+     << " bytes=" << report.total_bytes
+     << " efficiency=" << report.efficiency();
+  return os;
+}
+
+}  // namespace pcmd::sim

@@ -1,0 +1,30 @@
+// Aggregated machine utilisation report, printable after a run. This is the
+// virtual-machine analogue of a profiler summary: per-rank clocks, compute vs
+// wait split, and traffic counters.
+#pragma once
+
+#include "sim/comm.hpp"
+
+#include <iosfwd>
+
+namespace pcmd::sim {
+
+struct MachineReport {
+  int ranks = 0;
+  double makespan = 0.0;          // max virtual clock
+  double min_clock = 0.0;         // min virtual clock
+  double total_compute = 0.0;     // sum of compute seconds across ranks
+  double total_wait = 0.0;        // sum of recv-wait seconds
+  double total_collective = 0.0;  // sum of collective seconds
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+
+  // Parallel efficiency: compute / (ranks * makespan); 1.0 is perfect.
+  double efficiency() const;
+};
+
+MachineReport machine_report(const Engine& engine);
+
+std::ostream& operator<<(std::ostream& os, const MachineReport& report);
+
+}  // namespace pcmd::sim

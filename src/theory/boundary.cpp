@@ -1,0 +1,58 @@
+#include "theory/boundary.hpp"
+
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace pcmd::theory {
+
+std::vector<double> smoothed_spread(std::span<const double> f_max,
+                                    std::span<const double> f_min,
+                                    std::span<const double> f_avg,
+                                    std::size_t window) {
+  if (f_max.size() != f_min.size() || f_max.size() != f_avg.size()) {
+    throw std::invalid_argument("smoothed_spread: size mismatch");
+  }
+  std::vector<double> spread(f_max.size());
+  for (std::size_t i = 0; i < f_max.size(); ++i) {
+    spread[i] = pcmd::imbalance_ratio(f_max[i], f_min[i], f_avg[i]);
+  }
+  return pcmd::moving_average(spread, window);
+}
+
+std::int64_t detect_boundary_step(std::span<const double> f_max,
+                                  std::span<const double> f_min,
+                                  std::span<const double> f_avg,
+                                  const BoundaryConfig& config) {
+  const auto smooth =
+      smoothed_spread(f_max, f_min, f_avg, config.smoothing_window);
+  if (smooth.size() <= config.baseline_window) return -1;
+
+  double baseline = 0.0;
+  for (std::size_t i = 0; i < config.baseline_window; ++i) {
+    baseline += smooth[i];
+  }
+  baseline /= static_cast<double>(config.baseline_window);
+  const double limit = baseline + config.threshold;
+
+  for (std::size_t i = config.baseline_window; i < smooth.size(); ++i) {
+    if (smooth[i] <= limit) continue;
+    // Persistence: the spread must stay above the limit for most of the
+    // following window (clipped at the end of the series).
+    const std::size_t end =
+        std::min(smooth.size(), i + config.persistence_window);
+    std::size_t above = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      if (smooth[j] > limit) ++above;
+    }
+    if (static_cast<double>(above) >=
+        config.persistence * static_cast<double>(end - i)) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace pcmd::theory

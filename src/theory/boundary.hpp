@@ -1,0 +1,44 @@
+// Experimental boundary detection (paper Section 4.2): "we can decide an
+// experimental boundary point in a trajectory of an MD simulation by finding
+// a time step at which the difference between the maximum and the minimum of
+// force computing time begins to increase."
+//
+// Implementation: smooth the normalized spread (Fmax - Fmin) / Fave with a
+// trailing moving average, establish a baseline over an initial calibration
+// window, and report the first step whose smoothed spread exceeds
+// baseline + threshold and *stays* above it for a persistence window (so a
+// single noisy step does not trigger).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcmd::theory {
+
+struct BoundaryConfig {
+  // Trailing moving-average window (steps).
+  std::size_t smoothing_window = 25;
+  // Steps used to establish the balanced baseline.
+  std::size_t baseline_window = 50;
+  // Absolute increase over the baseline that counts as "begins to increase".
+  double threshold = 0.5;
+  // Fraction of the persistence window that must stay above threshold.
+  double persistence = 0.8;
+  std::size_t persistence_window = 50;
+};
+
+// Returns the 0-based index into the series where the spread begins to
+// increase, or -1 if it never does. All three spans must have equal length.
+std::int64_t detect_boundary_step(std::span<const double> f_max,
+                                  std::span<const double> f_min,
+                                  std::span<const double> f_avg,
+                                  const BoundaryConfig& config = {});
+
+// The smoothed normalized spread series itself (exposed for tests/benches).
+std::vector<double> smoothed_spread(std::span<const double> f_max,
+                                    std::span<const double> f_min,
+                                    std::span<const double> f_avg,
+                                    std::size_t window);
+
+}  // namespace pcmd::theory

@@ -1,0 +1,37 @@
+#include "theory/bounds.hpp"
+
+#include <stdexcept>
+
+namespace pcmd::theory {
+
+double upper_bound(int m, double n) {
+  if (m < 2) {
+    throw std::invalid_argument("upper_bound: m must be >= 2");
+  }
+  if (n < 1.0) {
+    throw std::invalid_argument("upper_bound: n must be >= 1");
+  }
+  const double md = m;
+  const double wall = 3.0 * (md - 1.0) * (md - 1.0);
+  const double denom = md * md * (n - 1.0) + n * wall;
+  if (denom <= 0.0) {
+    // n = 1 gives denom = wall > 0 for m >= 2, so this cannot happen; keep
+    // the guard for safety.
+    throw std::logic_error("upper_bound: non-positive denominator");
+  }
+  return wall / denom;
+}
+
+int max_domain_columns(int m) {
+  if (m < 2) {
+    throw std::invalid_argument("max_domain_columns: m must be >= 2");
+  }
+  return m * m + 3 * (m - 1) * (m - 1);
+}
+
+double max_domain_growth(int m) {
+  return static_cast<double>(max_domain_columns(m)) /
+         static_cast<double>(m * m);
+}
+
+}  // namespace pcmd::theory

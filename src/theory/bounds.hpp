@@ -1,0 +1,32 @@
+// Theoretical upper bounds of the particle concentration ratio (paper
+// Section 4.1).
+//
+// DLB can keep the load uniform only while the number of particles the
+// maximum domain can reach exceeds the per-PE average. Writing C0/C for the
+// fraction of empty cells and n = (C0'/C') / (C0/C) for the concentration
+// factor of the maximum domain, the derivation (eqs. (3)-(8)) gives the
+// upper bound
+//
+//     f(m, n) = 3 (m-1)^2 / [ m^2 (n - 1) + 3 n (m - 1)^2 ]   >=  C0 / C
+//
+// with the special cases (eqs. (9)-(11))
+//     f(2, n) = 3 / (7n - 4),
+//     f(3, n) = 4 / (7n - 3)      [times 3/3: 12/(21n - 9) = 4/(7n-3)],
+//     f(4, n) = 27 / (43n - 16),
+// and the ordering f(2, n) <= f(3, n) <= f(4, n) for n >= 1 (eq. (12)).
+#pragma once
+
+namespace pcmd::theory {
+
+// The bound f(m, n). Requires m >= 2 and n >= 1; throws otherwise.
+double upper_bound(int m, double n);
+
+// Maximum domain size in cross-section columns: C'/K = m^2 + 3 (m-1)^2.
+int max_domain_columns(int m);
+
+// Maximum cell ratio of the maximum domain to the initial domain
+// (paper: "up to 2.3 times the number of cells allocated initially" at
+// m = 3): (m^2 + 3 (m-1)^2) / m^2.
+double max_domain_growth(int m);
+
+}  // namespace pcmd::theory

@@ -1,0 +1,54 @@
+#include "theory/concentration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcmd::theory {
+
+ConcentrationSample estimate_concentration(std::int64_t step,
+                                           const ConcentrationInputs& in) {
+  if (in.total_cells <= 0) {
+    throw std::invalid_argument("estimate_concentration: total_cells <= 0");
+  }
+  ConcentrationSample sample;
+  sample.step = step;
+  sample.c0_ratio =
+      static_cast<double>(in.empty_cells) / static_cast<double>(in.total_cells);
+  if (in.empty_cells <= 0) {
+    sample.n = 1.0;
+    return sample;
+  }
+  double ratio_sum = 0.0;
+  int terms = 0;
+  if (in.max_domain_cells > 0) {
+    ratio_sum += static_cast<double>(in.max_domain_empty) /
+                 static_cast<double>(in.max_domain_cells);
+    ++terms;
+  }
+  if (in.max_empty_domain_cells > 0) {
+    ratio_sum += static_cast<double>(in.max_empty_cells) /
+                 static_cast<double>(in.max_empty_domain_cells);
+    ++terms;
+  }
+  if (terms == 0) {
+    sample.n = 1.0;
+    return sample;
+  }
+  const double avg_domain_ratio = ratio_sum / terms;
+  sample.n = std::max(1.0, avg_domain_ratio / sample.c0_ratio);
+  return sample;
+}
+
+ConcentrationSample estimate_concentration(const ddm::ParallelStepStats& stats,
+                                           int total_cells) {
+  ConcentrationInputs inputs;
+  inputs.total_cells = total_cells;
+  inputs.empty_cells = stats.empty_cells;
+  inputs.max_domain_cells = stats.max_domain_cells;
+  inputs.max_domain_empty = stats.max_domain_empty;
+  inputs.max_empty_cells = stats.max_empty_cells;
+  inputs.max_empty_domain_cells = stats.max_empty_domain_cells;
+  return estimate_concentration(stats.step, inputs);
+}
+
+}  // namespace pcmd::theory

@@ -1,0 +1,48 @@
+// Concentration metrics of Section 4: the particle concentration ratio
+// C0/C (fraction of cells containing no particle) and the concentration
+// factor n = (C0'/C') / (C0/C) of the maximum domain.
+//
+// Parallel simulations do not guarantee one PE is simultaneously the one
+// with the most cells and the one with the most empty cells, so the paper
+// estimates n by averaging C0'/C' over two PEs: the PE with the maximum
+// number of cells and the PE with the maximum number of empty cells. The
+// same estimator is implemented here from the per-step reductions.
+#pragma once
+
+#include "ddm/parallel_md.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmd::theory {
+
+struct ConcentrationSample {
+  std::int64_t step = 0;
+  double c0_ratio = 0.0;  // C0 / C
+  double n = 1.0;         // concentration factor (>= 1 by construction)
+};
+
+// Inputs of the estimator, decoupled from ParallelStepStats so the synthetic
+// balance simulator can reuse it.
+struct ConcentrationInputs {
+  int total_cells = 0;        // C
+  int empty_cells = 0;        // C0
+  int max_domain_cells = 0;   // C' of the max-cells PE
+  int max_domain_empty = 0;   // C0' of the max-cells PE
+  int max_empty_cells = 0;    // C0' of the max-empty PE
+  int max_empty_domain_cells = 0;  // C' of the max-empty PE
+};
+
+// The paper's two-PE estimator. Returns n = 1 when C0 == 0 (no empty cells:
+// no concentration yet). The result is clamped to >= 1.
+ConcentrationSample estimate_concentration(std::int64_t step,
+                                           const ConcentrationInputs& inputs);
+
+// Convenience: from a parallel MD step's statistics.
+ConcentrationSample estimate_concentration(const ddm::ParallelStepStats& stats,
+                                           int total_cells);
+
+// A trajectory in (n, C0/C) space (paper Fig. 9).
+using Trajectory = std::vector<ConcentrationSample>;
+
+}  // namespace pcmd::theory

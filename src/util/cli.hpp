@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+// Supports --name=value, --name value, and boolean --name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pcmd {
+
+class Cli {
+ public:
+  // Parses argv; unknown flags are kept and reported by unknown_flags() so
+  // harnesses can reject typos. Positional arguments are collected in order.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags seen on the command line that were never queried. Call after all
+  // get()/has() calls; useful to error out on typos.
+  std::vector<std::string> unqueried_flags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pcmd

@@ -1,0 +1,68 @@
+#include "util/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pcmd {
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need at least two points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_line: degenerate x values");
+  }
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double ymean = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double ReciprocalFit::evaluate(double x) const {
+  const double denom = a * x + b;
+  if (denom <= 0.0) return 0.0;
+  return 1.0 / denom;
+}
+
+ReciprocalFit fit_reciprocal(std::span<const double> xs,
+                             std::span<const double> ys) {
+  std::vector<double> fx, fy;
+  fx.reserve(xs.size());
+  fy.reserve(ys.size());
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (ys[i] > 0.0) {
+      fx.push_back(xs[i]);
+      fy.push_back(1.0 / ys[i]);
+    }
+  }
+  const LineFit line = fit_line(fx, fy);
+  ReciprocalFit fit;
+  fit.a = line.slope;
+  fit.b = line.intercept;
+  fit.r2 = line.r2;
+  return fit;
+}
+
+}  // namespace pcmd

@@ -1,0 +1,37 @@
+// Least-squares fitting used by the effective-range analysis (Section 4.2):
+// the paper fits a line through the experimental boundary points in
+// (n, C0/C) space. We also provide a fit through the transformed bound form
+// since the theoretical bound f(m, n) is a rational function of n.
+#pragma once
+
+#include <span>
+
+namespace pcmd {
+
+// y = slope * x + intercept, with goodness-of-fit.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination; 1 for perfect fit
+};
+
+// Ordinary least squares on (x, y) pairs. Requires xs.size() == ys.size()
+// and at least two points; throws std::invalid_argument otherwise.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+// Fits y = c / (a * x + b) by linear least squares on 1/y = (a/c) x + (b/c)
+// with c fixed to 1 (i.e. returns a, b of 1/y = a x + b). This mirrors the
+// shape of the theoretical bound f(m, n) = 3(m-1)^2 / (m^2 (n-1) + 3 n (m-1)^2),
+// whose reciprocal is linear in n. Points with y <= 0 are ignored.
+struct ReciprocalFit {
+  double a = 0.0;  // slope of 1/y vs x
+  double b = 0.0;  // intercept of 1/y vs x
+  double r2 = 0.0;
+
+  double evaluate(double x) const;  // returns 1 / (a x + b); 0 if denom <= 0
+};
+
+ReciprocalFit fit_reciprocal(std::span<const double> xs,
+                             std::span<const double> ys);
+
+}  // namespace pcmd

@@ -1,0 +1,42 @@
+// Periodic boundary condition helpers for an axis-aligned orthorhombic box
+// with origin at 0. The paper simulates a cubic box under periodic boundary
+// conditions; positions live in [0, L) per axis and displacement vectors use
+// the minimum-image convention.
+#pragma once
+
+#include "util/vec3.hpp"
+
+#include <iosfwd>
+
+namespace pcmd {
+
+// Simulation box, cubic in the paper but kept orthorhombic for generality.
+struct Box {
+  Vec3 length;  // edge lengths per axis, all > 0
+
+  static constexpr Box cubic(double edge) { return Box{{edge, edge, edge}}; }
+
+  constexpr double volume() const { return length.x * length.y * length.z; }
+
+  friend constexpr bool operator==(const Box&, const Box&) = default;
+};
+
+// Wraps a scalar coordinate into [0, len). Handles arbitrary distances from
+// the primary image, not just one box length.
+double wrap_coordinate(double x, double len);
+
+// Wraps a position into the primary image [0, L)^3.
+Vec3 wrap(const Vec3& p, const Box& box);
+
+// True if the position lies in the primary image on every axis.
+bool in_primary_image(const Vec3& p, const Box& box);
+
+// Minimum-image displacement a - b.
+Vec3 minimum_image(const Vec3& a, const Vec3& b, const Box& box);
+
+// Squared minimum-image distance between two points.
+double minimum_image_distance2(const Vec3& a, const Vec3& b, const Box& box);
+
+std::ostream& operator<<(std::ostream& os, const Box& box);
+
+}  // namespace pcmd

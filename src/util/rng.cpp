@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pcmd {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling over the largest multiple of n below 2^64.
+  const std::uint64_t threshold = -n % n;  // == (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller. uniform() can return 0, which log() rejects; nudge into (0,1].
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+Vec3 Rng::uniform_in_box(const Vec3& lengths) {
+  return {uniform(0.0, lengths.x), uniform(0.0, lengths.y),
+          uniform(0.0, lengths.z)};
+}
+
+Vec3 Rng::maxwell_velocity(double temperature) {
+  const double s = std::sqrt(temperature);
+  return {normal(0.0, s), normal(0.0, s), normal(0.0, s)};
+}
+
+Rng Rng::split() {
+  Rng child(next_u64());
+  return child;
+}
+
+}  // namespace pcmd

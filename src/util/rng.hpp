@@ -1,0 +1,66 @@
+// Deterministic, seedable random number generation.
+//
+// We deliberately avoid std::mt19937 + std::normal_distribution in library
+// code: their output is implementation-defined across standard libraries,
+// and the experiments in this repository must be reproducible bit-for-bit
+// from a seed. Xoshiro256++ (public domain, Blackman & Vigna) plus an
+// explicit Box-Muller transform gives us portable streams.
+#pragma once
+
+#include "util/vec3.hpp"
+
+#include <cstdint>
+
+namespace pcmd {
+
+// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256++ PRNG with helpers for the distributions the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Standard normal via Box-Muller (caches the second variate).
+  double normal();
+
+  // Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  // Uniform point inside a box [0, L)^3.
+  Vec3 uniform_in_box(const Vec3& lengths);
+
+  // Maxwell-Boltzmann velocity for reduced temperature T (unit mass):
+  // each component is normal with variance T.
+  Vec3 maxwell_velocity(double temperature);
+
+  // Creates an independent child stream; deterministic given this stream's
+  // state. Used to hand each virtual PE its own stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pcmd

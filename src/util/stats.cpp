@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcmd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return Summary{rs.count(), rs.mean(), rs.stddev(), rs.min(), rs.max()};
+}
+
+std::vector<double> moving_average(std::span<const double> xs, std::size_t w) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (w == 0) w = 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= w) acc -= xs[i - w];
+    const std::size_t have = std::min(i + 1, w);
+    out[i] = acc / static_cast<double>(have);
+  }
+  return out;
+}
+
+double imbalance_ratio(double max, double min, double mean) {
+  if (mean == 0.0) return 0.0;
+  return (max - min) / mean;
+}
+
+}  // namespace pcmd

@@ -1,0 +1,53 @@
+// Running statistics and small summary helpers used by the experiment
+// harnesses (Fmax/Fave/Fmin spreads, boundary-point averaging, error ranges).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcmd {
+
+// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 for n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  // Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Simple moving average with window w (w >= 1); output has the same length
+// as the input, each entry averaging the trailing window.
+std::vector<double> moving_average(std::span<const double> xs, std::size_t w);
+
+// Load-imbalance ratio (max - min) / mean, the quantity the paper's boundary
+// detection watches; returns 0 when mean == 0.
+double imbalance_ratio(double max, double min, double mean);
+
+}  // namespace pcmd

@@ -1,0 +1,35 @@
+// Small tabular output helper: the bench harnesses print paper-style rows
+// both as aligned ASCII (for the terminal) and CSV (for re-plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pcmd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; the number of values must match the header count.
+  void add_row(std::vector<std::string> values);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 6);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  // Aligned ASCII rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcmd

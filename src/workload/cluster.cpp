@@ -1,0 +1,80 @@
+#include "workload/cluster.hpp"
+
+#include "md/cell_grid.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pcmd::workload {
+
+double ClusterReport::largest_fraction(std::int64_t total) const {
+  if (total <= 0) return 0.0;
+  return static_cast<double>(largest()) / static_cast<double>(total);
+}
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+}  // namespace
+
+ClusterReport find_clusters(const md::ParticleVector& particles, const Box& box,
+                            double bond_distance) {
+  if (bond_distance <= 0.0) {
+    throw std::invalid_argument("find_clusters: bond_distance must be > 0");
+  }
+  ClusterReport report;
+  if (particles.empty()) return report;
+
+  const md::CellGrid grid(box, bond_distance);
+  const md::CellBins bins(grid, particles);
+  const double bond2 = bond_distance * bond_distance;
+
+  UnionFind uf(particles.size());
+  for (int c = 0; c < grid.num_cells(); ++c) {
+    for (const std::int32_t i : bins.cell(c)) {
+      for (const int nc : grid.stencil(c)) {
+        for (const std::int32_t j : bins.cell(nc)) {
+          if (j <= i) continue;
+          if (minimum_image_distance2(particles[i].position,
+                                      particles[j].position, box) <= bond2) {
+            uf.unite(i, j);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::int64_t> size_by_root(particles.size(), 0);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    ++size_by_root[uf.find(i)];
+  }
+  for (const auto s : size_by_root) {
+    if (s > 0) report.sizes.push_back(s);
+  }
+  std::sort(report.sizes.begin(), report.sizes.end(), std::greater<>());
+  return report;
+}
+
+}  // namespace pcmd::workload

@@ -1,0 +1,27 @@
+// Cluster analysis: connected components of the "bonded" graph where two
+// particles are bonded when closer than a bond distance. Used by the droplet
+// example to watch condensation and by tests to confirm the supercooled
+// conditions actually concentrate particles.
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmd::workload {
+
+struct ClusterReport {
+  std::vector<std::int64_t> sizes;  // descending
+  std::int64_t largest() const { return sizes.empty() ? 0 : sizes.front(); }
+  std::int64_t count() const { return static_cast<std::int64_t>(sizes.size()); }
+  // Fraction of all particles in the largest cluster.
+  double largest_fraction(std::int64_t total) const;
+};
+
+// Union-find over a cell grid; O(N) for short bond distances.
+ClusterReport find_clusters(const md::ParticleVector& particles, const Box& box,
+                            double bond_distance);
+
+}  // namespace pcmd::workload

@@ -1,0 +1,58 @@
+#include "workload/gas.hpp"
+
+#include "md/cell_grid.hpp"
+#include "md/observables.hpp"
+
+#include <stdexcept>
+
+namespace pcmd::workload {
+
+md::ParticleVector random_gas(std::int64_t n, const Box& box,
+                              const GasConfig& config, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("random_gas: n must be positive");
+  const double min_sep2 = config.min_separation * config.min_separation;
+
+  // Spatial hash over cells of edge >= min_separation keeps placement O(N).
+  const md::CellGrid grid(box, std::max(config.min_separation, 1e-6));
+  std::vector<std::vector<std::int32_t>> occupancy(grid.num_cells());
+
+  md::ParticleVector particles;
+  particles.reserve(n);
+  for (std::int64_t id = 0; id < n; ++id) {
+    bool placed = false;
+    for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
+      const Vec3 candidate = rng.uniform_in_box(box.length);
+      const int cell = grid.cell_of_position(candidate);
+      bool clash = false;
+      for (const int nc : grid.stencil(cell)) {
+        for (const std::int32_t other : occupancy[nc]) {
+          if (minimum_image_distance2(candidate,
+                                      particles[other].position, box) <
+              min_sep2) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) break;
+      }
+      if (clash) continue;
+      md::Particle p;
+      p.id = id;
+      p.position = candidate;
+      p.velocity = rng.maxwell_velocity(config.temperature);
+      occupancy[cell].push_back(static_cast<std::int32_t>(particles.size()));
+      particles.push_back(p);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      throw std::runtime_error(
+          "random_gas: could not place particle; density too high for the "
+          "requested min_separation");
+    }
+  }
+  md::zero_momentum(particles);
+  return particles;
+}
+
+}  // namespace pcmd::workload

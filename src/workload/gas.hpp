@@ -1,0 +1,26 @@
+// Random gas initial condition: uniform positions with a minimum pair
+// separation (so the LJ force does not blow up on the first step) and
+// Maxwell-Boltzmann velocities.
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace pcmd::workload {
+
+struct GasConfig {
+  double temperature = 0.722;
+  // Reject positions closer than this to an existing particle (reduced
+  // units). 0.9 sigma keeps initial forces moderate.
+  double min_separation = 0.9;
+  // Attempts per particle before giving up (throws std::runtime_error).
+  int max_attempts = 2000;
+};
+
+md::ParticleVector random_gas(std::int64_t n, const Box& box,
+                              const GasConfig& config, Rng& rng);
+
+}  // namespace pcmd::workload

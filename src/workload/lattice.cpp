@@ -1,0 +1,70 @@
+#include "workload/lattice.hpp"
+
+#include "md/observables.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pcmd::workload {
+
+namespace {
+void thermalize(md::ParticleVector& particles, double temperature, Rng& rng) {
+  for (auto& p : particles) p.velocity = rng.maxwell_velocity(temperature);
+  md::zero_momentum(particles);
+}
+}  // namespace
+
+md::ParticleVector simple_cubic(std::int64_t n, const Box& box,
+                                double temperature, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("simple_cubic: n must be positive");
+  const int side = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n))));
+  const Vec3 spacing{box.length.x / side, box.length.y / side,
+                     box.length.z / side};
+  md::ParticleVector particles;
+  particles.reserve(n);
+  std::int64_t id = 0;
+  for (int z = 0; z < side && id < n; ++z) {
+    for (int y = 0; y < side && id < n; ++y) {
+      for (int x = 0; x < side && id < n; ++x) {
+        md::Particle p;
+        p.id = id++;
+        p.position = {(x + 0.5) * spacing.x, (y + 0.5) * spacing.y,
+                      (z + 0.5) * spacing.z};
+        particles.push_back(p);
+      }
+    }
+  }
+  thermalize(particles, temperature, rng);
+  return particles;
+}
+
+md::ParticleVector fcc(std::int64_t n, const Box& box, double temperature,
+                       Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("fcc: n must be positive");
+  const int cells = static_cast<int>(
+      std::floor(std::cbrt(static_cast<double>(n) / 4.0) + 1e-9));
+  const int side = std::max(cells, 1);
+  const Vec3 a{box.length.x / side, box.length.y / side, box.length.z / side};
+  static constexpr double kBasis[4][3] = {
+      {0.25, 0.25, 0.25}, {0.75, 0.75, 0.25}, {0.75, 0.25, 0.75},
+      {0.25, 0.75, 0.75}};
+  md::ParticleVector particles;
+  particles.reserve(static_cast<std::size_t>(side) * side * side * 4);
+  std::int64_t id = 0;
+  for (int z = 0; z < side; ++z) {
+    for (int y = 0; y < side; ++y) {
+      for (int x = 0; x < side; ++x) {
+        for (const auto& b : kBasis) {
+          md::Particle p;
+          p.id = id++;
+          p.position = {(x + b[0]) * a.x, (y + b[1]) * a.y, (z + b[2]) * a.z};
+          particles.push_back(p);
+        }
+      }
+    }
+  }
+  thermalize(particles, temperature, rng);
+  return particles;
+}
+
+}  // namespace pcmd::workload

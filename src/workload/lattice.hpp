@@ -1,0 +1,24 @@
+// Lattice initial conditions: particles on a simple-cubic or FCC lattice
+// with Maxwell-Boltzmann velocities and zero total momentum.
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace pcmd::workload {
+
+// Places exactly n particles on the smallest simple-cubic lattice that fits
+// them in the box, in lattice order, then assigns thermal velocities.
+md::ParticleVector simple_cubic(std::int64_t n, const Box& box,
+                                double temperature, Rng& rng);
+
+// FCC lattice (4 particles per unit cell); n is rounded down to the largest
+// multiple of 4 that fits a cubic arrangement, so the returned vector may be
+// slightly smaller than requested.
+md::ParticleVector fcc(std::int64_t n, const Box& box, double temperature,
+                       Rng& rng);
+
+}  // namespace pcmd::workload

@@ -1,0 +1,58 @@
+#include "workload/paper_system.hpp"
+
+#include "workload/gas.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pcmd::workload {
+
+int PaperSystemSpec::pe_side() const {
+  const int side = static_cast<int>(std::lround(std::sqrt(pe_count)));
+  if (side * side != pe_count) {
+    throw std::invalid_argument("PaperSystemSpec: pe_count " +
+                                std::to_string(pe_count) +
+                                " is not a perfect square");
+  }
+  return side;
+}
+
+int PaperSystemSpec::cells_per_axis() const { return m * pe_side(); }
+
+std::int64_t PaperSystemSpec::total_cells() const {
+  const std::int64_t k = cells_per_axis();
+  return k * k * k;
+}
+
+double PaperSystemSpec::box_edge() const { return cells_per_axis() * cutoff; }
+
+Box PaperSystemSpec::box() const { return Box::cubic(box_edge()); }
+
+std::int64_t PaperSystemSpec::particle_count() const {
+  const double edge = box_edge();
+  return static_cast<std::int64_t>(std::llround(density * edge * edge * edge));
+}
+
+void PaperSystemSpec::validate() const {
+  (void)pe_side();
+  if (m < 2) {
+    throw std::invalid_argument(
+        "PaperSystemSpec: m must be >= 2 (m = 1 leaves no movable cells)");
+  }
+  if (density <= 0.0 || temperature <= 0.0 || cutoff <= 0.0 || dt <= 0.0) {
+    throw std::invalid_argument("PaperSystemSpec: non-positive physics value");
+  }
+  if (particle_count() < 1) {
+    throw std::invalid_argument("PaperSystemSpec: no particles at this size");
+  }
+}
+
+md::ParticleVector make_paper_system(const PaperSystemSpec& spec, Rng& rng) {
+  spec.validate();
+  GasConfig gas;
+  gas.temperature = spec.temperature;
+  return random_gas(spec.particle_count(), spec.box(), gas, rng);
+}
+
+}  // namespace pcmd::workload

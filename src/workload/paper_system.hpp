@@ -1,0 +1,47 @@
+// Builds the exact system family of the paper's evaluation:
+//
+//   P   PEs arranged as a sqrt(P) x sqrt(P) 2-D torus,
+//   m   square-pillar cross-section size, so cells per axis = m * sqrt(P),
+//   C   = (m sqrt(P))^3 cubic cells of edge r_c,
+//   box L = m sqrt(P) r_c per axis,
+//   N   = round(rho* L^3) particles of supercooled gas at T* = 0.722.
+//
+// The paper's named configurations: (m=4, P=36) -> C=13824, N=59319 at the
+// paper's density; (m=2, P=36) -> C=1728, N=8000.
+#pragma once
+
+#include "md/particle.hpp"
+#include "md/units.hpp"
+#include "util/pbc.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace pcmd::workload {
+
+struct PaperSystemSpec {
+  int pe_count = 36;        // must be a perfect square for the pillar layout
+  int m = 4;                // pillar cross-section (cells per axis per PE)
+  double density = md::PaperConditions::default_density;      // rho*
+  double temperature = md::PaperConditions::reduced_temperature;
+  double cutoff = md::PaperConditions::cutoff;
+  double dt = md::PaperConditions::time_step;
+  int rescale_interval = md::PaperConditions::rescale_interval;
+  std::uint64_t seed = 12345;
+
+  // Derived quantities.
+  int pe_side() const;          // sqrt(P); throws if P is not a square
+  int cells_per_axis() const;   // m * sqrt(P)
+  std::int64_t total_cells() const;
+  double box_edge() const;      // cells_per_axis * cutoff
+  Box box() const;
+  std::int64_t particle_count() const;  // round(rho * L^3)
+
+  // Validates the spec (square P, m >= 2 so permanent cells exist, etc.).
+  void validate() const;
+};
+
+// Generates the initial supercooled-gas state for a spec.
+md::ParticleVector make_paper_system(const PaperSystemSpec& spec, Rng& rng);
+
+}  // namespace pcmd::workload

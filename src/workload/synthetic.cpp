@@ -1,0 +1,87 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcmd::workload {
+
+ConcentratingWorkload::ConcentratingWorkload(const SyntheticConfig& config,
+                                             const Box& box)
+    : config_(config), box_(box) {
+  if (config.particles <= 0) {
+    throw std::invalid_argument("ConcentratingWorkload: need particles > 0");
+  }
+  if (config.condensate_fraction < 0.0 || config.condensate_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ConcentratingWorkload: condensate_fraction must be in [0, 1]");
+  }
+  if (config.num_centers < 1) {
+    throw std::invalid_argument("ConcentratingWorkload: need num_centers >= 1");
+  }
+  Rng rng(config.seed);
+  if (config.num_centers == 1) {
+    centers_.push_back({config.center_fraction.x * box.length.x,
+                        config.center_fraction.y * box.length.y,
+                        config.center_fraction.z * box.length.z});
+  } else {
+    for (int c = 0; c < config.num_centers; ++c) {
+      centers_.push_back(rng.uniform_in_box(box.length));
+    }
+  }
+  gas_positions_.reserve(config.particles);
+  condensate_offsets_.reserve(config.particles);
+  activation_.reserve(config.particles);
+  center_index_.reserve(config.particles);
+  for (std::int64_t id = 0; id < config.particles; ++id) {
+    md::Particle p;
+    p.id = id;
+    p.position = rng.uniform_in_box(box.length);
+    gas_positions_.push_back(p);
+
+    // Uniform point in the unit ball by rejection.
+    Vec3 u;
+    do {
+      u = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0)};
+    } while (norm2(u) > 1.0);
+    condensate_offsets_.push_back(u);
+    center_index_.push_back(
+        static_cast<int>(rng.uniform_index(centers_.size())));
+
+    // Particles activate in a random order spread across the schedule;
+    // those beyond the condensate fraction never activate.
+    const double r = rng.uniform();
+    activation_.push_back(r < config.condensate_fraction
+                              ? r / config.condensate_fraction
+                              : 2.0);  // > 1: stays gas forever
+  }
+}
+
+md::ParticleVector ConcentratingWorkload::state(double progress) const {
+  progress = std::clamp(progress, 0.0, 1.0);
+  const double radius_fraction =
+      config_.initial_radius_fraction +
+      (config_.final_radius_fraction - config_.initial_radius_fraction) *
+          progress;
+  const double min_edge =
+      std::min({box_.length.x, box_.length.y, box_.length.z});
+  const double radius = radius_fraction * 0.5 * min_edge;
+
+  md::ParticleVector out = gas_positions_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (activation_[i] > progress) continue;  // still gas
+    // Pull-in factor ramps from 0 at activation to 1 over ~a third of the
+    // schedule, so the cloud condenses gradually rather than teleporting —
+    // sudden jumps would outpace any balancer and hide the true DLB limit.
+    const double since = progress - activation_[i];
+    const double pull = std::min(1.0, since * 3.0);
+    const Vec3 target =
+        centers_[center_index_[i]] + condensate_offsets_[i] * radius;
+    const Vec3 gas = out[i].position;
+    out[i].position = wrap(gas + (target - gas) * pull, box_);
+  }
+  return out;
+}
+
+}  // namespace pcmd::workload

@@ -1,0 +1,66 @@
+// Synthetic concentrating workload.
+//
+// The paper's supercooled gas concentrates over thousands of MD steps; the
+// load-balancing boundary experiments (Fig. 10, Table 1) need to sweep that
+// concentration process many times at many parameter points. This driver
+// reproduces the *distributional* effect — a growing fraction of particles
+// collapsing into a shrinking region, raising the empty-cell ratio C0/C and
+// the concentration factor n — on a controlled schedule, without paying for
+// force evaluation. The DLB machinery under test is identical; only the
+// particle motion is scripted.
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+
+namespace pcmd::workload {
+
+struct SyntheticConfig {
+  std::int64_t particles = 4096;
+  // Fraction of particles that join a condensate at full progress.
+  double condensate_fraction = 0.95;
+  // Droplet radius as a fraction of the box edge at progress 0 / 1.
+  double initial_radius_fraction = 0.5;
+  double final_radius_fraction = 0.06;
+  // Number of condensation centres. Supercooled-gas spinodal decomposition
+  // nucleates *many* droplets across the box (not one blob); multiple
+  // centres reproduce that load pattern. Centres are drawn uniformly at
+  // random from the seed; 1 gives the single worst-case blob at
+  // `center_fraction`.
+  int num_centers = 8;
+  // Centre of the condensate (single-centre mode) in box-fraction
+  // coordinates. Off centre and off lattice, like a real droplet.
+  Vec3 center_fraction{0.31, 0.47, 0.58};
+  std::uint64_t seed = 7;
+};
+
+// Deterministic generator: state(progress) for progress in [0, 1]. Each call
+// with the same (config, box, progress) yields the same particle set, and the
+// mapping is smooth in progress: particle i interpolates between its gas
+// position and its condensate position, joining the condensate once progress
+// exceeds its (deterministic) activation threshold.
+class ConcentratingWorkload {
+ public:
+  ConcentratingWorkload(const SyntheticConfig& config, const Box& box);
+
+  // Particle positions at the given progress; velocities are zero (no
+  // dynamics — this workload scripts positions only).
+  md::ParticleVector state(double progress) const;
+
+  std::int64_t particle_count() const { return config_.particles; }
+  const Box& box() const { return box_; }
+
+ private:
+  SyntheticConfig config_;
+  Box box_;
+  md::ParticleVector gas_positions_;     // progress = 0 layout
+  std::vector<Vec3> centers_;            // condensation centres
+  std::vector<int> center_index_;        // which centre each particle joins
+  std::vector<Vec3> condensate_offsets_; // unit-ball offsets per particle
+  std::vector<double> activation_;       // progress at which a particle joins
+};
+
+}  // namespace pcmd::workload

@@ -1,0 +1,75 @@
+#include "core/column_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::core {
+namespace {
+
+TEST(ColumnMap, InitialStateIsHomeOwnership) {
+  const PillarLayout layout(3, 2);
+  const ColumnMap map(layout);
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    EXPECT_EQ(map.owner(col), layout.home_rank(col));
+  }
+}
+
+TEST(ColumnMap, SetOwnerAndQuery) {
+  const PillarLayout layout(3, 2);
+  ColumnMap map(layout);
+  const auto movable = layout.movable_columns_of_block(4);
+  ASSERT_FALSE(movable.empty());
+  map.set_owner(movable[0], 0);
+  EXPECT_EQ(map.owner(movable[0]), 0);
+}
+
+TEST(ColumnMap, SetOwnerRejectsBadColumn) {
+  const PillarLayout layout(3, 2);
+  ColumnMap map(layout);
+  EXPECT_THROW(map.set_owner(-1, 0), std::out_of_range);
+  EXPECT_THROW(map.set_owner(10000, 0), std::out_of_range);
+}
+
+TEST(ColumnMap, CountAndColumnsOfTrackChanges) {
+  const PillarLayout layout(3, 2);
+  ColumnMap map(layout);
+  EXPECT_EQ(map.count_of(4), 4);
+  const auto movable = layout.movable_columns_of_block(4);
+  map.set_owner(movable[0], 0);
+  EXPECT_EQ(map.count_of(4), 3);
+  EXPECT_EQ(map.count_of(0), 5);
+  const auto cols0 = map.columns_of(0);
+  EXPECT_NE(std::find(cols0.begin(), cols0.end(), movable[0]), cols0.end());
+}
+
+TEST(ColumnMap, ForeignColumns) {
+  const PillarLayout layout(3, 2);
+  ColumnMap map(layout);
+  EXPECT_TRUE(map.foreign_columns_of(0, layout).empty());
+  const auto movable = layout.movable_columns_of_block(4);
+  map.set_owner(movable[0], 0);
+  const auto foreign = map.foreign_columns_of(0, layout);
+  ASSERT_EQ(foreign.size(), 1u);
+  EXPECT_EQ(foreign[0], movable[0]);
+}
+
+TEST(ColumnMap, OwnMovableShrinksWhenLentOut) {
+  const PillarLayout layout(3, 4);
+  ColumnMap map(layout);
+  const int rank = 4;
+  EXPECT_EQ(map.own_movable_columns_of(rank, layout).size(), 9u);
+  const auto movable = layout.movable_columns_of_block(rank);
+  map.set_owner(movable[0], 0);
+  map.set_owner(movable[1], 0);
+  EXPECT_EQ(map.own_movable_columns_of(rank, layout).size(), 7u);
+}
+
+TEST(ColumnMap, EqualityComparable) {
+  const PillarLayout layout(3, 2);
+  ColumnMap a(layout), b(layout);
+  EXPECT_EQ(a, b);
+  b.set_owner(layout.movable_columns_of_block(4)[0], 0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace pcmd::core

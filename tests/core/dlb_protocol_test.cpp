@@ -1,0 +1,329 @@
+#include "core/dlb_protocol.hpp"
+
+#include "core/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::core {
+namespace {
+
+// Helper: times where `fast_rank` is clearly the fastest in `rank`'s
+// neighbourhood (self time = 10, fast = 1, others = 5).
+NeighborTimes times_with_fastest(const PillarLayout& layout, int rank,
+                                 int fast_rank) {
+  NeighborTimes times;
+  times.self_time = 10.0;
+  for (const int nb : layout.pe_torus().neighbors8(rank)) {
+    times.neighbor_times.push_back(nb == fast_rank ? 1.0 : 5.0);
+  }
+  return times;
+}
+
+double unit_load(int) { return 1.0; }
+
+class DlbProtocolCase : public ::testing::Test {
+ protected:
+  PillarLayout layout_{4, 3};  // 16 PEs, m = 3
+  ColumnMap map_{layout_};
+  DlbProtocol protocol_{layout_, DlbConfig{}};
+
+  int rank_at(int i, int j) const {
+    return layout_.pe_torus().rank_of({i, j});
+  }
+};
+
+TEST_F(DlbProtocolCase, SelfFastestMeansNoTransfer) {
+  NeighborTimes times;
+  times.self_time = 1.0;
+  times.neighbor_times.assign(8, 5.0);
+  const auto d = protocol_.decide(5, map_, times, unit_load);
+  EXPECT_EQ(d.target, -1);
+  EXPECT_EQ(d.column, -1);
+}
+
+TEST_F(DlbProtocolCase, Case1SendsOwnMovableToUpperLeft) {
+  const int rank = rank_at(2, 2);
+  for (const auto [di, dj] : {std::pair{-1, -1}, {-1, 0}, {0, -1}}) {
+    const int fast = rank_at(2 + di, 2 + dj);
+    const auto d =
+        protocol_.decide(rank, map_, times_with_fastest(layout_, rank, fast),
+                         unit_load);
+    EXPECT_EQ(d.target, fast);
+    ASSERT_GE(d.column, 0);
+    EXPECT_EQ(layout_.home_rank(d.column), rank);
+    EXPECT_TRUE(layout_.is_movable(d.column));
+    EXPECT_FALSE(d.is_return);
+  }
+}
+
+TEST_F(DlbProtocolCase, Case1NothingLeftWhenAllMovableLentOut) {
+  const int rank = rank_at(2, 2);
+  for (const int col : layout_.movable_columns_of_block(rank)) {
+    map_.set_owner(col, rank_at(1, 1));
+  }
+  const int fast = rank_at(1, 2);
+  const auto d = protocol_.decide(
+      rank, map_, times_with_fastest(layout_, rank, fast), unit_load);
+  EXPECT_EQ(d.target, -1);
+}
+
+TEST_F(DlbProtocolCase, Case2AntiDiagonalSendsNothing) {
+  const int rank = rank_at(2, 2);
+  for (const auto [di, dj] : {std::pair{-1, 1}, {1, -1}}) {
+    const int fast = rank_at(2 + di, 2 + dj);
+    const auto d = protocol_.decide(
+        rank, map_, times_with_fastest(layout_, rank, fast), unit_load);
+    EXPECT_EQ(d.target, -1) << "di=" << di << " dj=" << dj;
+  }
+}
+
+TEST_F(DlbProtocolCase, Case3ReturnsHeldColumnToItsHome) {
+  const int rank = rank_at(1, 1);
+  const int lower_right = rank_at(2, 2);
+  // rank holds a column homed at (2,2).
+  const int held = layout_.movable_columns_of_block(lower_right)[0];
+  map_.set_owner(held, rank);
+  const auto d = protocol_.decide(
+      rank, map_, times_with_fastest(layout_, rank, lower_right), unit_load);
+  EXPECT_EQ(d.target, lower_right);
+  EXPECT_EQ(d.column, held);
+  EXPECT_TRUE(d.is_return);
+}
+
+TEST_F(DlbProtocolCase, Case3NothingToReturnWhenHoldingNone) {
+  const int rank = rank_at(1, 1);
+  const int lower_right = rank_at(2, 1);
+  const auto d = protocol_.decide(
+      rank, map_, times_with_fastest(layout_, rank, lower_right), unit_load);
+  EXPECT_EQ(d.target, -1);
+}
+
+TEST_F(DlbProtocolCase, Case3DoesNotReturnColumnsFromOtherBlocks) {
+  const int rank = rank_at(1, 1);
+  // rank holds a column homed at (2,2) but the fastest is (1,2).
+  const int held = layout_.movable_columns_of_block(rank_at(2, 2))[0];
+  map_.set_owner(held, rank);
+  const int fast = rank_at(1, 2);
+  const auto d = protocol_.decide(
+      rank, map_, times_with_fastest(layout_, rank, fast), unit_load);
+  EXPECT_EQ(d.target, -1);
+}
+
+TEST_F(DlbProtocolCase, Case1NeverSendsForeignColumnsOnward) {
+  const int rank = rank_at(2, 2);
+  // rank holds a foreign column; the fastest is an upper-left neighbour.
+  const int held = layout_.movable_columns_of_block(rank_at(3, 3))[0];
+  map_.set_owner(held, rank);
+  const int fast = rank_at(1, 1);
+  const auto d = protocol_.decide(
+      rank, map_, times_with_fastest(layout_, rank, fast), unit_load);
+  ASSERT_GE(d.column, 0);
+  EXPECT_NE(d.column, held);
+  EXPECT_EQ(layout_.home_rank(d.column), rank);
+}
+
+TEST_F(DlbProtocolCase, FindFastestTieBreaksByLowestRank) {
+  NeighborTimes times;
+  times.self_time = 5.0;
+  times.neighbor_times.assign(8, 5.0);
+  // All equal: the lowest rank id among self + neighbours wins.
+  const int rank = rank_at(2, 2);
+  const auto neighbors = layout_.pe_torus().neighbors8(rank);
+  const int lowest =
+      std::min(rank, *std::min_element(neighbors.begin(), neighbors.end()));
+  EXPECT_EQ(protocol_.find_fastest(rank, times), lowest);
+}
+
+TEST_F(DlbProtocolCase, FindFastestRequiresEightTimes) {
+  NeighborTimes times;
+  times.neighbor_times.assign(5, 1.0);
+  EXPECT_THROW(protocol_.find_fastest(0, times), std::invalid_argument);
+}
+
+TEST_F(DlbProtocolCase, HysteresisSuppressesSmallGaps) {
+  DlbConfig config;
+  config.min_relative_gap = 0.5;
+  const DlbProtocol strict(layout_, config);
+  const int rank = rank_at(2, 2);
+  const int fast = rank_at(1, 1);
+  NeighborTimes times;
+  times.self_time = 10.0;
+  for (const int nb : layout_.pe_torus().neighbors8(rank)) {
+    times.neighbor_times.push_back(nb == fast ? 9.0 : 12.0);  // 10% gap
+  }
+  EXPECT_EQ(strict.decide(rank, map_, times, unit_load).target, -1);
+  // A 90% gap passes.
+  for (auto& t : times.neighbor_times) {
+    if (t == 9.0) t = 1.0;
+  }
+  EXPECT_EQ(strict.decide(rank, map_, times, unit_load).target, fast);
+}
+
+TEST(PolicyBehaviour, OvershootPreventionFiltersHeavyColumns) {
+  // A column costing more than the time gap to the receiver must not move:
+  // the transfer would just make the receiver the new slowest PE.
+  const PillarLayout layout(3, 3);
+  ColumnMap map(layout);
+  const DlbProtocol protocol(layout, DlbConfig{});  // avoid_overshoot on
+  const int rank = layout.pe_torus().rank_of({1, 1});
+  const int fast = layout.pe_torus().rank_of({0, 0});
+
+  NeighborTimes times;
+  times.self_time = 10.0;
+  for (const int nb : layout.pe_torus().neighbors8(rank)) {
+    times.neighbor_times.push_back(nb == fast ? 9.0 : 12.0);  // gap = 10%
+  }
+  // One movable column carries 90% of the rank's load; the rest 10%/8.
+  const auto movable = map.own_movable_columns_of(rank, layout);
+  const int heavy = movable[0];
+  const auto own = map.columns_of(rank);
+  auto load = [&](int col) {
+    if (col == heavy) return 90.0;
+    // Spread the remaining 10 units over the other 8 own columns.
+    return std::find(own.begin(), own.end(), col) != own.end() ? 10.0 / 8.0
+                                                               : 0.0;
+  };
+  const auto d = protocol.decide(rank, map, times, load);
+  // gap in load units = 10% of 100 = 10 > 1.25 (light columns) but < 90:
+  // a light column may move, the heavy one may not.
+  ASSERT_GE(d.column, 0);
+  EXPECT_NE(d.column, heavy);
+
+  DlbConfig literal;
+  literal.avoid_overshoot = false;
+  literal.policy = SelectionPolicy::kMostLoaded;
+  const DlbProtocol paper(layout, literal);
+  EXPECT_EQ(paper.decide(rank, map, times, load).column, heavy);
+}
+
+TEST_F(DlbProtocolCase, ApplyUpdatesMap) {
+  DlbDecision d;
+  d.target = rank_at(1, 1);
+  d.column = layout_.movable_columns_of_block(rank_at(2, 2))[0];
+  DlbProtocol::apply(map_, d);
+  EXPECT_EQ(map_.owner(d.column), d.target);
+  // A no-op decision leaves the map alone.
+  ColumnMap before = map_;
+  DlbProtocol::apply(map_, DlbDecision{});
+  EXPECT_EQ(map_, before);
+}
+
+TEST_F(DlbProtocolCase, RejectsBadConfig) {
+  DlbConfig bad;
+  bad.interval = 0;
+  EXPECT_THROW(DlbProtocol(layout_, bad), std::invalid_argument);
+  DlbConfig bad2;
+  bad2.min_relative_gap = -0.1;
+  EXPECT_THROW(DlbProtocol(layout_, bad2), std::invalid_argument);
+}
+
+// --- selection policies ------------------------------------------------
+
+class PolicyTest : public ::testing::TestWithParam<SelectionPolicy> {};
+
+TEST_P(PolicyTest, SelectedColumnIsAlwaysEligible) {
+  const PillarLayout layout(4, 4);
+  ColumnMap map(layout);
+  DlbConfig config;
+  config.policy = GetParam();
+  const DlbProtocol protocol(layout, config);
+  const int rank = layout.pe_torus().rank_of({2, 2});
+  const int fast = layout.pe_torus().rank_of({1, 1});
+  auto load = [](int col) { return static_cast<double>(col % 7); };
+  const auto d = protocol.decide(rank, map,
+                                 times_with_fastest(layout, rank, fast), load);
+  ASSERT_GE(d.column, 0);
+  EXPECT_EQ(layout.home_rank(d.column), rank);
+  EXPECT_TRUE(layout.is_movable(d.column));
+  EXPECT_EQ(map.owner(d.column), rank);
+}
+
+TEST_P(PolicyTest, DecisionPreservesInvariants) {
+  const PillarLayout layout(4, 3);
+  ColumnMap map(layout);
+  DlbConfig config;
+  config.policy = GetParam();
+  const DlbProtocol protocol(layout, config);
+  const int rank = layout.pe_torus().rank_of({3, 3});
+  const int fast = layout.pe_torus().rank_of({2, 2});
+  const auto d = protocol.decide(rank, map,
+                                 times_with_fastest(layout, rank, fast),
+                                 unit_load);
+  DlbProtocol::apply(map, d);
+  const auto report = check_invariants(layout, map);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyTest,
+    ::testing::Values(SelectionPolicy::kNearestToReceiver,
+                      SelectionPolicy::kMostLoaded,
+                      SelectionPolicy::kLeastLoaded,
+                      SelectionPolicy::kLowestIndex),
+    [](const auto& info) {
+      switch (info.param) {
+        case SelectionPolicy::kNearestToReceiver:
+          return "Nearest";
+        case SelectionPolicy::kMostLoaded:
+          return "MostLoaded";
+        case SelectionPolicy::kLeastLoaded:
+          return "LeastLoaded";
+        case SelectionPolicy::kLowestIndex:
+          return "LowestIndex";
+      }
+      return "Unknown";
+    });
+
+TEST(PolicyBehaviour, MostLoadedPicksHeaviest) {
+  const PillarLayout layout(3, 3);
+  ColumnMap map(layout);
+  DlbConfig config;
+  config.policy = SelectionPolicy::kMostLoaded;
+  config.avoid_overshoot = false;  // pure selection behaviour under test
+  const DlbProtocol protocol(layout, config);
+  const int rank = layout.pe_torus().rank_of({1, 1});
+  const int fast = layout.pe_torus().rank_of({0, 0});
+  const auto movable = map.own_movable_columns_of(rank, layout);
+  const int heavy = movable[2];
+  auto load = [&](int col) { return col == heavy ? 100.0 : 1.0; };
+  const auto d = protocol.decide(rank, map,
+                                 times_with_fastest(layout, rank, fast), load);
+  EXPECT_EQ(d.column, heavy);
+}
+
+TEST(PolicyBehaviour, LeastLoadedPicksLightest) {
+  const PillarLayout layout(3, 3);
+  ColumnMap map(layout);
+  DlbConfig config;
+  config.policy = SelectionPolicy::kLeastLoaded;
+  const DlbProtocol protocol(layout, config);
+  const int rank = layout.pe_torus().rank_of({1, 1});
+  const int fast = layout.pe_torus().rank_of({0, 0});
+  const auto movable = map.own_movable_columns_of(rank, layout);
+  const int light = movable[1];
+  auto load = [&](int col) { return col == light ? 0.5 : 10.0; };
+  const auto d = protocol.decide(rank, map,
+                                 times_with_fastest(layout, rank, fast), load);
+  EXPECT_EQ(d.column, light);
+}
+
+TEST(PolicyBehaviour, NearestToReceiverPrefersAdjacentCorner) {
+  const PillarLayout layout(3, 4);  // m = 4: movable sub-block is 3x3
+  ColumnMap map(layout);
+  const DlbProtocol protocol(layout, DlbConfig{});
+  const int rank = layout.pe_torus().rank_of({1, 1});
+  const int fast = layout.pe_torus().rank_of({0, 0});  // upper-left diagonal
+  const auto d = protocol.decide(rank, map,
+                                 times_with_fastest(layout, rank, fast),
+                                 unit_load);
+  // The movable column closest to block (0,0) is the block's own low corner
+  // (cx = 4, cy = 4).
+  const auto [cx, cy] = layout.column_coord(d.column);
+  EXPECT_EQ(cx, 4);
+  EXPECT_EQ(cy, 4);
+}
+
+}  // namespace
+}  // namespace pcmd::core

@@ -1,0 +1,232 @@
+#include "core/invariant.hpp"
+
+#include "core/dlb_protocol.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::core {
+namespace {
+
+TEST(Invariants, InitialStateIsValid) {
+  for (const int s : {3, 4, 6}) {
+    for (const int m : {2, 3, 4}) {
+      const PillarLayout layout(s, m);
+      const ColumnMap map(layout);
+      const auto report = check_invariants(layout, map);
+      EXPECT_TRUE(report.ok) << "s=" << s << " m=" << m;
+    }
+  }
+}
+
+TEST(Invariants, DetectsPermanentColumnMoved) {
+  const PillarLayout layout(3, 2);
+  ColumnMap map(layout);
+  int permanent = -1;
+  for (int c = 0; c < layout.num_columns(); ++c) {
+    if (layout.is_permanent(c)) {
+      permanent = c;
+      break;
+    }
+  }
+  map.set_owner(permanent, (layout.home_rank(permanent) + 1) % 9);
+  EXPECT_FALSE(check_invariants(layout, map).ok);
+}
+
+TEST(Invariants, DetectsMovableColumnAtDisallowedRank) {
+  const PillarLayout layout(4, 2);
+  ColumnMap map(layout);
+  const int rank = layout.pe_torus().rank_of({2, 2});
+  const int movable = layout.movable_columns_of_block(rank)[0];
+  // Move it to the lower-right neighbour — not an allowed owner.
+  map.set_owner(movable, layout.pe_torus().rank_of({3, 3}));
+  const auto report = check_invariants(layout, map);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Invariants, DetectsInvalidOwnerId) {
+  const PillarLayout layout(3, 2);
+  ColumnMap map(layout);
+  map.set_owner(0, 999);
+  EXPECT_FALSE(check_invariants(layout, map).ok);
+}
+
+TEST(Invariants, MaximalLegalDomainIsValidAndTight) {
+  // Give one PE everything it can legally hold: its own block plus all
+  // movable columns of its three lower-right neighbours (paper Fig. 4).
+  const PillarLayout layout(4, 3);
+  ColumnMap map(layout);
+  const auto& torus = layout.pe_torus();
+  const int target = torus.rank_of({1, 1});
+  for (const auto [di, dj] : {std::pair{1, 0}, {0, 1}, {1, 1}}) {
+    const int donor = torus.rank_of({1 + di, 1 + dj});
+    for (const int col : layout.movable_columns_of_block(donor)) {
+      map.set_owner(col, target);
+    }
+  }
+  const auto report = check_invariants(layout, map);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+  EXPECT_EQ(map.count_of(target), layout.max_columns_per_rank());
+  // The paper: after redistribution the PE holds up to ~2.3x its initial
+  // cells (m=3: 21/9 = 2.33).
+  EXPECT_NEAR(static_cast<double>(map.count_of(target)) /
+                  (layout.m() * layout.m()),
+              21.0 / 9.0, 1e-12);
+}
+
+// Property test: random legal protocol traffic never violates the
+// invariants. Each round, every rank (in random order) gets random
+// neighbour times, makes its decision against the *shared* map (this test
+// exercises the protocol logic, not message transport) and applies it.
+struct FuzzParam {
+  int pe_side;
+  int m;
+  std::uint64_t seed;
+  bool fallback = false;
+  bool avoid_overshoot = true;
+};
+
+class InvariantFuzz : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(InvariantFuzz, RandomProtocolTrafficPreservesInvariants) {
+  const auto param = GetParam();
+  const PillarLayout layout(param.pe_side, param.m);
+  ColumnMap map(layout);
+  DlbConfig config;
+  config.fallback_to_helpable = param.fallback;
+  config.avoid_overshoot = param.avoid_overshoot;
+  const DlbProtocol protocol(layout, config);
+  pcmd::Rng rng(param.seed);
+
+  auto load = [&](int col) { return static_cast<double>((col * 31) % 17); };
+
+  for (int round = 0; round < 60; ++round) {
+    for (int rank = 0; rank < layout.pe_count(); ++rank) {
+      NeighborTimes times;
+      times.self_time = rng.uniform(0.1, 10.0);
+      for (int k = 0; k < 8; ++k) {
+        times.neighbor_times.push_back(rng.uniform(0.1, 10.0));
+      }
+      const auto d = protocol.decide(rank, map, times, load);
+      if (d.target >= 0) {
+        // Legality of the transfer itself.
+        ASSERT_TRUE(layout.pe_torus().adjacent8(rank, d.target));
+        ASSERT_EQ(map.owner(d.column), rank);
+        ASSERT_TRUE(layout.is_movable(d.column));
+        DlbProtocol::apply(map, d);
+      }
+    }
+    const auto report = check_invariants(layout, map);
+    ASSERT_TRUE(report.ok) << "round " << round << ": "
+                           << report.violations.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, InvariantFuzz,
+    ::testing::Values(
+        FuzzParam{3, 2, 1}, FuzzParam{3, 3, 2}, FuzzParam{3, 4, 3},
+        FuzzParam{4, 2, 4}, FuzzParam{4, 3, 5}, FuzzParam{6, 2, 6},
+        FuzzParam{6, 4, 7}, FuzzParam{8, 3, 8},
+        // Protocol-mode sweep: the invariants must hold regardless of the
+        // targeting/overshoot knobs.
+        FuzzParam{4, 3, 9, /*fallback=*/true, /*avoid_overshoot=*/true},
+        FuzzParam{4, 3, 10, /*fallback=*/true, /*avoid_overshoot=*/false},
+        FuzzParam{4, 3, 11, /*fallback=*/false, /*avoid_overshoot=*/false},
+        FuzzParam{6, 4, 12, /*fallback=*/true, /*avoid_overshoot=*/false}),
+    [](const auto& info) {
+      return "s" + std::to_string(info.param.pe_side) + "m" +
+             std::to_string(info.param.m) + "_" +
+             std::to_string(info.param.seed) +
+             (info.param.fallback ? "fb" : "") +
+             (info.param.avoid_overshoot ? "" : "raw");
+    });
+
+// Convergence harness: concentrated load on one block, times proportional
+// to owned load, repeated protocol rounds.
+struct ConvergenceResult {
+  double initial = 0.0;
+  double final = 0.0;
+  bool invariants_ok = false;
+};
+
+ConvergenceResult run_convergence(const DlbConfig& config) {
+  const PillarLayout layout(4, 4);
+  ColumnMap map(layout);
+  const DlbProtocol protocol(layout, config);
+
+  // All load sits in the columns of block (2,2).
+  const int hot = layout.pe_torus().rank_of({2, 2});
+  std::vector<double> column_load(layout.num_columns(), 0.01);
+  for (const int col : layout.columns_of_block(hot)) {
+    column_load[col] = 100.0;
+  }
+  auto load = [&](int col) { return column_load[col]; };
+  auto rank_time = [&](int rank) {
+    double t = 0.0;
+    for (const int col : map.columns_of(rank)) t += column_load[col];
+    return t;
+  };
+  auto imbalance = [&] {
+    double max_t = 0.0, sum = 0.0;
+    for (int r = 0; r < layout.pe_count(); ++r) {
+      const double t = rank_time(r);
+      max_t = std::max(max_t, t);
+      sum += t;
+    }
+    return max_t / (sum / layout.pe_count());
+  };
+
+  ConvergenceResult result;
+  result.initial = imbalance();
+  for (int round = 0; round < 40; ++round) {
+    for (int rank = 0; rank < layout.pe_count(); ++rank) {
+      NeighborTimes times;
+      times.self_time = rank_time(rank);
+      for (const int nb : layout.pe_torus().neighbors8(rank)) {
+        times.neighbor_times.push_back(rank_time(nb));
+      }
+      DlbProtocol::apply(map, protocol.decide(rank, map, times, load));
+    }
+  }
+  result.final = imbalance();
+  result.invariants_ok = check_invariants(layout, map).ok;
+  return result;
+}
+
+TEST(Convergence, FallbackModeBalancesConcentratedLoad) {
+  DlbConfig config;
+  config.fallback_to_helpable = true;
+  const auto r = run_convergence(config);
+  EXPECT_LT(r.final, 0.5 * r.initial);
+  EXPECT_TRUE(r.invariants_ok);
+}
+
+TEST(Convergence, StrictModeStallsWhenFastestIsUnhelpable) {
+  // The literal paper protocol only ever considers PE_fast. On a *static*
+  // load with exactly tied neighbour times, PE_fast can deterministically be
+  // an anti-diagonal neighbour (case 2) forever and redistribution stalls
+  // after the first transfers. Real MD time noise unsticks it; this test
+  // documents the behaviour that motivates the fallback extension.
+  const auto r = run_convergence(DlbConfig{});
+  EXPECT_TRUE(r.invariants_ok);
+  EXPECT_LT(r.final, r.initial);           // some transfers happen...
+  EXPECT_GT(r.final, 0.5 * r.initial);     // ...but it stalls early
+}
+
+TEST(Convergence, FallbackNeverBeatsTheoreticalFloor) {
+  // Even ideal balancing cannot shed the hot block's permanent columns:
+  // final imbalance >= permanent load / average.
+  DlbConfig config;
+  config.fallback_to_helpable = true;
+  const auto r = run_convergence(config);
+  // Hot block: 16 columns at load 100, 9 movable can leave, 7 stay.
+  // Average ~ (16 * 100) / 16 PEs ~ 100 -> floor ~ 7.
+  EXPECT_GE(r.final, 6.5);
+}
+
+}  // namespace
+}  // namespace pcmd::core

@@ -1,0 +1,127 @@
+#include "core/pillar_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pcmd::core {
+namespace {
+
+TEST(PillarLayout, BasicDimensions) {
+  const PillarLayout layout(3, 2);
+  EXPECT_EQ(layout.pe_count(), 9);
+  EXPECT_EQ(layout.cells_axis(), 6);
+  EXPECT_EQ(layout.num_columns(), 36);
+}
+
+TEST(PillarLayout, RejectsSmallConfigs) {
+  EXPECT_THROW(PillarLayout(2, 2), std::invalid_argument);
+  EXPECT_THROW(PillarLayout(3, 1), std::invalid_argument);
+}
+
+TEST(PillarLayout, ColumnIdRoundTrip) {
+  const PillarLayout layout(3, 3);
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    const auto [cx, cy] = layout.column_coord(col);
+    EXPECT_EQ(layout.column_id(cx, cy), col);
+  }
+}
+
+TEST(PillarLayout, HomeRankPartitionsColumns) {
+  const PillarLayout layout(4, 2);
+  std::vector<int> counts(layout.pe_count(), 0);
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    ++counts[layout.home_rank(col)];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 4);  // m^2 columns per block
+}
+
+TEST(PillarLayout, ColumnsOfBlockMatchesHomeRank) {
+  const PillarLayout layout(3, 3);
+  for (int rank = 0; rank < layout.pe_count(); ++rank) {
+    const auto cols = layout.columns_of_block(rank);
+    EXPECT_EQ(cols.size(), 9u);
+    EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+    for (const int col : cols) {
+      EXPECT_EQ(layout.home_rank(col), rank);
+    }
+  }
+}
+
+TEST(PillarLayout, PermanentCountMatchesPaper) {
+  // Figure 3: with m = 3, each block has 4 movable and 5 permanent cells
+  // (one row plus one column of the 3x3 cross-section).
+  const PillarLayout layout(3, 3);
+  for (int rank = 0; rank < layout.pe_count(); ++rank) {
+    const auto movable = layout.movable_columns_of_block(rank);
+    EXPECT_EQ(movable.size(), 4u);
+  }
+}
+
+TEST(PillarLayout, MovableFractionForPaperCases) {
+  // Paper Section 3.3: m = 2 -> 1/4 movable; m = 4 -> 9/16 movable.
+  {
+    const PillarLayout layout(3, 2);
+    EXPECT_EQ(layout.movable_columns_of_block(0).size(), 1u);  // 1 of 4
+  }
+  {
+    const PillarLayout layout(3, 4);
+    EXPECT_EQ(layout.movable_columns_of_block(0).size(), 9u);  // 9 of 16
+  }
+}
+
+TEST(PillarLayout, PermanentColumnsAreHighEdges) {
+  const PillarLayout layout(3, 3);
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    const auto [cx, cy] = layout.column_coord(col);
+    const bool expected = (cx % 3 == 2) || (cy % 3 == 2);
+    EXPECT_EQ(layout.is_permanent(col), expected);
+    EXPECT_EQ(layout.is_movable(col), !expected);
+  }
+}
+
+TEST(PillarLayout, MaxColumnsFormula) {
+  EXPECT_EQ(PillarLayout(3, 2).max_columns_per_rank(), 4 + 3 * 1);
+  EXPECT_EQ(PillarLayout(3, 3).max_columns_per_rank(), 9 + 3 * 4);
+  EXPECT_EQ(PillarLayout(3, 4).max_columns_per_rank(), 16 + 3 * 9);
+}
+
+TEST(PillarLayout, AllowedOwnersPermanent) {
+  const PillarLayout layout(3, 2);
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    if (!layout.is_permanent(col)) continue;
+    const auto owners = layout.allowed_owners(col);
+    ASSERT_EQ(owners.size(), 1u);
+    EXPECT_EQ(owners[0], layout.home_rank(col));
+  }
+}
+
+TEST(PillarLayout, AllowedOwnersMovableAreUpperLeftNeighbors) {
+  const PillarLayout layout(4, 2);
+  const auto& torus = layout.pe_torus();
+  for (int col = 0; col < layout.num_columns(); ++col) {
+    if (!layout.is_movable(col)) continue;
+    const auto owners = layout.allowed_owners(col);
+    EXPECT_EQ(owners.size(), 4u);
+    const sim::Coord2 home = layout.block_coord_of_column(col);
+    std::set<int> expected;
+    for (int di = -1; di <= 0; ++di) {
+      for (int dj = -1; dj <= 0; ++dj) {
+        expected.insert(torus.rank_of({home.i + di, home.j + dj}));
+      }
+    }
+    EXPECT_EQ(std::set<int>(owners.begin(), owners.end()), expected);
+  }
+}
+
+TEST(PillarLayout, PaperConfigurationSizes) {
+  // 36 PEs, m = 4: K = 24, C = 24^3 = 13824 cells (columns = 576).
+  const PillarLayout layout(6, 4);
+  EXPECT_EQ(layout.cells_axis(), 24);
+  EXPECT_EQ(layout.num_columns(), 576);
+  EXPECT_EQ(layout.max_columns_per_rank(), 43);
+}
+
+}  // namespace
+}  // namespace pcmd::core

@@ -1,0 +1,90 @@
+#include "ddm/comm_volume.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::ddm {
+namespace {
+
+TEST(CommVolume, PlaneProfile) {
+  // K = 24, P = 8: slabs of thickness 3.
+  const auto p = comm_profile(DomainShape::kPlane, 24, 8);
+  EXPECT_EQ(p.neighbor_count, 2);
+  EXPECT_DOUBLE_EQ(p.halo_cells, 2.0 * 24 * 24);
+  EXPECT_DOUBLE_EQ(p.cells_per_pe, 24.0 * 24 * 24 / 8);
+}
+
+TEST(CommVolume, PillarProfile) {
+  // K = 24, P = 36: m = 4 pillars; halo ring = (6^2 - 4^2) * 24 = 480.
+  const auto p = comm_profile(DomainShape::kSquarePillar, 24, 36);
+  EXPECT_EQ(p.neighbor_count, 8);
+  EXPECT_DOUBLE_EQ(p.halo_cells, 480.0);
+}
+
+TEST(CommVolume, CubeProfile) {
+  // K = 24, P = 64: blocks of 6^3; halo shell = 8^3 - 6^3 = 296.
+  const auto p = comm_profile(DomainShape::kCube, 24, 64);
+  EXPECT_EQ(p.neighbor_count, 26);
+  EXPECT_DOUBLE_EQ(p.halo_cells, 296.0);
+}
+
+TEST(CommVolume, SinglePeNeedsNoCommunication) {
+  for (const auto shape :
+       {DomainShape::kPlane, DomainShape::kSquarePillar, DomainShape::kCube}) {
+    const auto p = comm_profile(shape, 8, 1);
+    EXPECT_EQ(p.neighbor_count, 0) << to_string(shape);
+    EXPECT_DOUBLE_EQ(p.halo_cells, 0.0);
+  }
+}
+
+TEST(CommVolume, RejectsNonTilingConfigurations) {
+  EXPECT_THROW(comm_profile(DomainShape::kPlane, 10, 3), std::invalid_argument);
+  EXPECT_THROW(comm_profile(DomainShape::kSquarePillar, 24, 12),
+               std::invalid_argument);  // 12 not a square
+  EXPECT_THROW(comm_profile(DomainShape::kSquarePillar, 10, 9),
+               std::invalid_argument);  // 3 does not divide 10
+  EXPECT_THROW(comm_profile(DomainShape::kCube, 24, 9),
+               std::invalid_argument);  // 9 not a cube
+  EXPECT_THROW(comm_profile(DomainShape::kPlane, 0, 1), std::invalid_argument);
+}
+
+TEST(CommVolume, PillarBeatsPlaneOnHaloVolumeAtMidScale) {
+  // The paper's Section 2.2 argument: for mid-size machines the pillar's
+  // halo volume is much smaller than the plane's. (At very small P the plane
+  // can still win on volume; the crossover is part of the ablation bench.)
+  const auto plane = comm_profile(DomainShape::kPlane, 16, 16);
+  const auto pillar = comm_profile(DomainShape::kSquarePillar, 16, 16);
+  EXPECT_LT(pillar.halo_cells, plane.halo_cells);
+}
+
+TEST(CommVolume, CubeHasLowestVolumeButMostNeighbors) {
+  const auto pillar = comm_profile(DomainShape::kSquarePillar, 64, 64);
+  const auto cube = comm_profile(DomainShape::kCube, 64, 64);
+  EXPECT_LT(cube.halo_cells, pillar.halo_cells);
+  EXPECT_GT(cube.neighbor_count, pillar.neighbor_count);
+}
+
+TEST(CommVolume, CommSecondsWeighsLatencyAgainstVolume) {
+  const auto pillar = comm_profile(DomainShape::kSquarePillar, 24, 36);
+  const auto cube = comm_profile(DomainShape::kCube, 24, 27);
+  // With enormous latency the 26-neighbour cube loses.
+  EXPECT_LT(pillar.comm_seconds(1.0, 1e-9), cube.comm_seconds(1.0, 1e-9));
+  // With free latency, volume decides.
+  const bool cube_smaller_volume = cube.halo_cells < pillar.halo_cells;
+  EXPECT_EQ(cube.comm_seconds(0.0, 1.0) < pillar.comm_seconds(0.0, 1.0),
+            cube_smaller_volume);
+}
+
+TEST(CommVolume, SurfaceRatioShrinksWithDomainSize) {
+  const auto small = comm_profile(DomainShape::kSquarePillar, 12, 36);
+  const auto large = comm_profile(DomainShape::kSquarePillar, 36, 36);
+  EXPECT_GT(small.surface_ratio, large.surface_ratio);
+}
+
+TEST(CommVolume, ToStringNames) {
+  EXPECT_EQ(to_string(DomainShape::kPlane), "plane");
+  EXPECT_EQ(to_string(DomainShape::kSquarePillar), "square-pillar");
+  EXPECT_EQ(to_string(DomainShape::kCube), "cube");
+}
+
+}  // namespace
+}  // namespace pcmd::ddm

@@ -1,0 +1,176 @@
+#include "md/cell_grid.hpp"
+#include "md/lj.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pcmd::md {
+namespace {
+
+// Random positions with a minimum separation: overlapping random points give
+// astronomically large LJ forces and turn tolerance checks meaningless.
+ParticleVector random_particles(int n, const Box& box, std::uint64_t seed) {
+  pcmd::Rng rng(seed);
+  workload::GasConfig config;
+  config.min_separation = 0.85;
+  return workload::random_gas(n, box, config, rng);
+}
+
+std::vector<int> all_cells(const CellGrid& grid) {
+  std::vector<int> cells(grid.num_cells());
+  std::iota(cells.begin(), cells.end(), 0);
+  return cells;
+}
+
+TEST(Forces, TwoParticleForceIsAnalytic) {
+  const Box box = Box::cubic(10.0);
+  const LennardJones lj(2.5);
+  ParticleVector particles(2);
+  particles[0] = {.id = 0, .position = {2.0, 5.0, 5.0}};
+  particles[1] = {.id = 1, .position = {3.5, 5.0, 5.0}};  // r = 1.5
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, particles);
+  const auto result =
+      accumulate_forces(particles, grid, bins, all_cells(grid), lj);
+  // Force on particle 0: d = x0 - x1 = -1.5, attractive (fov < 0), so the
+  // force points in +x, toward particle 1.
+  const double expected_f0_x = -1.5 * lj.force_over_r(2.25);
+  EXPECT_GT(expected_f0_x, 0.0);
+  EXPECT_NEAR(particles[0].force.x, expected_f0_x, 1e-12);
+  EXPECT_NEAR(particles[1].force.x, -expected_f0_x, 1e-12);
+  EXPECT_NEAR(particles[0].force.y, 0.0, 1e-12);
+  EXPECT_NEAR(result.potential_energy, lj.potential_r2(2.25), 1e-12);
+}
+
+TEST(Forces, NewtonsThirdLawHolds) {
+  const Box box = Box::cubic(12.5);
+  const LennardJones lj(2.5);
+  auto particles = random_particles(200, box, 3);
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, particles);
+  accumulate_forces(particles, grid, bins, all_cells(grid), lj);
+  Vec3 total{};
+  for (const auto& p : particles) total += p.force;
+  EXPECT_NEAR(total.x, 0.0, 1e-9);
+  EXPECT_NEAR(total.y, 0.0, 1e-9);
+  EXPECT_NEAR(total.z, 0.0, 1e-9);
+}
+
+TEST(Forces, CellPathMatchesNaive) {
+  const Box box = Box::cubic(10.0);
+  const LennardJones lj(2.5);
+  auto cell_particles = random_particles(150, box, 11);
+  auto naive_particles = cell_particles;
+
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, cell_particles);
+  const auto cell_result =
+      accumulate_forces(cell_particles, grid, bins, all_cells(grid), lj);
+  const auto naive_result = accumulate_forces_naive(naive_particles, box, lj);
+
+  for (std::size_t i = 0; i < cell_particles.size(); ++i) {
+    EXPECT_NEAR(cell_particles[i].force.x, naive_particles[i].force.x, 1e-9);
+    EXPECT_NEAR(cell_particles[i].force.y, naive_particles[i].force.y, 1e-9);
+    EXPECT_NEAR(cell_particles[i].force.z, naive_particles[i].force.z, 1e-9);
+  }
+  EXPECT_NEAR(cell_result.potential_energy, naive_result.potential_energy,
+              1e-9);
+}
+
+TEST(Forces, CellPathMatchesNaiveAcrossDensities) {
+  const LennardJones lj(2.5);
+  for (const int n : {10, 60, 300}) {
+    const Box box = Box::cubic(10.0);
+    auto a = random_particles(n, box, 100 + n);
+    auto b = a;
+    const CellGrid grid(box, 2.5);
+    const CellBins bins(grid, a);
+    accumulate_forces(a, grid, bins, all_cells(grid), lj);
+    accumulate_forces_naive(b, box, lj);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(a[i].force.x, b[i].force.x, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(Forces, PairEvaluationsCountsAllStencilCombinations) {
+  const Box box = Box::cubic(10.0);
+  const LennardJones lj(2.5);
+  // Two particles in the same cell: each sees the other once -> 2 evals.
+  ParticleVector particles(2);
+  particles[0] = {.id = 0, .position = {1.0, 1.0, 1.0}};
+  particles[1] = {.id = 1, .position = {1.5, 1.0, 1.0}};
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, particles);
+  const auto result =
+      accumulate_forces(particles, grid, bins, all_cells(grid), lj);
+  EXPECT_EQ(result.pair_evaluations, 2u);
+}
+
+TEST(Forces, TargetCellSubsetOnlyUpdatesThoseParticles) {
+  const Box box = Box::cubic(10.0);
+  const LennardJones lj(2.5);
+  ParticleVector particles(2);
+  particles[0] = {.id = 0, .position = {1.0, 1.0, 1.0}};
+  particles[1] = {.id = 1, .position = {1.5, 1.0, 1.0}};
+  particles[0].force = {99, 99, 99};
+  particles[1].force = {99, 99, 99};
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, particles);
+  const int home = grid.cell_of_position({1.0, 1.0, 1.0});
+  const std::vector<int> targets = {home};
+  accumulate_forces(particles, grid, bins, targets, lj);
+  // Both live in the same cell, so both were targets; force overwritten.
+  EXPECT_NE(particles[0].force.x, 99.0);
+  // Now target an empty cell: nothing changes.
+  particles[0].force = {99, 99, 99};
+  const std::vector<int> empty_target = {(home + 32) % grid.num_cells()};
+  accumulate_forces(particles, grid, bins, empty_target, lj);
+  EXPECT_EQ(particles[0].force.x, 99.0);
+}
+
+TEST(Forces, InteractionThroughPeriodicBoundary) {
+  const Box box = Box::cubic(10.0);
+  const LennardJones lj(2.5);
+  ParticleVector particles(2);
+  particles[0] = {.id = 0, .position = {0.2, 5.0, 5.0}};
+  particles[1] = {.id = 1, .position = {9.8, 5.0, 5.0}};  // r = 0.4 via wrap
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, particles);
+  accumulate_forces(particles, grid, bins, all_cells(grid), lj);
+  // Strongly repulsive at r = 0.4; particle 0 pushed in +x (away through
+  // the boundary), particle 1 in -x.
+  EXPECT_GT(particles[0].force.x, 0.0);
+  EXPECT_LT(particles[1].force.x, 0.0);
+}
+
+TEST(Forces, DeterministicAcrossParticleOrder) {
+  const Box box = Box::cubic(10.0);
+  const LennardJones lj(2.5);
+  auto particles = random_particles(50, box, 77);
+  auto shuffled = particles;
+  std::reverse(shuffled.begin(), shuffled.end());
+
+  const CellGrid grid(box, 2.5);
+  const CellBins bins_a(grid, particles);
+  const CellBins bins_b(grid, shuffled);
+  accumulate_forces(particles, grid, bins_a, all_cells(grid), lj);
+  accumulate_forces(shuffled, grid, bins_b, all_cells(grid), lj);
+
+  // Same particle (by id) must receive the bitwise-identical force, because
+  // bins iterate in id order regardless of storage order.
+  for (const auto& p : particles) {
+    const auto it = std::find_if(shuffled.begin(), shuffled.end(),
+                                 [&](const Particle& q) { return q.id == p.id; });
+    ASSERT_NE(it, shuffled.end());
+    EXPECT_EQ(p.force.x, it->force.x);
+    EXPECT_EQ(p.force.y, it->force.y);
+    EXPECT_EQ(p.force.z, it->force.z);
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::md

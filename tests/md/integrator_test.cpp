@@ -1,0 +1,119 @@
+#include "md/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::md {
+namespace {
+
+TEST(VelocityVerlet, RejectsNonPositiveDt) {
+  EXPECT_THROW(VelocityVerlet(0.0), std::invalid_argument);
+  EXPECT_THROW(VelocityVerlet(-0.1), std::invalid_argument);
+}
+
+TEST(VelocityVerlet, FreeParticleMovesLinearly) {
+  const Box box = Box::cubic(100.0);
+  VelocityVerlet vv(0.1);
+  ParticleVector p(1);
+  p[0].position = {1.0, 2.0, 3.0};
+  p[0].velocity = {1.0, 0.0, -1.0};
+  p[0].force = {};
+  for (int i = 0; i < 10; ++i) {
+    vv.drift(p, box);
+    // force stays zero
+    vv.kick(p);
+  }
+  EXPECT_NEAR(p[0].position.x, 2.0, 1e-12);
+  EXPECT_NEAR(p[0].position.y, 2.0, 1e-12);
+  EXPECT_NEAR(p[0].position.z, 2.0, 1e-12);
+}
+
+TEST(VelocityVerlet, ConstantForceMatchesKinematics) {
+  const Box box = Box::cubic(1000.0);
+  const double dt = 0.01;
+  VelocityVerlet vv(dt);
+  ParticleVector p(1);
+  p[0].position = {10.0, 10.0, 10.0};
+  p[0].velocity = {};
+  const Vec3 g{0.0, 0.0, -2.0};
+  p[0].force = g;
+  const int steps = 100;
+  for (int i = 0; i < steps; ++i) {
+    vv.drift(p, box);
+    p[0].force = g;  // constant field
+    vv.kick(p);
+  }
+  const double t = steps * dt;
+  // z(t) = z0 + a t^2 / 2 — velocity Verlet is exact for constant force.
+  EXPECT_NEAR(p[0].position.z, 10.0 - 0.5 * 2.0 * t * t, 1e-10);
+  EXPECT_NEAR(p[0].velocity.z, -2.0 * t, 1e-10);
+}
+
+TEST(VelocityVerlet, HarmonicOscillatorEnergyStable) {
+  // x'' = -x: velocity Verlet should conserve energy to O(dt^2) per period.
+  const Box box = Box::cubic(1000.0);
+  const double dt = 0.01;
+  VelocityVerlet vv(dt);
+  ParticleVector p(1);
+  p[0].position = {501.0, 500.0, 500.0};  // displacement 1 from centre
+  const Vec3 center{500.0, 500.0, 500.0};
+  auto spring = [&](const Particle& q) { return center - q.position; };
+  p[0].force = spring(p[0]);
+  const double e0 = 0.5 * norm2(p[0].velocity) +
+                    0.5 * norm2(p[0].position - center);
+  for (int i = 0; i < 10000; ++i) {
+    vv.drift(p, box);
+    p[0].force = spring(p[0]);
+    vv.kick(p);
+  }
+  const double e1 = 0.5 * norm2(p[0].velocity) +
+                    0.5 * norm2(p[0].position - center);
+  EXPECT_NEAR(e1, e0, 1e-4);
+}
+
+TEST(VelocityVerlet, DriftWrapsIntoPrimaryImage) {
+  const Box box = Box::cubic(5.0);
+  VelocityVerlet vv(1.0);
+  ParticleVector p(1);
+  p[0].position = {4.9, 0.1, 2.5};
+  p[0].velocity = {1.0, -1.0, 0.0};
+  vv.drift(p, box);
+  EXPECT_TRUE(in_primary_image(p[0].position, box));
+  EXPECT_NEAR(p[0].position.x, 0.9, 1e-12);
+  EXPECT_NEAR(p[0].position.y, 4.1, 1e-12);
+}
+
+TEST(VelocityVerlet, TimeReversible) {
+  // Integrate forward n steps with a position-dependent force, negate
+  // velocities, integrate n more: returns to the start (symplectic + exact
+  // arithmetic reversibility up to rounding).
+  const Box box = Box::cubic(1000.0);
+  const double dt = 0.005;
+  VelocityVerlet vv(dt);
+  const Vec3 center{500.0, 500.0, 500.0};
+  auto spring = [&](const Particle& q) { return center - q.position; };
+
+  ParticleVector p(1);
+  p[0].position = {502.0, 500.5, 499.0};
+  p[0].velocity = {0.3, -0.2, 0.1};
+  p[0].force = spring(p[0]);
+  const Vec3 x0 = p[0].position;
+
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    vv.drift(p, box);
+    p[0].force = spring(p[0]);
+    vv.kick(p);
+  }
+  p[0].velocity *= -1.0;
+  for (int i = 0; i < n; ++i) {
+    vv.drift(p, box);
+    p[0].force = spring(p[0]);
+    vv.kick(p);
+  }
+  EXPECT_NEAR(p[0].position.x, x0.x, 1e-8);
+  EXPECT_NEAR(p[0].position.y, x0.y, 1e-8);
+  EXPECT_NEAR(p[0].position.z, x0.z, 1e-8);
+}
+
+}  // namespace
+}  // namespace pcmd::md

@@ -1,0 +1,137 @@
+#include "md/neighbor_list.hpp"
+
+#include "md/serial_md.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcmd::md {
+namespace {
+
+ParticleVector gas(int n, const Box& box, std::uint64_t seed) {
+  pcmd::Rng rng(seed);
+  workload::GasConfig config;
+  config.min_separation = 0.85;
+  return workload::random_gas(n, box, config, rng);
+}
+
+TEST(NeighborList, RejectsBadArguments) {
+  const Box box = Box::cubic(10.0);
+  EXPECT_THROW(NeighborList(box, 0.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(NeighborList(box, 2.5, -0.1), std::invalid_argument);
+}
+
+TEST(NeighborList, ForcesMatchCellSweep) {
+  const Box box = Box::cubic(10.0);
+  auto a = gas(300, box, 3);
+  auto b = a;
+  const LennardJones lj(2.5);
+
+  NeighborList list(box, 2.5, 0.4);
+  list.rebuild(a);
+  const auto la = list.compute(a, lj);
+  const auto lb = accumulate_forces_naive(b, box, lj);
+
+  EXPECT_NEAR(la.potential_energy, lb.potential_energy, 1e-9);
+  EXPECT_NEAR(la.virial, lb.virial, 1e-9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].force.x, b[i].force.x, 1e-9) << "particle " << i;
+    EXPECT_NEAR(a[i].force.y, b[i].force.y, 1e-9);
+    EXPECT_NEAR(a[i].force.z, b[i].force.z, 1e-9);
+  }
+}
+
+TEST(NeighborList, HalfListCountsEachPairOnce) {
+  const Box box = Box::cubic(8.0);
+  ParticleVector particles(2);
+  particles[0] = {.id = 0, .position = {1.0, 1.0, 1.0}, .velocity = {}, .force = {}};
+  particles[1] = {.id = 1, .position = {2.0, 1.0, 1.0}, .velocity = {}, .force = {}};
+  NeighborList list(box, 2.5, 0.3);
+  list.rebuild(particles);
+  EXPECT_EQ(list.pair_count(), 1u);
+}
+
+TEST(NeighborList, SkinKeepsListValidUnderSmallMoves) {
+  const Box box = Box::cubic(10.0);
+  auto particles = gas(100, box, 5);
+  NeighborList list(box, 2.5, 0.4);
+  list.rebuild(particles);
+  EXPECT_FALSE(list.needs_rebuild(particles));
+  // Moves below skin/2 keep the list valid.
+  for (auto& p : particles) p.position.x = wrap_coordinate(p.position.x + 0.1, 10.0);
+  EXPECT_FALSE(list.needs_rebuild(particles));
+  // A single larger move invalidates it.
+  particles[0].position.y = wrap_coordinate(particles[0].position.y + 0.3, 10.0);
+  EXPECT_TRUE(list.needs_rebuild(particles));
+}
+
+TEST(NeighborList, CountChangeForcesRebuild) {
+  const Box box = Box::cubic(10.0);
+  auto particles = gas(50, box, 7);
+  NeighborList list(box, 2.5, 0.4);
+  list.rebuild(particles);
+  particles.pop_back();
+  EXPECT_TRUE(list.needs_rebuild(particles));
+}
+
+TEST(NeighborList, ComputeWithoutRebuildThrows) {
+  const Box box = Box::cubic(10.0);
+  auto particles = gas(20, box, 9);
+  NeighborList list(box, 2.5, 0.4);
+  list.rebuild(particles);
+  particles.pop_back();
+  const LennardJones lj(2.5);
+  EXPECT_THROW(list.compute(particles, lj), std::logic_error);
+}
+
+TEST(NeighborList, SerialMdNeighborPathMatchesCellPath) {
+  const Box box = Box::cubic(10.0);
+  const auto initial = gas(250, box, 11);
+
+  SerialMdConfig cell_config;
+  cell_config.dt = 0.004;
+  SerialMd cell_md(box, initial, cell_config);
+
+  SerialMdConfig nl_config;
+  nl_config.dt = 0.004;
+  nl_config.neighbor_skin = 0.4;
+  SerialMd nl_md(box, initial, nl_config);
+
+  for (int i = 0; i < 40; ++i) {
+    const auto a = cell_md.step();
+    const auto b = nl_md.step();
+    ASSERT_NEAR(a.potential_energy, b.potential_energy, 1e-7) << "step " << i;
+    ASSERT_NEAR(a.kinetic_energy, b.kinetic_energy, 1e-7);
+  }
+  // The skin amortises rebuilds: far fewer rebuilds than steps.
+  EXPECT_GE(nl_md.neighbor_rebuilds(), 1u);
+  EXPECT_LT(nl_md.neighbor_rebuilds(), 40u);
+}
+
+TEST(NeighborList, EnergyConservedOnNeighborPath) {
+  const Box box = Box::cubic(10.0);
+  SerialMdConfig config;
+  config.dt = 0.004;
+  config.neighbor_skin = 0.4;
+  SerialMd sim(box, gas(200, box, 13), config);
+  const double e0 = sim.total_energy();
+  sim.run(150);
+  EXPECT_NEAR(sim.total_energy(), e0, std::max(0.01 * std::abs(e0), 0.05));
+}
+
+TEST(NeighborList, ZeroSkinRebuildsEveryStep) {
+  const Box box = Box::cubic(10.0);
+  SerialMdConfig config;
+  config.dt = 0.004;
+  config.neighbor_skin = 0.0;
+  SerialMd sim(box, gas(100, box, 17), config);
+  sim.run(10);
+  // Any motion at all invalidates a zero-skin list.
+  EXPECT_GE(sim.neighbor_rebuilds(), 10u);
+}
+
+}  // namespace
+}  // namespace pcmd::md

@@ -1,0 +1,75 @@
+#include "md/observables.hpp"
+#include "md/serial_md.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pcmd::md {
+namespace {
+
+TEST(Pressure, IdealGasLimit) {
+  // Zero virial: P = N T / V exactly.
+  EXPECT_DOUBLE_EQ(pressure(1.5, 0.0, 100, 50.0), 100 * 1.5 / 50.0);
+}
+
+TEST(Pressure, VirialContribution) {
+  EXPECT_DOUBLE_EQ(pressure(1.0, 30.0, 10, 10.0), (10.0 + 10.0) / 10.0);
+}
+
+TEST(Pressure, DegenerateVolume) {
+  EXPECT_DOUBLE_EQ(pressure(1.0, 1.0, 10, 0.0), 0.0);
+}
+
+TEST(Pressure, CellAndNaiveVirialAgree) {
+  const Box box = Box::cubic(10.0);
+  pcmd::Rng rng(3);
+  workload::GasConfig gas;
+  gas.min_separation = 0.85;
+  auto a = workload::random_gas(200, box, gas, rng);
+  auto b = a;
+  const LennardJones lj(2.5);
+  const CellGrid grid(box, 2.5);
+  const CellBins bins(grid, a);
+  std::vector<int> all(grid.num_cells());
+  std::iota(all.begin(), all.end(), 0);
+  const auto ra = accumulate_forces(a, grid, bins, all, lj);
+  const auto rb = accumulate_forces_naive(b, box, lj);
+  EXPECT_NEAR(ra.virial, rb.virial, 1e-9);
+}
+
+TEST(Pressure, SupercooledGasIsBelowIdeal) {
+  // Below the critical temperature attraction dominates: the virial is
+  // negative and P < rho T.
+  const Box box = Box::cubic(12.5);
+  pcmd::Rng rng(7);
+  workload::GasConfig gas;
+  gas.temperature = 0.722;
+  auto particles = workload::random_gas(500, box, gas, rng);
+  SerialMdConfig config;
+  config.dt = 0.004;
+  SerialMd sim(box, std::move(particles), config);
+  sim.run(30);  // let the overlap-free gas relax a little
+  const auto stats = sim.step();
+  const double ideal = 500 * stats.temperature / box.volume();
+  EXPECT_LT(stats.pressure, ideal);
+}
+
+TEST(Pressure, SerialStatsSelfConsistent) {
+  const Box box = Box::cubic(10.0);
+  pcmd::Rng rng(9);
+  workload::GasConfig gas;
+  auto particles = workload::random_gas(150, box, gas, rng);
+  SerialMdConfig config;
+  config.dt = 0.004;
+  SerialMd sim(box, std::move(particles), config);
+  const auto stats = sim.step();
+  EXPECT_NEAR(stats.pressure,
+              pressure(stats.temperature, stats.virial, 150, box.volume()),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pcmd::md

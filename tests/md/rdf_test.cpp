@@ -1,0 +1,136 @@
+#include "md/rdf.hpp"
+
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+#include "workload/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pcmd::md {
+namespace {
+
+TEST(Rdf, RejectsBadArguments) {
+  const Box box = Box::cubic(10.0);
+  EXPECT_THROW(RadialDistribution(box, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(RadialDistribution(box, 6.0, 10), std::invalid_argument);
+  EXPECT_THROW(RadialDistribution(box, 3.0, 0), std::invalid_argument);
+}
+
+TEST(Rdf, EmptyAccumulatorGivesZeros) {
+  RadialDistribution rdf(Box::cubic(10.0), 4.0, 8);
+  const auto g = rdf.g();
+  for (const double v : g) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Rdf, RadiusIsBinMidpoint) {
+  RadialDistribution rdf(Box::cubic(10.0), 4.0, 8);  // bin width 0.5
+  EXPECT_DOUBLE_EQ(rdf.radius(0), 0.25);
+  EXPECT_DOUBLE_EQ(rdf.radius(7), 3.75);
+}
+
+TEST(Rdf, UniformGasIsFlatAroundOne) {
+  const Box box = Box::cubic(16.0);
+  pcmd::Rng rng(7);
+  // Ideal-gas-like configuration: uniform random points.
+  ParticleVector particles(4000);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles[i].id = static_cast<std::int64_t>(i);
+    particles[i].position = rng.uniform_in_box(box.length);
+  }
+  RadialDistribution rdf(box, 6.0, 12);
+  rdf.accumulate(particles);
+  const auto g = rdf.g();
+  // Skip the innermost bin (few expected pairs, noisy).
+  for (int b = 2; b < rdf.bins(); ++b) {
+    EXPECT_NEAR(g[b], 1.0, 0.15) << "bin " << b;
+  }
+}
+
+TEST(Rdf, LatticeShowsNeighborPeak) {
+  const Box box = Box::cubic(16.0);
+  pcmd::Rng rng(3);
+  // Simple cubic lattice with spacing 2: g(r) must peak at r = 2 and vanish
+  // below the spacing.
+  auto particles = workload::simple_cubic(512, box, 1e-12, rng);
+  RadialDistribution rdf(box, 4.0, 40);  // bin width 0.1
+  rdf.accumulate(particles);
+  const auto g = rdf.g();
+  const int peak_bin = 20;  // r in [2.0, 2.1)
+  EXPECT_GT(g[peak_bin], 5.0);
+  for (int b = 0; b < 18; ++b) {
+    EXPECT_NEAR(g[b], 0.0, 1e-9) << "bin " << b;
+  }
+}
+
+TEST(Rdf, MultipleAccumulationsAverage) {
+  const Box box = Box::cubic(12.0);
+  pcmd::Rng rng(9);
+  workload::GasConfig gas;
+  const auto a = workload::random_gas(500, box, gas, rng);
+  RadialDistribution once(box, 5.0, 10);
+  once.accumulate(a);
+  RadialDistribution thrice(box, 5.0, 10);
+  thrice.accumulate(a);
+  thrice.accumulate(a);
+  thrice.accumulate(a);
+  const auto g1 = once.g();
+  const auto g3 = thrice.g();
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(g1[b], g3[b], 1e-12) << "averaging must be sample-invariant";
+  }
+}
+
+TEST(Rdf, ResetClears) {
+  const Box box = Box::cubic(12.0);
+  pcmd::Rng rng(5);
+  workload::GasConfig gas;
+  RadialDistribution rdf(box, 5.0, 10);
+  rdf.accumulate(workload::random_gas(200, box, gas, rng));
+  rdf.reset();
+  for (const double v : rdf.g()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Rdf, CellAndNaivePathsAgree) {
+  // Small box (naive path) vs the same configuration embedded in a larger
+  // box region would differ physically; instead compare a box right at the
+  // cell threshold against brute force computed here.
+  const Box box = Box::cubic(9.0);
+  pcmd::Rng rng(11);
+  workload::GasConfig gas;
+  const auto particles = workload::random_gas(300, box, gas, rng);
+
+  RadialDistribution rdf(box, 3.0, 6);  // 3 cells/axis: cell path
+  rdf.accumulate(particles);
+  const auto g = rdf.g();
+
+  // Brute-force histogram.
+  std::vector<std::uint64_t> histogram(6, 0);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = i + 1; j < particles.size(); ++j) {
+      const double r2 = minimum_image_distance2(particles[i].position,
+                                                particles[j].position, box);
+      if (r2 < 9.0) {
+        ++histogram[static_cast<std::size_t>(std::sqrt(r2) / 0.5)];
+      }
+    }
+  }
+  // Compare shapes: same histogram implies the same g(r); recompute g from
+  // the brute-force counts using the same normalisation.
+  RadialDistribution reference(box, 3.0, 6);
+  // (normalisation is linear in counts, so compare ratios where defined)
+  const double n = static_cast<double>(particles.size());
+  const double density = n / box.volume();
+  for (int b = 0; b < 6; ++b) {
+    const double r_lo = b * 0.5, r_hi = r_lo + 0.5;
+    const double shell = 4.0 / 3.0 * 3.14159265358979323846 *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double expected = 0.5 * n * density * shell;
+    const double g_ref = histogram[b] / expected;
+    EXPECT_NEAR(g[b], g_ref, 1e-9) << "bin " << b;
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::md

@@ -1,0 +1,106 @@
+// Checkpoint/restart: a run saved to an XYZ frame (positions + velocities)
+// and resumed with the matching step offset reproduces the uninterrupted
+// trajectory bitwise — velocity Verlet recomputes f(t) from positions, so
+// positions + velocities + step number are the full state.
+#include "md/serial_md.hpp"
+#include "md/xyz.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pcmd::md {
+namespace {
+
+SerialMdConfig thermostatted_config(std::int64_t initial_step = 0) {
+  SerialMdConfig config;
+  config.dt = 0.004;
+  config.rescale_temperature = 0.722;
+  config.rescale_interval = 50;
+  config.initial_step = initial_step;
+  return config;
+}
+
+ParticleVector initial_gas() {
+  pcmd::Rng rng(21);
+  workload::GasConfig gas;
+  gas.temperature = 0.722;
+  return workload::random_gas(150, Box::cubic(10.0), gas, rng);
+}
+
+TEST(Restart, ResumedRunIsBitwiseIdentical) {
+  const Box box = Box::cubic(10.0);
+
+  // Uninterrupted reference: 80 steps (crosses the step-50 rescale).
+  SerialMd reference(box, initial_gas(), thermostatted_config());
+  reference.run(80);
+
+  // Checkpointed run: 30 steps, save, restore, 50 more.
+  SerialMd first_half(box, initial_gas(), thermostatted_config());
+  first_half.run(30);
+  std::stringstream checkpoint;
+  write_xyz_frame(checkpoint, first_half.particles(), box, "step=30",
+                  /*with_velocities=*/true);
+
+  ParticleVector restored;
+  Box restored_box{};
+  ASSERT_TRUE(read_xyz_frame(checkpoint, restored, restored_box, true));
+  EXPECT_EQ(restored_box, box);
+  SerialMd second_half(restored_box, restored, thermostatted_config(30));
+  EXPECT_EQ(second_half.step_count(), 30);
+  second_half.run(50);
+
+  const auto& a = reference.particles();
+  const auto& b = second_half.particles();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position.x, b[i].position.x) << "particle " << i;
+    EXPECT_EQ(a[i].position.y, b[i].position.y);
+    EXPECT_EQ(a[i].position.z, b[i].position.z);
+    EXPECT_EQ(a[i].velocity.x, b[i].velocity.x);
+  }
+}
+
+TEST(Restart, WrongStepOffsetChangesThermostatSchedule) {
+  const Box box = Box::cubic(10.0);
+  SerialMd reference(box, initial_gas(), thermostatted_config());
+  reference.run(80);
+
+  SerialMd first_half(box, initial_gas(), thermostatted_config());
+  first_half.run(30);
+  // Resume WITHOUT the offset: rescales fire at the wrong absolute steps.
+  SerialMd wrong(box, first_half.particles(), thermostatted_config(0));
+  wrong.run(50);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < wrong.particles().size(); ++i) {
+    if (wrong.particles()[i].position.x !=
+        reference.particles()[i].position.x) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Restart, NveRestartNeedsNoOffset) {
+  // Without a thermostat the step number carries no physics.
+  const Box box = Box::cubic(10.0);
+  SerialMdConfig nve;
+  nve.dt = 0.004;
+  SerialMd reference(box, initial_gas(), nve);
+  reference.run(60);
+
+  SerialMd first(box, initial_gas(), nve);
+  first.run(25);
+  SerialMd second(box, first.particles(), nve);
+  second.run(35);
+  for (std::size_t i = 0; i < second.particles().size(); ++i) {
+    EXPECT_EQ(second.particles()[i].position.x,
+              reference.particles()[i].position.x);
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::md

@@ -1,0 +1,152 @@
+#include "md/serial_md.hpp"
+
+#include "workload/gas.hpp"
+#include "workload/lattice.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcmd::md {
+namespace {
+
+SerialMd make_small_system(bool use_cells, std::uint64_t seed = 5,
+                           std::optional<double> rescale = std::nullopt) {
+  const Box box = Box::cubic(7.5);  // 3x3x3 cells at rc = 2.5
+  pcmd::Rng rng(seed);
+  workload::GasConfig gas;
+  gas.temperature = 0.722;
+  auto particles = workload::random_gas(60, box, gas, rng);
+  SerialMdConfig config;
+  config.dt = 0.004;
+  config.cutoff = 2.5;
+  config.use_cell_list = use_cells;
+  config.rescale_temperature = rescale;
+  return SerialMd(box, std::move(particles), config);
+}
+
+TEST(SerialMd, StepCountAdvances) {
+  auto md = make_small_system(true);
+  EXPECT_EQ(md.step_count(), 0);
+  md.step();
+  EXPECT_EQ(md.step_count(), 1);
+  md.run(5);
+  EXPECT_EQ(md.step_count(), 6);
+}
+
+TEST(SerialMd, EnergyConservedWithoutThermostat) {
+  auto md = make_small_system(true);
+  const double e0 = md.total_energy();
+  md.run(200);
+  const double e1 = md.total_energy();
+  // NVE with dt = 0.004: drift should be well under 1% of |E|.
+  EXPECT_NEAR(e1, e0, std::max(0.01 * std::abs(e0), 0.05));
+}
+
+TEST(SerialMd, CellAndNaivePathsAgree) {
+  auto cell_md = make_small_system(true);
+  auto naive_md = make_small_system(false);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = cell_md.step();
+    const auto b = naive_md.step();
+    ASSERT_NEAR(a.potential_energy, b.potential_energy, 1e-8) << "step " << i;
+    ASSERT_NEAR(a.kinetic_energy, b.kinetic_energy, 1e-8) << "step " << i;
+  }
+  const auto& pa = cell_md.particles();
+  const auto& pb = naive_md.particles();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_NEAR(pa[i].position.x, pb[i].position.x, 1e-8);
+    EXPECT_NEAR(pa[i].position.y, pb[i].position.y, 1e-8);
+    EXPECT_NEAR(pa[i].position.z, pb[i].position.z, 1e-8);
+  }
+}
+
+TEST(SerialMd, DeterministicRuns) {
+  auto a = make_small_system(true, 42);
+  auto b = make_small_system(true, 42);
+  a.run(30);
+  b.run(30);
+  const auto& pa = a.particles();
+  const auto& pb = b.particles();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].position.x, pb[i].position.x);
+    EXPECT_EQ(pa[i].velocity.x, pb[i].velocity.x);
+  }
+}
+
+TEST(SerialMd, ThermostatHoldsTemperature) {
+  auto md = make_small_system(true, 5, 0.722);
+  md.run(120);  // two rescale events at interval 50
+  StepStats last{};
+  // Right after a rescale step the temperature is exactly the target.
+  for (int i = md.step_count(); i < 150; ++i) {
+    last = md.step();
+    if (last.step % 50 == 0) break;
+  }
+  EXPECT_NEAR(last.temperature, 0.722, 1e-9);
+}
+
+TEST(SerialMd, PositionsStayInPrimaryImage) {
+  auto md = make_small_system(true);
+  md.run(50);
+  for (const auto& p : md.particles()) {
+    EXPECT_TRUE(in_primary_image(p.position, md.box()));
+  }
+}
+
+TEST(SerialMd, PairEvaluationsPositiveAndBounded) {
+  auto md = make_small_system(true);
+  const auto stats = md.step();
+  const auto n = md.particles().size();
+  EXPECT_GT(stats.pair_evaluations, 0u);
+  // Upper bound: full N^2 scan.
+  EXPECT_LE(stats.pair_evaluations, n * n);
+}
+
+TEST(SerialMd, MomentumConservedWithoutThermostat) {
+  auto md = make_small_system(true);
+  md.run(100);
+  const Vec3 p = total_momentum(md.particles());
+  EXPECT_NEAR(p.x, 0.0, 1e-8);
+  EXPECT_NEAR(p.y, 0.0, 1e-8);
+  EXPECT_NEAR(p.z, 0.0, 1e-8);
+}
+
+TEST(SerialMd, ExplicitCellsPerAxisRespected) {
+  const Box box = Box::cubic(10.0);
+  pcmd::Rng rng(3);
+  workload::GasConfig gas;
+  auto particles = workload::random_gas(20, box, gas, rng);
+  SerialMdConfig config;
+  config.cells_per_axis = 4;
+  SerialMd md(box, std::move(particles), config);
+  EXPECT_EQ(md.grid().nx(), 4);
+}
+
+TEST(SerialMd, RejectsCellSmallerThanCutoff) {
+  const Box box = Box::cubic(10.0);
+  ParticleVector particles(1);
+  particles[0].position = {1, 1, 1};
+  SerialMdConfig config;
+  config.cutoff = 2.5;
+  config.cells_per_axis = 8;  // cell edge 1.25 < 2.5
+  EXPECT_THROW(SerialMd(box, particles, config), std::invalid_argument);
+}
+
+TEST(SerialMd, LatticeStartMeltsIntoDisorder) {
+  // A lattice at supercooled-gas density should evolve (forces nonzero).
+  const Box box = Box::cubic(10.0);
+  pcmd::Rng rng(9);
+  auto particles = workload::simple_cubic(64, box, 0.722, rng);
+  SerialMdConfig config;
+  config.dt = 0.004;
+  SerialMd md(box, std::move(particles), config);
+  const Vec3 before = md.particles()[0].position;
+  md.run(50);
+  const Vec3 after = md.particles()[0].position;
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace pcmd::md

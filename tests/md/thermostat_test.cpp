@@ -1,0 +1,102 @@
+#include "md/observables.hpp"
+#include "md/thermostat.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::md {
+namespace {
+
+ParticleVector thermal_particles(int n, double t, std::uint64_t seed) {
+  pcmd::Rng rng(seed);
+  ParticleVector particles(n);
+  for (int i = 0; i < n; ++i) {
+    particles[i].id = i;
+    particles[i].velocity = rng.maxwell_velocity(t);
+  }
+  return particles;
+}
+
+TEST(RescaleThermostat, DueEveryInterval) {
+  const RescaleThermostat th(0.722, 50);
+  EXPECT_FALSE(th.due(0));
+  EXPECT_FALSE(th.due(1));
+  EXPECT_FALSE(th.due(49));
+  EXPECT_TRUE(th.due(50));
+  EXPECT_FALSE(th.due(51));
+  EXPECT_TRUE(th.due(100));
+}
+
+TEST(RescaleThermostat, ZeroIntervalNeverDue) {
+  const RescaleThermostat th(1.0, 0);
+  EXPECT_FALSE(th.due(50));
+  EXPECT_FALSE(th.due(1000));
+}
+
+TEST(RescaleThermostat, RejectsBadArguments) {
+  EXPECT_THROW(RescaleThermostat(0.0), std::invalid_argument);
+  EXPECT_THROW(RescaleThermostat(-1.0), std::invalid_argument);
+  EXPECT_THROW(RescaleThermostat(1.0, -1), std::invalid_argument);
+}
+
+TEST(RescaleThermostat, ScaleFactorBringsTemperatureToTarget) {
+  auto particles = thermal_particles(5000, 1.5, 7);
+  const RescaleThermostat th(0.722, 50);
+  const double ke = kinetic_energy(particles);
+  const double factor =
+      th.scale_factor(ke, static_cast<std::int64_t>(particles.size()));
+  RescaleThermostat::apply(particles, factor);
+  EXPECT_NEAR(temperature(particles), 0.722, 1e-10);
+}
+
+TEST(RescaleThermostat, ScaleFactorIdentityAtTarget) {
+  auto particles = thermal_particles(2000, 0.722, 9);
+  const RescaleThermostat th(0.722, 50);
+  // Rescale once to hit the target exactly, then the factor must be 1.
+  const double f1 = th.scale_factor(kinetic_energy(particles),
+                                    static_cast<std::int64_t>(particles.size()));
+  RescaleThermostat::apply(particles, f1);
+  const double f2 = th.scale_factor(kinetic_energy(particles),
+                                    static_cast<std::int64_t>(particles.size()));
+  EXPECT_NEAR(f2, 1.0, 1e-12);
+}
+
+TEST(RescaleThermostat, DegenerateInputsGiveUnitFactor) {
+  const RescaleThermostat th(0.722, 50);
+  EXPECT_DOUBLE_EQ(th.scale_factor(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(th.scale_factor(1.0, 0), 1.0);
+}
+
+TEST(Observables, KineticEnergyOfKnownVelocities) {
+  ParticleVector p(2);
+  p[0].velocity = {1.0, 0.0, 0.0};
+  p[1].velocity = {0.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(kinetic_energy(p), 0.5 + 2.0);
+}
+
+TEST(Observables, TemperatureDefinition) {
+  ParticleVector p(1);
+  p[0].velocity = {1.0, 1.0, 1.0};  // KE = 1.5
+  EXPECT_DOUBLE_EQ(temperature(p), 1.0);
+  EXPECT_DOUBLE_EQ(temperature_from_ke(1.5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(temperature_from_ke(1.5, 0), 0.0);
+}
+
+TEST(Observables, ZeroMomentumRemovesDrift) {
+  auto particles = thermal_particles(100, 0.722, 21);
+  for (auto& p : particles) p.velocity.x += 3.0;  // add drift
+  zero_momentum(particles);
+  const Vec3 mom = total_momentum(particles);
+  EXPECT_NEAR(mom.x, 0.0, 1e-10);
+  EXPECT_NEAR(mom.y, 0.0, 1e-10);
+  EXPECT_NEAR(mom.z, 0.0, 1e-10);
+}
+
+TEST(Observables, ZeroMomentumOnEmptySetIsNoop) {
+  ParticleVector empty;
+  zero_momentum(empty);  // must not crash
+  EXPECT_EQ(total_momentum(empty), Vec3());
+}
+
+}  // namespace
+}  // namespace pcmd::md

@@ -1,0 +1,46 @@
+#include "md/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::md {
+namespace {
+
+TEST(ArgonUnits, PaperTemperature) {
+  // T* = 0.722 corresponds to ~86.5 K — below Argon's boiling point
+  // (87.3 K), i.e. the paper's supercooled-gas condition.
+  const double kelvin = ArgonUnits::temperature_kelvin(0.722);
+  EXPECT_NEAR(kelvin, 86.5, 0.2);
+  EXPECT_LT(kelvin, 87.3);
+}
+
+TEST(ArgonUnits, TemperatureRoundTrip) {
+  for (const double t : {0.1, 0.722, 1.0, 2.5}) {
+    EXPECT_NEAR(ArgonUnits::reduced_temperature(
+                    ArgonUnits::temperature_kelvin(t)),
+                t, 1e-12);
+  }
+}
+
+TEST(ArgonUnits, LengthConversion) {
+  EXPECT_DOUBLE_EQ(ArgonUnits::length_angstrom(1.0), 3.405);
+  // The paper's cut-off 2.5 sigma in Angstrom.
+  EXPECT_NEAR(ArgonUnits::length_angstrom(2.5), 8.5125, 1e-9);
+}
+
+TEST(ArgonUnits, TimeConversion) {
+  EXPECT_DOUBLE_EQ(ArgonUnits::time_picoseconds(1.0), 2.161);
+  // One reduced time step (0.005) is ~10.8 fs — a standard MD step size.
+  EXPECT_NEAR(ArgonUnits::time_picoseconds(0.005) * 1000.0, 10.8, 0.1);
+}
+
+TEST(PaperConditions, MatchSectionThreeTwo) {
+  EXPECT_DOUBLE_EQ(PaperConditions::reduced_temperature, 0.722);
+  EXPECT_DOUBLE_EQ(PaperConditions::default_density, 0.256);
+  EXPECT_DOUBLE_EQ(PaperConditions::cutoff, 2.5);
+  EXPECT_EQ(PaperConditions::rescale_interval, 50);
+  EXPECT_GT(PaperConditions::time_step, 0.0);
+  EXPECT_LE(PaperConditions::time_step, 0.01);  // stable Verlet range
+}
+
+}  // namespace
+}  // namespace pcmd::md

@@ -1,0 +1,107 @@
+#include "md/xyz.hpp"
+
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pcmd::md {
+namespace {
+
+ParticleVector sample_particles(int n = 20) {
+  pcmd::Rng rng(5);
+  workload::GasConfig gas;
+  return workload::random_gas(n, Box::cubic(8.0), gas, rng);
+}
+
+TEST(Xyz, RoundTripPositions) {
+  const Box box = Box::cubic(8.0);
+  const auto original = sample_particles();
+  std::stringstream stream;
+  write_xyz_frame(stream, original, box, "frame 1");
+
+  ParticleVector loaded;
+  Box loaded_box{};
+  ASSERT_TRUE(read_xyz_frame(stream, loaded, loaded_box));
+  EXPECT_EQ(loaded_box, box);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].position.x, original[i].position.x);
+    EXPECT_EQ(loaded[i].position.y, original[i].position.y);
+    EXPECT_EQ(loaded[i].position.z, original[i].position.z);
+  }
+}
+
+TEST(Xyz, RoundTripWithVelocities) {
+  const Box box = Box::cubic(8.0);
+  const auto original = sample_particles();
+  std::stringstream stream;
+  write_xyz_frame(stream, original, box, "", /*with_velocities=*/true);
+  ParticleVector loaded;
+  Box loaded_box{};
+  ASSERT_TRUE(read_xyz_frame(stream, loaded, loaded_box, true));
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].velocity.x, original[i].velocity.x);
+    EXPECT_EQ(loaded[i].velocity.z, original[i].velocity.z);
+  }
+}
+
+TEST(Xyz, MultipleFramesSequential) {
+  const Box box = Box::cubic(8.0);
+  auto a = sample_particles(5);
+  auto b = sample_particles(7);
+  std::stringstream stream;
+  write_xyz_frame(stream, a, box, "a");
+  write_xyz_frame(stream, b, box, "b");
+
+  ParticleVector loaded;
+  Box loaded_box{};
+  ASSERT_TRUE(read_xyz_frame(stream, loaded, loaded_box));
+  EXPECT_EQ(loaded.size(), 5u);
+  ASSERT_TRUE(read_xyz_frame(stream, loaded, loaded_box));
+  EXPECT_EQ(loaded.size(), 7u);
+  EXPECT_FALSE(read_xyz_frame(stream, loaded, loaded_box));  // clean EOF
+}
+
+TEST(Xyz, EmptyStreamReturnsFalse) {
+  std::stringstream stream;
+  ParticleVector loaded;
+  Box box{};
+  EXPECT_FALSE(read_xyz_frame(stream, loaded, box));
+}
+
+TEST(Xyz, MalformedCountThrows) {
+  std::stringstream stream("not-a-number\nbox 1 1 1\n");
+  ParticleVector loaded;
+  Box box{};
+  EXPECT_THROW(read_xyz_frame(stream, loaded, box), std::runtime_error);
+}
+
+TEST(Xyz, MissingBoxThrows) {
+  std::stringstream stream("1\nno box here\nAr 1 2 3\n");
+  ParticleVector loaded;
+  Box box{};
+  EXPECT_THROW(read_xyz_frame(stream, loaded, box), std::runtime_error);
+}
+
+TEST(Xyz, TruncatedFrameThrows) {
+  std::stringstream stream("3\nbox 8 8 8\nAr 1 2 3\n");
+  ParticleVector loaded;
+  Box box{};
+  EXPECT_THROW(read_xyz_frame(stream, loaded, box), std::runtime_error);
+}
+
+TEST(Xyz, CommentPreservedInOutput) {
+  const Box box = Box::cubic(4.0);
+  ParticleVector particles(1);
+  particles[0].position = {1, 2, 3};
+  std::stringstream stream;
+  write_xyz_frame(stream, particles, box, "step=42");
+  EXPECT_NE(stream.str().find("step=42"), std::string::npos);
+  EXPECT_NE(stream.str().find("box 4 4 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcmd::md

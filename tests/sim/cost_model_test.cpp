@@ -1,0 +1,51 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::sim {
+namespace {
+
+TEST(MachineModel, MessageTimeComposition) {
+  MachineModel m;
+  m.msg_latency = 1.0;
+  m.hop_latency = 0.5;
+  m.bandwidth = 100.0;
+  EXPECT_DOUBLE_EQ(m.message_time(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.message_time(0, 4), 3.0);
+  EXPECT_DOUBLE_EQ(m.message_time(200, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.message_time(200, 4), 5.0);
+}
+
+TEST(MachineModel, MessageTimeMonotoneInBytes) {
+  const MachineModel m = MachineModel::t3e();
+  EXPECT_LT(m.message_time(10, 1), m.message_time(10000, 1));
+}
+
+TEST(MachineModel, CollectiveTimeGrowsLogarithmically) {
+  MachineModel m;
+  m.msg_latency = 1.0;
+  m.collective_overhead = 0.0;
+  m.bandwidth = 1e30;
+  EXPECT_DOUBLE_EQ(m.collective_time(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.collective_time(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.collective_time(4, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.collective_time(5, 0), 3.0);  // ceil(log2(5)) = 3
+  EXPECT_DOUBLE_EQ(m.collective_time(64, 0), 6.0);
+}
+
+TEST(MachineModel, IdealNetworkIsFree) {
+  const MachineModel m = MachineModel::ideal_network();
+  EXPECT_DOUBLE_EQ(m.message_time(1 << 20, 10), 0.0);
+  EXPECT_DOUBLE_EQ(m.collective_time(64, 1024), 0.0);
+}
+
+TEST(MachineModel, PresetsDiffer) {
+  const MachineModel t3e = MachineModel::t3e();
+  const MachineModel bw = MachineModel::beowulf();
+  EXPECT_LT(bw.pair_cost, t3e.pair_cost);     // newer CPU
+  EXPECT_GT(bw.msg_latency, t3e.msg_latency); // worse network
+  EXPECT_NE(t3e.name, bw.name);
+}
+
+}  // namespace
+}  // namespace pcmd::sim

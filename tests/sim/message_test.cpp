@@ -1,0 +1,108 @@
+#include "sim/message.hpp"
+
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmd::sim {
+namespace {
+
+TEST(PackUnpack, ScalarRoundTrip) {
+  Packer packer;
+  packer.put<std::int32_t>(42);
+  packer.put<double>(3.25);
+  packer.put<std::uint8_t>(7);
+  const Buffer buf = packer.take();
+
+  Unpacker unpacker(buf);
+  EXPECT_EQ(unpacker.get<std::int32_t>(), 42);
+  EXPECT_DOUBLE_EQ(unpacker.get<double>(), 3.25);
+  EXPECT_EQ(unpacker.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(PackUnpack, VectorRoundTrip) {
+  Packer packer;
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  packer.put_vector(xs);
+  const Buffer buf = packer.take();
+
+  Unpacker unpacker(buf);
+  EXPECT_EQ(unpacker.get_vector<double>(), xs);
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(PackUnpack, EmptyVector) {
+  Packer packer;
+  packer.put_vector(std::vector<int>{});
+  const Buffer buf = packer.take();
+  Unpacker unpacker(buf);
+  EXPECT_TRUE(unpacker.get_vector<int>().empty());
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(PackUnpack, StructRoundTrip) {
+  struct Wire {
+    std::int64_t id;
+    pcmd::Vec3 pos;
+  };
+  Packer packer;
+  packer.put(Wire{9, {1, 2, 3}});
+  const Buffer buf = packer.take();
+  Unpacker unpacker(buf);
+  const auto w = unpacker.get<Wire>();
+  EXPECT_EQ(w.id, 9);
+  EXPECT_EQ(w.pos, pcmd::Vec3(1, 2, 3));
+}
+
+TEST(PackUnpack, MixedSequencePreservesOrder) {
+  Packer packer;
+  packer.put<int>(1);
+  packer.put_vector(std::vector<int>{2, 3});
+  packer.put<int>(4);
+  const Buffer buf = packer.take();
+  Unpacker unpacker(buf);
+  EXPECT_EQ(unpacker.get<int>(), 1);
+  EXPECT_EQ(unpacker.get_vector<int>(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(unpacker.get<int>(), 4);
+}
+
+TEST(Unpacker, UnderflowThrows) {
+  Packer packer;
+  packer.put<std::int32_t>(1);
+  const Buffer buf = packer.take();
+  Unpacker unpacker(buf);
+  EXPECT_THROW(unpacker.get<double>(), std::out_of_range);
+}
+
+TEST(Unpacker, VectorUnderflowThrows) {
+  Packer packer;
+  packer.put<std::uint64_t>(1000);  // claims 1000 elements, provides none
+  const Buffer buf = packer.take();
+  Unpacker unpacker(buf);
+  EXPECT_THROW(unpacker.get_vector<double>(), std::out_of_range);
+}
+
+TEST(Unpacker, RemainingCountsDown) {
+  Packer packer;
+  packer.put<std::uint32_t>(5);
+  packer.put<std::uint32_t>(6);
+  const Buffer buf = packer.take();
+  Unpacker unpacker(buf);
+  EXPECT_EQ(unpacker.remaining(), 8u);
+  unpacker.get<std::uint32_t>();
+  EXPECT_EQ(unpacker.remaining(), 4u);
+}
+
+TEST(Packer, SizeTracksBytes) {
+  Packer packer;
+  EXPECT_EQ(packer.size(), 0u);
+  packer.put<double>(1.0);
+  EXPECT_EQ(packer.size(), 8u);
+}
+
+}  // namespace
+}  // namespace pcmd::sim

@@ -1,0 +1,139 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pcmd::sim {
+namespace {
+
+TEST(Torus2D, RankCoordRoundTrip) {
+  const Torus2D t(3, 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int r = 0; r < t.size(); ++r) {
+    EXPECT_EQ(t.rank_of(t.coord_of(r)), r);
+  }
+}
+
+TEST(Torus2D, RowMajorLayout) {
+  const Torus2D t(3, 4);
+  EXPECT_EQ(t.rank_of({0, 0}), 0);
+  EXPECT_EQ(t.rank_of({0, 3}), 3);
+  EXPECT_EQ(t.rank_of({1, 0}), 4);
+  EXPECT_EQ(t.rank_of({2, 3}), 11);
+}
+
+TEST(Torus2D, WrapsNegativeAndOverflow) {
+  const Torus2D t(3, 3);
+  EXPECT_EQ(t.rank_of({-1, 0}), t.rank_of({2, 0}));
+  EXPECT_EQ(t.rank_of({3, 4}), t.rank_of({0, 1}));
+}
+
+TEST(Torus2D, ChebyshevDistanceWithWrap) {
+  const Torus2D t(6, 6);
+  EXPECT_EQ(t.chebyshev_distance({0, 0}, {5, 5}), 1);  // diagonal wrap
+  EXPECT_EQ(t.chebyshev_distance({0, 0}, {3, 0}), 3);  // half-way is max
+  EXPECT_EQ(t.chebyshev_distance({1, 1}, {1, 1}), 0);
+}
+
+TEST(Torus2D, ManhattanDistanceWithWrap) {
+  const Torus2D t(4, 4);
+  EXPECT_EQ(t.manhattan_distance({0, 0}, {3, 3}), 2);
+  EXPECT_EQ(t.manhattan_distance({0, 0}, {2, 2}), 4);
+}
+
+TEST(Torus2D, Neighbors8CountAndUniquenessOnLargeTorus) {
+  const Torus2D t(5, 5);
+  const auto n = t.neighbors8(0);
+  EXPECT_EQ(n.size(), 8u);
+  const std::set<int> unique(n.begin(), n.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(unique.count(0), 0u);  // self is not a neighbour
+}
+
+TEST(Torus2D, Neighbors8FixedOrder) {
+  const Torus2D t(4, 4);
+  const auto n = t.neighbors8(t.rank_of({1, 1}));
+  // Order: (-1,-1),(-1,0),(-1,1),(0,-1),(0,1),(1,-1),(1,0),(1,1)
+  EXPECT_EQ(n[0], t.rank_of({0, 0}));
+  EXPECT_EQ(n[1], t.rank_of({0, 1}));
+  EXPECT_EQ(n[2], t.rank_of({0, 2}));
+  EXPECT_EQ(n[3], t.rank_of({1, 0}));
+  EXPECT_EQ(n[4], t.rank_of({1, 2}));
+  EXPECT_EQ(n[5], t.rank_of({2, 0}));
+  EXPECT_EQ(n[6], t.rank_of({2, 1}));
+  EXPECT_EQ(n[7], t.rank_of({2, 2}));
+}
+
+TEST(Torus2D, Adjacent8) {
+  const Torus2D t(4, 4);
+  EXPECT_TRUE(t.adjacent8(0, 0));
+  EXPECT_TRUE(t.adjacent8(t.rank_of({0, 0}), t.rank_of({3, 3})));  // wrap
+  EXPECT_FALSE(t.adjacent8(t.rank_of({0, 0}), t.rank_of({2, 2})));
+}
+
+TEST(Torus2D, RejectsBadDimensions) {
+  EXPECT_THROW(Torus2D(0, 3), std::invalid_argument);
+  EXPECT_THROW(Torus2D(3, -1), std::invalid_argument);
+}
+
+TEST(Torus2D, RejectsBadRank) {
+  const Torus2D t(2, 2);
+  EXPECT_THROW(t.coord_of(-1), std::out_of_range);
+  EXPECT_THROW(t.coord_of(4), std::out_of_range);
+}
+
+TEST(Torus3D, RankCoordRoundTrip) {
+  const Torus3D t(2, 3, 4);
+  EXPECT_EQ(t.size(), 24);
+  for (int r = 0; r < t.size(); ++r) {
+    EXPECT_EQ(t.rank_of(t.coord_of(r)), r);
+  }
+}
+
+TEST(Torus3D, ManhattanWithWrap) {
+  const Torus3D t(4, 4, 4);
+  EXPECT_EQ(t.manhattan_distance({0, 0, 0}, {3, 3, 3}), 3);
+  EXPECT_EQ(t.manhattan_distance({0, 0, 0}, {2, 2, 2}), 6);
+  EXPECT_EQ(t.manhattan_distance({1, 1, 1}, {1, 1, 1}), 0);
+}
+
+TEST(Torus3D, Neighbors26OnLargeTorus) {
+  const Torus3D t(4, 4, 4);
+  const auto n = t.neighbors26(0);
+  EXPECT_EQ(n.size(), 26u);
+  const std::set<int> unique(n.begin(), n.end());
+  EXPECT_EQ(unique.size(), 26u);
+}
+
+TEST(HopModel, SelfIsZero) {
+  const HopModel hm(16);
+  EXPECT_EQ(hm.hops(3, 3), 0);
+}
+
+TEST(HopModel, CapacityCoversRanks) {
+  for (int ranks : {1, 2, 7, 16, 36, 64, 100, 128}) {
+    const HopModel hm(ranks);
+    EXPECT_GE(hm.torus().size(), ranks) << "ranks=" << ranks;
+  }
+}
+
+TEST(HopModel, NearCubicShape) {
+  const HopModel hm(64);
+  EXPECT_EQ(hm.torus().nx(), 4);
+  EXPECT_EQ(hm.torus().ny(), 4);
+  EXPECT_EQ(hm.torus().nz(), 4);
+}
+
+TEST(HopModel, HopsSymmetric) {
+  const HopModel hm(36);
+  for (int a = 0; a < 36; a += 5) {
+    for (int b = 0; b < 36; b += 7) {
+      EXPECT_EQ(hm.hops(a, b), hm.hops(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::sim

@@ -1,0 +1,80 @@
+// Shared test workloads.
+//
+// The scripted ConcentratingWorkload places particles without a minimum
+// separation, which is fine for occupancy-driven simulations but lethal for
+// real MD: overlapping Lennard-Jones pairs produce astronomically large
+// forces and particles teleport across cells within one step. Tests that
+// feed a *concentrated* state into a real engine use these lattice-based
+// generators instead: overlap-free by construction, with bounded forces.
+#pragma once
+
+#include "md/particle.hpp"
+#include "util/pbc.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace pcmd::testing {
+
+// Simple-cubic lattice filling the sub-box [origin, origin + extent) with
+// exactly n particles (zero velocity), ids starting at first_id. The lattice
+// spacing is derived from the sub-box volume; it throws if the spacing would
+// drop below min_spacing (which would mean huge LJ forces).
+inline md::ParticleVector lattice_region(std::int64_t n, const Vec3& origin,
+                                         const Vec3& extent,
+                                         std::int64_t first_id,
+                                         double min_spacing = 0.95) {
+  if (n <= 0) return {};
+  const double volume = extent.x * extent.y * extent.z;
+  const double spacing = std::cbrt(volume / static_cast<double>(n));
+  if (spacing < min_spacing) {
+    throw std::invalid_argument(
+        "lattice_region: too many particles for the region");
+  }
+  const int nx = std::max(1, static_cast<int>(extent.x / spacing));
+  const int ny = std::max(1, static_cast<int>(extent.y / spacing));
+  const int nz =
+      static_cast<int>(std::ceil(static_cast<double>(n) / (nx * ny)));
+  md::ParticleVector out;
+  out.reserve(n);
+  std::int64_t id = first_id;
+  for (int z = 0; z < nz && id - first_id < n; ++z) {
+    for (int y = 0; y < ny && id - first_id < n; ++y) {
+      for (int x = 0; x < nx && id - first_id < n; ++x) {
+        md::Particle p;
+        p.id = id++;
+        p.position = {origin.x + (x + 0.5) * extent.x / nx,
+                      origin.y + (y + 0.5) * extent.y / ny,
+                      origin.z + (z + 0.5) * extent.z / nz};
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+// A concentrated-but-overlap-free state: `hot_fraction` of the particles sit
+// in the slab x < hot_extent * Lx (a dense lattice), the rest spread over
+// the remaining volume, with a safety margin between the regions so no pair
+// is closer than ~the lattice spacings.
+inline md::ParticleVector concentrated_lattice(std::int64_t n, const Box& box,
+                                               double hot_fraction = 0.7,
+                                               double hot_extent = 0.3) {
+  const double margin = 1.0;
+  const auto n_hot = static_cast<std::int64_t>(n * hot_fraction);
+  const auto n_cold = n - n_hot;
+  const double hot_width = hot_extent * box.length.x - margin;
+  const double cold_start = hot_extent * box.length.x;
+  const double cold_width = (1.0 - hot_extent) * box.length.x - margin;
+
+  md::ParticleVector all = lattice_region(
+      n_hot, {0.0, 0.0, 0.0}, {hot_width, box.length.y, box.length.z}, 0);
+  const auto cold =
+      lattice_region(n_cold, {cold_start, 0.0, 0.0},
+                     {cold_width, box.length.y, box.length.z}, n_hot);
+  all.insert(all.end(), cold.begin(), cold.end());
+  return all;
+}
+
+}  // namespace pcmd::testing

@@ -1,0 +1,105 @@
+#include "theory/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcmd::theory {
+namespace {
+
+// Builds a series that is balanced for `flat` steps then diverges linearly.
+struct Series {
+  std::vector<double> f_max, f_min, f_avg;
+};
+
+Series diverging_series(int flat, int total, double noise_amplitude = 0.0) {
+  Series s;
+  for (int i = 0; i < total; ++i) {
+    const double base = 1.0;
+    const double wiggle = noise_amplitude * ((i * 37) % 7 - 3) / 3.0;
+    double spread = 0.05;  // small balanced spread
+    if (i >= flat) spread += 0.02 * (i - flat);
+    s.f_avg.push_back(base);
+    s.f_max.push_back(base + spread / 2 + wiggle);
+    s.f_min.push_back(base - spread / 2);
+  }
+  return s;
+}
+
+TEST(BoundaryDetection, FindsCleanDivergence) {
+  const auto s = diverging_series(300, 600);
+  const auto step = detect_boundary_step(s.f_max, s.f_min, s.f_avg);
+  ASSERT_GE(step, 0);
+  // threshold 0.5 over baseline 0.05 is reached ~25+ steps after the onset;
+  // the detector should land between onset and onset + ~60 steps.
+  EXPECT_GE(step, 300);
+  EXPECT_LE(step, 380);
+}
+
+TEST(BoundaryDetection, NeverFiresOnBalancedSeries) {
+  Series s;
+  for (int i = 0; i < 500; ++i) {
+    s.f_avg.push_back(1.0);
+    s.f_max.push_back(1.02);
+    s.f_min.push_back(0.98);
+  }
+  EXPECT_EQ(detect_boundary_step(s.f_max, s.f_min, s.f_avg), -1);
+}
+
+TEST(BoundaryDetection, IgnoresSingleSpike) {
+  Series s;
+  for (int i = 0; i < 500; ++i) {
+    s.f_avg.push_back(1.0);
+    const double spread = (i == 250) ? 3.0 : 0.04;  // one-step glitch
+    s.f_max.push_back(1.0 + spread / 2);
+    s.f_min.push_back(1.0 - spread / 2);
+  }
+  BoundaryConfig config;
+  config.smoothing_window = 1;  // no smoothing: persistence must catch it
+  EXPECT_EQ(detect_boundary_step(s.f_max, s.f_min, s.f_avg, config), -1);
+}
+
+TEST(BoundaryDetection, RobustToNoise) {
+  const auto s = diverging_series(200, 500, /*noise=*/0.03);
+  const auto step = detect_boundary_step(s.f_max, s.f_min, s.f_avg);
+  ASSERT_GE(step, 0);
+  EXPECT_GE(step, 200);
+  EXPECT_LE(step, 300);
+}
+
+TEST(BoundaryDetection, TooShortSeriesReturnsNotFound) {
+  const auto s = diverging_series(5, 20);
+  EXPECT_EQ(detect_boundary_step(s.f_max, s.f_min, s.f_avg), -1);
+}
+
+TEST(BoundaryDetection, RespectsThresholdConfig) {
+  const auto s = diverging_series(100, 400);
+  BoundaryConfig loose;
+  loose.threshold = 0.2;
+  BoundaryConfig strict;
+  strict.threshold = 2.0;
+  const auto early = detect_boundary_step(s.f_max, s.f_min, s.f_avg, loose);
+  const auto late = detect_boundary_step(s.f_max, s.f_min, s.f_avg, strict);
+  ASSERT_GE(early, 0);
+  ASSERT_GE(late, 0);
+  EXPECT_LT(early, late);
+}
+
+TEST(SmoothedSpread, MatchesHandComputation) {
+  const std::vector<double> f_max = {2.0, 3.0};
+  const std::vector<double> f_min = {1.0, 1.0};
+  const std::vector<double> f_avg = {1.5, 2.0};
+  const auto smooth = smoothed_spread(f_max, f_min, f_avg, 1);
+  ASSERT_EQ(smooth.size(), 2u);
+  EXPECT_NEAR(smooth[0], 1.0 / 1.5, 1e-12);
+  EXPECT_NEAR(smooth[1], 2.0 / 2.0, 1e-12);
+}
+
+TEST(SmoothedSpread, RejectsSizeMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(smoothed_spread(a, b, a, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcmd::theory

@@ -1,0 +1,130 @@
+#include "theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::theory {
+namespace {
+
+TEST(Bounds, PaperEquation9M2) {
+  // f(2, n) = 3 / (7n - 4)
+  for (const double n : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    EXPECT_NEAR(upper_bound(2, n), 3.0 / (7.0 * n - 4.0), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Bounds, PaperEquation10M3) {
+  // f(3, n) = 4 / (7n - 3)
+  for (const double n : {1.0, 1.7, 2.5, 4.0}) {
+    EXPECT_NEAR(upper_bound(3, n), 4.0 / (7.0 * n - 3.0), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Bounds, PaperEquation11M4) {
+  // f(4, n) = 27 / (43n - 16)
+  for (const double n : {1.0, 2.0, 3.3}) {
+    EXPECT_NEAR(upper_bound(4, n), 27.0 / (43.0 * n - 16.0), 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(Bounds, AtNEqualsOneBoundIsWallFraction) {
+  // n = 1: f(m, 1) = 3(m-1)^2 / (3(m-1)^2) = 1... check: denominator is
+  // m^2 * 0 + 1 * 3(m-1)^2, so f(m, 1) = 1 for every m.
+  for (const int m : {2, 3, 4, 8}) {
+    EXPECT_NEAR(upper_bound(m, 1.0), 1.0, 1e-12) << "m=" << m;
+  }
+}
+
+// Paper eq. (12): f(2, n) <= f(3, n) <= f(4, n) for n >= 1 — parameterised
+// over a sweep of n values, and extended to larger m (monotone in m).
+class BoundOrdering : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundOrdering, IncreasesWithM) {
+  const double n = GetParam();
+  EXPECT_LE(upper_bound(2, n), upper_bound(3, n) + 1e-15);
+  EXPECT_LE(upper_bound(3, n), upper_bound(4, n) + 1e-15);
+  EXPECT_LE(upper_bound(4, n), upper_bound(6, n) + 1e-15);
+  EXPECT_LE(upper_bound(6, n), upper_bound(10, n) + 1e-15);
+}
+
+TEST_P(BoundOrdering, DecreasesWithN) {
+  const double n = GetParam();
+  for (const int m : {2, 3, 4}) {
+    EXPECT_GE(upper_bound(m, n), upper_bound(m, n + 0.5)) << "m=" << m;
+  }
+}
+
+TEST_P(BoundOrdering, StaysInUnitInterval) {
+  const double n = GetParam();
+  for (const int m : {2, 3, 4, 8}) {
+    const double f = upper_bound(m, n);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NSweep, BoundOrdering,
+                         ::testing::Values(1.0, 1.2, 1.5, 2.0, 2.7, 3.5, 5.0,
+                                           8.0, 16.0));
+
+TEST(Bounds, RejectsBadArguments) {
+  EXPECT_THROW(upper_bound(1, 2.0), std::invalid_argument);
+  EXPECT_THROW(upper_bound(2, 0.5), std::invalid_argument);
+}
+
+TEST(Bounds, MaxDomainColumns) {
+  EXPECT_EQ(max_domain_columns(2), 7);
+  EXPECT_EQ(max_domain_columns(3), 21);
+  EXPECT_EQ(max_domain_columns(4), 43);
+  EXPECT_THROW(max_domain_columns(1), std::invalid_argument);
+}
+
+TEST(Bounds, MaxDomainGrowthMatchesPaperFigure4) {
+  // "After the cell redistribution, PE(i,j) has up to 2.3 times the number
+  // of cells allocated initially" (m = 3 in Figure 4).
+  EXPECT_NEAR(max_domain_growth(3), 21.0 / 9.0, 1e-12);
+  EXPECT_NEAR(max_domain_growth(3), 2.33, 0.01);
+}
+
+// Derivation self-consistency (paper eq. (3) -> eq. (8)): at C0/C = f(m, n)
+// the maximum domain holds *exactly* the average number of particles per PE,
+// i.e. the uniform-allocation condition
+//     C' (1 - n C0/C) / (C - C0) = 1 / P
+// becomes an equality. Checked numerically across (m, K, n).
+TEST(Bounds, UpperBoundSaturatesUniformAllocationCondition) {
+  for (const int m : {2, 3, 4, 5}) {
+    for (const int pe_side : {3, 6, 8}) {
+      const double k = static_cast<double>(m) * pe_side;  // cells per axis
+      const double c_total = k * k * k;
+      const double p = static_cast<double>(pe_side) * pe_side;
+      const double c_prime =
+          (m * m + 3.0 * (m - 1) * (m - 1)) * k;  // max domain cells
+      for (const double n : {1.1, 1.5, 2.0, 4.0}) {
+        const double x = upper_bound(m, n);  // C0/C at the boundary
+        const double lhs = c_prime * (1.0 - n * x) / (c_total * (1.0 - x));
+        EXPECT_NEAR(lhs, 1.0 / p, 1e-12)
+            << "m=" << m << " P=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Bounds, BeyondBoundMaxDomainCannotHoldAverageLoad) {
+  // Strictly above the bound the maximum domain holds fewer particles than
+  // the per-PE average: uniform balancing is impossible (the DLB limit).
+  const int m = 3, pe_side = 6;
+  const double k = 18.0, c_total = k * k * k, p = 36.0;
+  const double c_prime = (9 + 12) * k;
+  const double n = 2.0;
+  const double x = upper_bound(m, n) * 1.2;  // 20% beyond the bound
+  const double lhs = c_prime * (1.0 - n * x) / (c_total * (1.0 - x));
+  EXPECT_LT(lhs, 1.0 / p);
+}
+
+TEST(Bounds, LargeNAsymptote) {
+  // As n -> infinity, f(m, n) -> 0: concentration eventually beats any m.
+  EXPECT_LT(upper_bound(4, 1000.0), 1e-3);
+}
+
+}  // namespace
+}  // namespace pcmd::theory

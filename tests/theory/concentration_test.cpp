@@ -1,0 +1,90 @@
+#include "theory/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::theory {
+namespace {
+
+TEST(Concentration, NoEmptyCellsMeansNoConcentration) {
+  ConcentrationInputs in;
+  in.total_cells = 100;
+  in.empty_cells = 0;
+  in.max_domain_cells = 10;
+  const auto s = estimate_concentration(5, in);
+  EXPECT_EQ(s.step, 5);
+  EXPECT_DOUBLE_EQ(s.c0_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(s.n, 1.0);
+}
+
+TEST(Concentration, PaperFigure8Example) {
+  // Figure 8: N=90, C=81, C0=36, C'=21, C0'=16 -> n = (16/21)/(36/81) ~ 1.7.
+  ConcentrationInputs in;
+  in.total_cells = 81;
+  in.empty_cells = 36;
+  in.max_domain_cells = 21;
+  in.max_domain_empty = 16;
+  // Same PE is also the max-empty PE in the figure.
+  in.max_empty_cells = 16;
+  in.max_empty_domain_cells = 21;
+  const auto s = estimate_concentration(1, in);
+  EXPECT_NEAR(s.c0_ratio, 36.0 / 81.0, 1e-12);
+  EXPECT_NEAR(s.n, (16.0 / 21.0) / (36.0 / 81.0), 1e-12);
+  EXPECT_NEAR(s.n, 1.7, 0.02);
+}
+
+TEST(Concentration, TwoPeEstimatorAverages) {
+  ConcentrationInputs in;
+  in.total_cells = 100;
+  in.empty_cells = 20;  // C0/C = 0.2
+  in.max_domain_cells = 20;
+  in.max_domain_empty = 10;  // ratio 0.5
+  in.max_empty_cells = 12;
+  in.max_empty_domain_cells = 16;  // ratio 0.75
+  const auto s = estimate_concentration(0, in);
+  EXPECT_NEAR(s.n, 0.5 * (0.5 + 0.75) / 0.2, 1e-12);
+}
+
+TEST(Concentration, ClampedToAtLeastOne) {
+  // A maximum domain *less* concentrated than the average would give n < 1;
+  // the estimator clamps (the factor is defined >= 1).
+  ConcentrationInputs in;
+  in.total_cells = 100;
+  in.empty_cells = 50;
+  in.max_domain_cells = 20;
+  in.max_domain_empty = 2;
+  in.max_empty_cells = 2;
+  in.max_empty_domain_cells = 20;
+  EXPECT_DOUBLE_EQ(estimate_concentration(0, in).n, 1.0);
+}
+
+TEST(Concentration, RejectsBadTotals) {
+  ConcentrationInputs in;
+  in.total_cells = 0;
+  EXPECT_THROW(estimate_concentration(0, in), std::invalid_argument);
+}
+
+TEST(Concentration, FromParallelStats) {
+  ddm::ParallelStepStats stats;
+  stats.step = 7;
+  stats.empty_cells = 30;
+  stats.max_domain_cells = 24;
+  stats.max_domain_empty = 12;
+  stats.max_empty_cells = 12;
+  stats.max_empty_domain_cells = 24;
+  const auto s = estimate_concentration(stats, 120);
+  EXPECT_EQ(s.step, 7);
+  EXPECT_NEAR(s.c0_ratio, 0.25, 1e-12);
+  EXPECT_NEAR(s.n, 0.5 / 0.25, 1e-12);
+}
+
+TEST(Concentration, DegenerateDomainsGiveUnitFactor) {
+  ConcentrationInputs in;
+  in.total_cells = 100;
+  in.empty_cells = 10;
+  in.max_domain_cells = 0;
+  in.max_empty_domain_cells = 0;
+  EXPECT_DOUBLE_EQ(estimate_concentration(0, in).n, 1.0);
+}
+
+}  // namespace
+}  // namespace pcmd::theory

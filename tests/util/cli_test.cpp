@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Cli cli = make_cli({"--steps=100", "--density=0.256"});
+  EXPECT_EQ(cli.get_int("steps", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("density", 0.0), 0.256);
+}
+
+TEST(Cli, SpaceSyntax) {
+  const Cli cli = make_cli({"--steps", "250"});
+  EXPECT_EQ(cli.get_int("steps", 0), 250);
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make_cli({"--full"});
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_TRUE(cli.has("full"));
+  EXPECT_FALSE(cli.has("absent"));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  EXPECT_TRUE(make_cli({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make_cli({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make_cli({"--x=false"}).get_bool("x", true));
+}
+
+TEST(Cli, Fallbacks) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get("mode", "default"), "default");
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 2.5), 2.5);
+  EXPECT_FALSE(cli.get_bool("b", false));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make_cli({"input.txt", "--flag", "output.txt"});
+  // "--flag output.txt" consumes output.txt as the flag's value.
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.get("flag", ""), "output.txt");
+}
+
+TEST(Cli, FlagFollowedByFlagIsBoolean) {
+  const Cli cli = make_cli({"--a", "--b=3"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_EQ(cli.get_int("b", 0), 3);
+}
+
+TEST(Cli, UnqueriedFlagsDetected) {
+  const Cli cli = make_cli({"--known=1", "--typo=2"});
+  EXPECT_EQ(cli.get_int("known", 0), 1);
+  const auto unknown = cli.unqueried_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace pcmd

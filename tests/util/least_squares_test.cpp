@@ -1,0 +1,87 @@
+#include "util/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace pcmd {
+namespace {
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3};
+  const std::vector<double> ys = {1, 3, 5, 7};  // y = 2x + 1
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4, 5};
+  const std::vector<double> ys = {0.1, 0.9, 2.05, 3.1, 3.9, 5.05};
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0, 0.05);
+  EXPECT_NEAR(fit.intercept, 0.0, 0.1);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitLine, ConstantDataHasZeroSlope) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {4, 4, 4};
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);  // zero total variance convention
+}
+
+TEST(FitLine, RejectsMismatchedSizes) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+}
+
+TEST(FitLine, RejectsTooFewPoints) {
+  const std::vector<double> xs = {1};
+  const std::vector<double> ys = {1};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+}
+
+TEST(FitLine, RejectsDegenerateX) {
+  const std::vector<double> xs = {2, 2, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_THROW(fit_line(xs, ys), std::invalid_argument);
+}
+
+TEST(FitReciprocal, RecoversRationalShape) {
+  // y = 1 / (3 x + 2), the same shape as the theoretical bound f(m, n).
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 4.0; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(1.0 / (3.0 * x + 2.0));
+  }
+  const ReciprocalFit fit = fit_reciprocal(xs, ys);
+  EXPECT_NEAR(fit.a, 3.0, 1e-9);
+  EXPECT_NEAR(fit.b, 2.0, 1e-9);
+  EXPECT_NEAR(fit.evaluate(2.0), 1.0 / 8.0, 1e-9);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(FitReciprocal, IgnoresNonPositiveY) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {1.0 / 5.0, 0.0, 1.0 / 11.0, -1.0};
+  // Only x=1 (y=1/5) and x=3 (y=1/11) are used: 1/y = 3x + 2.
+  const ReciprocalFit fit = fit_reciprocal(xs, ys);
+  EXPECT_NEAR(fit.a, 3.0, 1e-9);
+  EXPECT_NEAR(fit.b, 2.0, 1e-9);
+}
+
+TEST(FitReciprocal, EvaluateGuardsNonPositiveDenominator) {
+  ReciprocalFit fit;
+  fit.a = -1.0;
+  fit.b = 0.5;
+  EXPECT_DOUBLE_EQ(fit.evaluate(10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pcmd

@@ -1,0 +1,108 @@
+// Property fuzz for the periodic-boundary helpers: randomised inputs across
+// box shapes, checking the algebraic identities the MD engines rely on.
+#include "util/pbc.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcmd {
+namespace {
+
+struct BoxCase {
+  Box box;
+  std::uint64_t seed;
+};
+
+class PbcProperty : public ::testing::TestWithParam<BoxCase> {};
+
+TEST_P(PbcProperty, WrapIsIdempotentAndInRange) {
+  auto [box, seed] = GetParam();
+  Rng rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p{rng.uniform(-3.0 * box.length.x, 3.0 * box.length.x),
+                 rng.uniform(-3.0 * box.length.y, 3.0 * box.length.y),
+                 rng.uniform(-3.0 * box.length.z, 3.0 * box.length.z)};
+    const Vec3 w = wrap(p, box);
+    ASSERT_TRUE(in_primary_image(w, box)) << "p=" << p.x;
+    const Vec3 w2 = wrap(w, box);
+    EXPECT_EQ(w.x, w2.x);
+    EXPECT_EQ(w.y, w2.y);
+    EXPECT_EQ(w.z, w2.z);
+  }
+}
+
+TEST_P(PbcProperty, WrapPreservesImageClass) {
+  // Wrapping shifts by whole box lengths: p - wrap(p) is an integer multiple
+  // of L on each axis.
+  auto [box, seed] = GetParam();
+  Rng rng(seed + 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0 * box.length.x, 5.0 * box.length.x);
+    const double w = wrap_coordinate(x, box.length.x);
+    const double shifts = (x - w) / box.length.x;
+    EXPECT_NEAR(shifts, std::round(shifts), 1e-9) << "x=" << x;
+  }
+}
+
+TEST_P(PbcProperty, MinimumImageIsShortestOverNeighboringImages) {
+  auto [box, seed] = GetParam();
+  Rng rng(seed + 2);
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 a = rng.uniform_in_box(box.length);
+    const Vec3 b = rng.uniform_in_box(box.length);
+    const double d2 = minimum_image_distance2(a, b, box);
+    // Exhaustively compare against the 27 neighbouring images of b.
+    double best = 1e300;
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const Vec3 image{b.x + dx * box.length.x, b.y + dy * box.length.y,
+                           b.z + dz * box.length.z};
+          best = std::min(best, norm2(a - image));
+        }
+      }
+    }
+    EXPECT_NEAR(d2, best, 1e-9 * std::max(1.0, best));
+  }
+}
+
+TEST_P(PbcProperty, MinimumImageInvariantUnderWrap) {
+  // Distances must not depend on which image the inputs are in.
+  auto [box, seed] = GetParam();
+  Rng rng(seed + 3);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 a = rng.uniform_in_box(box.length);
+    const Vec3 b = rng.uniform_in_box(box.length);
+    const Vec3 a_shifted{a.x + 2.0 * box.length.x, a.y - box.length.y, a.z};
+    EXPECT_NEAR(minimum_image_distance2(a, b, box),
+                minimum_image_distance2(wrap(a_shifted, box), b, box), 1e-9);
+  }
+}
+
+TEST_P(PbcProperty, TriangleInequalityHolds) {
+  auto [box, seed] = GetParam();
+  Rng rng(seed + 4);
+  for (int i = 0; i < 300; ++i) {
+    const Vec3 a = rng.uniform_in_box(box.length);
+    const Vec3 b = rng.uniform_in_box(box.length);
+    const Vec3 c = rng.uniform_in_box(box.length);
+    const double ab = std::sqrt(minimum_image_distance2(a, b, box));
+    const double bc = std::sqrt(minimum_image_distance2(b, c, box));
+    const double ac = std::sqrt(minimum_image_distance2(a, c, box));
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, PbcProperty,
+    ::testing::Values(BoxCase{Box::cubic(10.0), 1},
+                      BoxCase{Box::cubic(5.0), 2},
+                      BoxCase{Box{{4.0, 8.0, 16.0}}, 3},
+                      BoxCase{Box{{2.5, 2.5, 25.0}}, 4},
+                      BoxCase{Box::cubic(0.5), 5}),
+    [](const auto& info) { return "seed" + std::to_string(info.param.seed); });
+
+}  // namespace
+}  // namespace pcmd

@@ -1,0 +1,100 @@
+#include "util/pbc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd {
+namespace {
+
+TEST(Box, CubicFactory) {
+  const Box b = Box::cubic(5.0);
+  EXPECT_EQ(b.length, Vec3(5, 5, 5));
+  EXPECT_DOUBLE_EQ(b.volume(), 125.0);
+}
+
+TEST(WrapCoordinate, InsideStaysPut) {
+  EXPECT_DOUBLE_EQ(wrap_coordinate(3.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(0.0, 10.0), 0.0);
+}
+
+TEST(WrapCoordinate, AboveWrapsDown) {
+  EXPECT_DOUBLE_EQ(wrap_coordinate(12.5, 10.0), 2.5);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(10.0, 10.0), 0.0);
+}
+
+TEST(WrapCoordinate, NegativeWrapsUp) {
+  EXPECT_DOUBLE_EQ(wrap_coordinate(-0.5, 10.0), 9.5);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(-10.5, 10.0), 9.5);
+}
+
+TEST(WrapCoordinate, ManyBoxLengthsAway) {
+  EXPECT_DOUBLE_EQ(wrap_coordinate(123.25, 10.0), 3.25);
+  EXPECT_DOUBLE_EQ(wrap_coordinate(-123.25, 10.0), 6.75);
+}
+
+TEST(WrapCoordinate, ResultAlwaysInRange) {
+  // Tiny negative values can round to exactly len; the invariant must hold.
+  const double len = 10.0;
+  for (double x : {-1e-18, -1e-12, 1e-18, 9.999999999999999, -9.999999999999999}) {
+    const double w = wrap_coordinate(x, len);
+    EXPECT_GE(w, 0.0) << "x=" << x;
+    EXPECT_LT(w, len) << "x=" << x;
+  }
+}
+
+TEST(Wrap, PositionWrapsAllAxes) {
+  const Box box = Box::cubic(4.0);
+  const Vec3 p = wrap({5.0, -1.0, 3.0}, box);
+  EXPECT_DOUBLE_EQ(p.x, 1.0);
+  EXPECT_DOUBLE_EQ(p.y, 3.0);
+  EXPECT_DOUBLE_EQ(p.z, 3.0);
+  EXPECT_TRUE(in_primary_image(p, box));
+}
+
+TEST(InPrimaryImage, BoundaryCases) {
+  const Box box = Box::cubic(2.0);
+  EXPECT_TRUE(in_primary_image({0, 0, 0}, box));
+  EXPECT_TRUE(in_primary_image({1.999, 1.999, 1.999}, box));
+  EXPECT_FALSE(in_primary_image({2.0, 0, 0}, box));
+  EXPECT_FALSE(in_primary_image({0, -0.001, 0}, box));
+}
+
+TEST(MinimumImage, DirectDistanceWhenClose) {
+  const Box box = Box::cubic(10.0);
+  const Vec3 d = minimum_image({1, 1, 1}, {2, 3, 4}, box);
+  EXPECT_EQ(d, Vec3(-1, -2, -3));
+}
+
+TEST(MinimumImage, WrapsAcrossBoundary) {
+  const Box box = Box::cubic(10.0);
+  // 9.5 and 0.5 are 1.0 apart through the boundary, not 9.0.
+  const Vec3 d = minimum_image({9.5, 0, 0}, {0.5, 0, 0}, box);
+  EXPECT_DOUBLE_EQ(d.x, -1.0);
+  EXPECT_DOUBLE_EQ(minimum_image_distance2({9.5, 0, 0}, {0.5, 0, 0}, box), 1.0);
+}
+
+TEST(MinimumImage, HalfBoxIsTheMaximum) {
+  const Box box = Box::cubic(10.0);
+  const Vec3 d = minimum_image({0, 0, 0}, {5.0, 0, 0}, box);
+  EXPECT_DOUBLE_EQ(std::abs(d.x), 5.0);
+}
+
+TEST(MinimumImage, AntisymmetricUpToImage) {
+  const Box box = Box::cubic(7.0);
+  const Vec3 a{0.3, 6.9, 3.2}, b{6.8, 0.1, 3.9};
+  const Vec3 dab = minimum_image(a, b, box);
+  const Vec3 dba = minimum_image(b, a, box);
+  EXPECT_DOUBLE_EQ(dab.x, -dba.x);
+  EXPECT_DOUBLE_EQ(dab.y, -dba.y);
+  EXPECT_DOUBLE_EQ(dab.z, -dba.z);
+}
+
+TEST(MinimumImage, NonCubicBox) {
+  const Box box{{4.0, 8.0, 16.0}};
+  const Vec3 d = minimum_image({3.5, 7.5, 15.5}, {0.5, 0.5, 0.5}, box);
+  EXPECT_DOUBLE_EQ(d.x, -1.0);
+  EXPECT_DOUBLE_EQ(d.y, -1.0);
+  EXPECT_DOUBLE_EQ(d.z, -1.0);
+}
+
+}  // namespace
+}  // namespace pcmd

@@ -1,0 +1,145 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pcmd {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 9.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_index(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, UniformIndexZeroAndOne) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, MaxwellVelocityVariancePerComponent) {
+  Rng rng(19);
+  const double T = 0.722;
+  const int n = 50000;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Vec3 v = rng.maxwell_velocity(T);
+    sum2 += norm2(v);
+  }
+  // <v^2> per particle = 3 T for unit mass.
+  EXPECT_NEAR(sum2 / n, 3.0 * T, 0.05);
+}
+
+TEST(Rng, UniformInBoxStaysInside) {
+  Rng rng(21);
+  const Vec3 lengths{2.0, 4.0, 8.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p = rng.uniform_in_box(lengths);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, lengths.x);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, lengths.y);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, lengths.z);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(33), parent2(33);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+  // Parent and child streams should not track each other.
+  Rng parent(33);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace pcmd

@@ -1,0 +1,114 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcmd {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(4.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, a, b;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, -3, 0.5};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 5 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0};
+  const auto out = moving_average(xs, 1);
+  EXPECT_EQ(out, xs);
+}
+
+TEST(MovingAverage, TrailingWindow) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const auto out = moving_average(xs, 2);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.5);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+  EXPECT_DOUBLE_EQ(out[3], 3.5);
+}
+
+TEST(MovingAverage, WindowLargerThanInput) {
+  const std::vector<double> xs = {2.0, 4.0};
+  const auto out = moving_average(xs, 10);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(MovingAverage, ZeroWindowTreatedAsOne) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const auto out = moving_average(xs, 0);
+  EXPECT_EQ(out, xs);
+}
+
+TEST(ImbalanceRatio, Basics) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio(3.0, 1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio(2.0, 2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio(1.0, 0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pcmd

@@ -1,0 +1,81 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pcmd {
+namespace {
+
+TEST(Vec3, DefaultConstructsToZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, ComponentConstruction) {
+  Vec3 v{1.0, -2.0, 3.5};
+  EXPECT_EQ(v.x, 1.0);
+  EXPECT_EQ(v.y, -2.0);
+  EXPECT_EQ(v.z, 3.5);
+}
+
+TEST(Vec3, AdditionAndSubtraction) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+}
+
+TEST(Vec3, CompoundOperators) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3{1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec3(2, 4, 6));
+}
+
+TEST(Vec3, ScalarMultiplicationBothSides) {
+  const Vec3 v{1, -2, 3};
+  EXPECT_EQ(v * 2.0, Vec3(2, -4, 6));
+  EXPECT_EQ(2.0 * v, Vec3(2, -4, 6));
+}
+
+TEST(Vec3, Negation) {
+  EXPECT_EQ(-Vec3(1, -2, 3), Vec3(-1, 2, -3));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vec3(1, 2, 3), Vec3(4, -5, 6)), 4 - 10 + 18);
+}
+
+TEST(Vec3, NormAndNorm2) {
+  const Vec3 v{3, 4, 12};
+  EXPECT_DOUBLE_EQ(norm2(v), 169.0);
+  EXPECT_DOUBLE_EQ(norm(v), 13.0);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{7, 8, 9};
+  EXPECT_EQ(v[0], 7.0);
+  EXPECT_EQ(v[1], 8.0);
+  EXPECT_EQ(v[2], 9.0);
+  v[1] = 42.0;
+  EXPECT_EQ(v.y, 42.0);
+}
+
+TEST(Vec3, OrthogonalVectorsHaveZeroDot) {
+  EXPECT_DOUBLE_EQ(dot(Vec3(1, 0, 0), Vec3(0, 1, 0)), 0.0);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace pcmd

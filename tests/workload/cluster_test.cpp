@@ -1,0 +1,80 @@
+#include "workload/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::workload {
+namespace {
+
+md::Particle at(std::int64_t id, double x, double y, double z) {
+  md::Particle p;
+  p.id = id;
+  p.position = {x, y, z};
+  return p;
+}
+
+TEST(FindClusters, EmptyInput) {
+  const auto report = find_clusters({}, Box::cubic(10.0), 1.0);
+  EXPECT_EQ(report.count(), 0);
+  EXPECT_EQ(report.largest(), 0);
+}
+
+TEST(FindClusters, SingleParticle) {
+  const auto report =
+      find_clusters({at(0, 5, 5, 5)}, Box::cubic(10.0), 1.0);
+  EXPECT_EQ(report.count(), 1);
+  EXPECT_EQ(report.largest(), 1);
+}
+
+TEST(FindClusters, TwoSeparateClusters) {
+  md::ParticleVector particles = {
+      at(0, 1.0, 1.0, 1.0), at(1, 1.5, 1.0, 1.0),  // pair
+      at(2, 8.0, 8.0, 8.0),                        // singleton
+  };
+  const auto report = find_clusters(particles, Box::cubic(16.0), 1.0);
+  EXPECT_EQ(report.count(), 2);
+  EXPECT_EQ(report.sizes[0], 2);
+  EXPECT_EQ(report.sizes[1], 1);
+}
+
+TEST(FindClusters, ChainIsOneCluster) {
+  md::ParticleVector particles;
+  for (int i = 0; i < 10; ++i) particles.push_back(at(i, 1.0 + 0.9 * i, 5, 5));
+  const auto report = find_clusters(particles, Box::cubic(20.0), 1.0);
+  EXPECT_EQ(report.count(), 1);
+  EXPECT_EQ(report.largest(), 10);
+}
+
+TEST(FindClusters, BondsAcrossPeriodicBoundary) {
+  md::ParticleVector particles = {at(0, 0.2, 5, 5), at(1, 9.8, 5, 5)};
+  const auto report = find_clusters(particles, Box::cubic(10.0), 1.0);
+  EXPECT_EQ(report.count(), 1);  // 0.4 apart through the boundary
+}
+
+TEST(FindClusters, LargestFraction) {
+  md::ParticleVector particles = {
+      at(0, 1, 1, 1), at(1, 1.5, 1, 1), at(2, 2.0, 1, 1),
+      at(3, 8, 8, 8)};
+  const auto report = find_clusters(particles, Box::cubic(16.0), 1.0);
+  EXPECT_DOUBLE_EQ(report.largest_fraction(4), 0.75);
+  EXPECT_DOUBLE_EQ(report.largest_fraction(0), 0.0);
+}
+
+TEST(FindClusters, RejectsBadBondDistance) {
+  EXPECT_THROW(find_clusters({}, Box::cubic(10.0), 0.0),
+               std::invalid_argument);
+}
+
+TEST(FindClusters, SizesSortedDescending) {
+  md::ParticleVector particles = {
+      at(0, 1, 1, 1),
+      at(1, 5, 5, 5), at(2, 5.5, 5, 5),
+      at(3, 10, 10, 10), at(4, 10.5, 10, 10), at(5, 11.0, 10, 10)};
+  const auto report = find_clusters(particles, Box::cubic(20.0), 1.0);
+  ASSERT_EQ(report.count(), 3);
+  EXPECT_EQ(report.sizes[0], 3);
+  EXPECT_EQ(report.sizes[1], 2);
+  EXPECT_EQ(report.sizes[2], 1);
+}
+
+}  // namespace
+}  // namespace pcmd::workload

@@ -1,0 +1,89 @@
+#include "workload/gas.hpp"
+
+#include "md/observables.hpp"
+#include "util/pbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcmd::workload {
+namespace {
+
+TEST(RandomGas, CountAndIds) {
+  Rng rng(1);
+  const Box box = Box::cubic(10.0);
+  const auto particles = random_gas(200, box, GasConfig{}, rng);
+  EXPECT_EQ(particles.size(), 200u);
+  std::set<std::int64_t> ids;
+  for (const auto& p : particles) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), 200u);
+}
+
+TEST(RandomGas, RespectsMinimumSeparation) {
+  Rng rng(2);
+  const Box box = Box::cubic(8.0);
+  GasConfig config;
+  config.min_separation = 1.0;
+  const auto particles = random_gas(100, box, config, rng);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = i + 1; j < particles.size(); ++j) {
+      EXPECT_GE(minimum_image_distance2(particles[i].position,
+                                        particles[j].position, box),
+                1.0 - 1e-12);
+    }
+  }
+}
+
+TEST(RandomGas, AllInPrimaryImage) {
+  Rng rng(3);
+  const Box box = Box::cubic(12.0);
+  for (const auto& p : random_gas(500, box, GasConfig{}, rng)) {
+    EXPECT_TRUE(in_primary_image(p.position, box));
+  }
+}
+
+TEST(RandomGas, ZeroMomentum) {
+  Rng rng(4);
+  const auto particles = random_gas(300, Box::cubic(12.0), GasConfig{}, rng);
+  const Vec3 mom = md::total_momentum(particles);
+  EXPECT_NEAR(mom.x, 0.0, 1e-10);
+}
+
+TEST(RandomGas, DeterministicFromSeed) {
+  Rng rng1(42), rng2(42);
+  const Box box = Box::cubic(10.0);
+  const auto a = random_gas(50, box, GasConfig{}, rng1);
+  const auto b = random_gas(50, box, GasConfig{}, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position.x, b[i].position.x);
+    EXPECT_EQ(a[i].velocity.x, b[i].velocity.x);
+  }
+}
+
+TEST(RandomGas, ThrowsWhenImpossiblyDense) {
+  Rng rng(5);
+  const Box box = Box::cubic(2.0);  // volume 8
+  GasConfig config;
+  config.min_separation = 1.5;
+  config.max_attempts = 50;
+  // Far more particles than can fit at separation 1.5.
+  EXPECT_THROW(random_gas(100, box, config, rng), std::runtime_error);
+}
+
+TEST(RandomGas, RejectsNonPositiveCount) {
+  Rng rng(6);
+  EXPECT_THROW(random_gas(0, Box::cubic(5.0), GasConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(RandomGas, TemperatureNearTarget) {
+  Rng rng(7);
+  GasConfig config;
+  config.temperature = 0.5;
+  const auto particles = random_gas(3000, Box::cubic(30.0), config, rng);
+  EXPECT_NEAR(md::temperature(particles), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace pcmd::workload

@@ -1,0 +1,89 @@
+#include "workload/lattice.hpp"
+
+#include "md/observables.hpp"
+#include "util/pbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcmd::workload {
+namespace {
+
+TEST(SimpleCubic, ExactCount) {
+  Rng rng(1);
+  const Box box = Box::cubic(10.0);
+  const auto p = simple_cubic(100, box, 1.0, rng);
+  EXPECT_EQ(p.size(), 100u);
+}
+
+TEST(SimpleCubic, UniqueIdsAndPrimaryImage) {
+  Rng rng(2);
+  const Box box = Box::cubic(8.0);
+  const auto particles = simple_cubic(64, box, 0.722, rng);
+  std::set<std::int64_t> ids;
+  for (const auto& p : particles) {
+    ids.insert(p.id);
+    EXPECT_TRUE(in_primary_image(p.position, box));
+  }
+  EXPECT_EQ(ids.size(), 64u);
+}
+
+TEST(SimpleCubic, ZeroTotalMomentum) {
+  Rng rng(3);
+  const auto particles = simple_cubic(50, Box::cubic(10.0), 0.722, rng);
+  const Vec3 mom = md::total_momentum(particles);
+  EXPECT_NEAR(mom.x, 0.0, 1e-10);
+  EXPECT_NEAR(mom.y, 0.0, 1e-10);
+  EXPECT_NEAR(mom.z, 0.0, 1e-10);
+}
+
+TEST(SimpleCubic, TemperatureApproximatelyTarget) {
+  Rng rng(4);
+  const auto particles = simple_cubic(5000, Box::cubic(30.0), 0.722, rng);
+  EXPECT_NEAR(md::temperature(particles), 0.722, 0.05);
+}
+
+TEST(SimpleCubic, MinimumSpacingIsLatticeSpacing) {
+  Rng rng(5);
+  const Box box = Box::cubic(8.0);
+  const auto particles = simple_cubic(8, box, 0.5, rng);  // 2x2x2 lattice
+  double min2 = 1e30;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    for (std::size_t j = i + 1; j < particles.size(); ++j) {
+      min2 = std::min(min2, minimum_image_distance2(particles[i].position,
+                                                    particles[j].position, box));
+    }
+  }
+  EXPECT_NEAR(std::sqrt(min2), 4.0, 1e-9);
+}
+
+TEST(SimpleCubic, RejectsNonPositiveCount) {
+  Rng rng(6);
+  EXPECT_THROW(simple_cubic(0, Box::cubic(5.0), 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Fcc, FourPerUnitCell) {
+  Rng rng(7);
+  const auto particles = fcc(32, Box::cubic(10.0), 0.722, rng);
+  EXPECT_EQ(particles.size(), 32u);  // 2^3 cells x 4
+}
+
+TEST(Fcc, RoundsDownToFittingCount) {
+  Rng rng(8);
+  const auto particles = fcc(100, Box::cubic(10.0), 0.722, rng);
+  // Largest cubic FCC below 100: 2x2x2 cells x 4 = 32 (3^3 x 4 = 108 > 100).
+  EXPECT_EQ(particles.size(), 32u);
+}
+
+TEST(Fcc, AllInPrimaryImage) {
+  Rng rng(9);
+  const Box box = Box::cubic(6.0);
+  for (const auto& p : fcc(32, box, 0.722, rng)) {
+    EXPECT_TRUE(in_primary_image(p.position, box));
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::workload

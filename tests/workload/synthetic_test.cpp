@@ -1,0 +1,117 @@
+#include "workload/synthetic.hpp"
+
+#include "md/cell_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::workload {
+namespace {
+
+TEST(ConcentratingWorkload, CountStableAcrossProgress) {
+  SyntheticConfig config;
+  config.particles = 500;
+  const Box box = Box::cubic(20.0);
+  const ConcentratingWorkload w(config, box);
+  EXPECT_EQ(w.state(0.0).size(), 500u);
+  EXPECT_EQ(w.state(0.5).size(), 500u);
+  EXPECT_EQ(w.state(1.0).size(), 500u);
+}
+
+TEST(ConcentratingWorkload, DeterministicForSameProgress) {
+  SyntheticConfig config;
+  config.particles = 100;
+  const Box box = Box::cubic(10.0);
+  const ConcentratingWorkload w(config, box);
+  const auto a = w.state(0.37);
+  const auto b = w.state(0.37);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position.x, b[i].position.x);
+  }
+}
+
+TEST(ConcentratingWorkload, ProgressZeroIsUniformGas) {
+  SyntheticConfig config;
+  config.particles = 2000;
+  const Box box = Box::cubic(20.0);
+  const ConcentratingWorkload w(config, box);
+  const auto state = w.state(0.0);
+  // Empty-cell fraction of a uniform gas with ~7.8 particles per cell is
+  // tiny (Poisson: e^-7.8 < 0.1%).
+  const md::CellGrid grid(box, 2.5);
+  const md::CellBins bins(grid, state);
+  EXPECT_LT(bins.empty_cells(), grid.num_cells() / 10);
+}
+
+TEST(ConcentratingWorkload, EmptyCellRatioGrowsMonotonically) {
+  SyntheticConfig config;
+  config.particles = 2000;
+  const Box box = Box::cubic(20.0);
+  const ConcentratingWorkload w(config, box);
+  const md::CellGrid grid(box, 2.5);
+  double prev = -1.0;
+  for (double progress : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const md::CellBins bins(grid, w.state(progress));
+    const double ratio =
+        static_cast<double>(bins.empty_cells()) / grid.num_cells();
+    EXPECT_GE(ratio, prev - 0.02) << "progress=" << progress;
+    prev = ratio;
+  }
+  // At full progress a large fraction of cells is empty (late activators
+  // are still gliding toward their centres, so not all condense fully).
+  const md::CellBins final_bins(grid, w.state(1.0));
+  EXPECT_GT(static_cast<double>(final_bins.empty_cells()) / grid.num_cells(),
+            0.3);
+}
+
+TEST(ConcentratingWorkload, AllPositionsInPrimaryImage) {
+  SyntheticConfig config;
+  config.particles = 300;
+  const Box box = Box::cubic(15.0);
+  const ConcentratingWorkload w(config, box);
+  for (double progress : {0.0, 0.3, 0.6, 1.0}) {
+    for (const auto& p : w.state(progress)) {
+      EXPECT_TRUE(in_primary_image(p.position, box));
+    }
+  }
+}
+
+TEST(ConcentratingWorkload, ProgressClamped) {
+  SyntheticConfig config;
+  config.particles = 50;
+  const Box box = Box::cubic(10.0);
+  const ConcentratingWorkload w(config, box);
+  const auto lo = w.state(-1.0);
+  const auto zero = w.state(0.0);
+  const auto hi = w.state(2.0);
+  const auto one = w.state(1.0);
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    EXPECT_EQ(lo[i].position.x, zero[i].position.x);
+    EXPECT_EQ(hi[i].position.x, one[i].position.x);
+  }
+}
+
+TEST(ConcentratingWorkload, CondensateFractionZeroNeverConcentrates) {
+  SyntheticConfig config;
+  config.particles = 400;
+  config.condensate_fraction = 0.0;
+  const Box box = Box::cubic(15.0);
+  const ConcentratingWorkload w(config, box);
+  const auto start = w.state(0.0);
+  const auto end = w.state(1.0);
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_EQ(start[i].position.x, end[i].position.x);
+  }
+}
+
+TEST(ConcentratingWorkload, RejectsBadConfig) {
+  const Box box = Box::cubic(10.0);
+  SyntheticConfig bad;
+  bad.particles = 0;
+  EXPECT_THROW(ConcentratingWorkload(bad, box), std::invalid_argument);
+  SyntheticConfig bad2;
+  bad2.condensate_fraction = 1.5;
+  EXPECT_THROW(ConcentratingWorkload(bad2, box), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pcmd::workload
