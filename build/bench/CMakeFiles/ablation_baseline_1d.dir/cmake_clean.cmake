@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_1d.dir/ablation_baseline_1d.cpp.o"
+  "CMakeFiles/ablation_baseline_1d.dir/ablation_baseline_1d.cpp.o.d"
+  "ablation_baseline_1d"
+  "ablation_baseline_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_domain_shapes.dir/ablation_domain_shapes.cpp.o"
+  "CMakeFiles/ablation_domain_shapes.dir/ablation_domain_shapes.cpp.o.d"
+  "ablation_domain_shapes"
+  "ablation_domain_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_domain_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

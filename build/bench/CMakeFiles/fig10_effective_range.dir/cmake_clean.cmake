@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_effective_range.dir/fig10_effective_range.cpp.o"
+  "CMakeFiles/fig10_effective_range.dir/fig10_effective_range.cpp.o.d"
+  "fig10_effective_range"
+  "fig10_effective_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_effective_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_trajectory.dir/fig9_trajectory.cpp.o"
+  "CMakeFiles/fig9_trajectory.dir/fig9_trajectory.cpp.o.d"
+  "fig9_trajectory"
+  "fig9_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_md.dir/micro_md.cpp.o"
+  "CMakeFiles/micro_md.dir/micro_md.cpp.o.d"
+  "micro_md"
+  "micro_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

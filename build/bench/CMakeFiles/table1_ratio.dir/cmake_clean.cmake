@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ratio.dir/table1_ratio.cpp.o"
+  "CMakeFiles/table1_ratio.dir/table1_ratio.cpp.o.d"
+  "table1_ratio"
+  "table1_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

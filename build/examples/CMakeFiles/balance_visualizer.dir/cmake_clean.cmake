@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balance_visualizer.dir/balance_visualizer.cpp.o"
+  "CMakeFiles/balance_visualizer.dir/balance_visualizer.cpp.o.d"
+  "balance_visualizer"
+  "balance_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balance_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

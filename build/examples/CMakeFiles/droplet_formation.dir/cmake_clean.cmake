@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplet_formation.dir/droplet_formation.cpp.o"
+  "CMakeFiles/droplet_formation.dir/droplet_formation.cpp.o.d"
+  "droplet_formation"
+  "droplet_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplet_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/column_map.cpp" "src/core/CMakeFiles/pcmd_core.dir/column_map.cpp.o" "gcc" "src/core/CMakeFiles/pcmd_core.dir/column_map.cpp.o.d"
+  "/root/repo/src/core/dlb_protocol.cpp" "src/core/CMakeFiles/pcmd_core.dir/dlb_protocol.cpp.o" "gcc" "src/core/CMakeFiles/pcmd_core.dir/dlb_protocol.cpp.o.d"
+  "/root/repo/src/core/invariant.cpp" "src/core/CMakeFiles/pcmd_core.dir/invariant.cpp.o" "gcc" "src/core/CMakeFiles/pcmd_core.dir/invariant.cpp.o.d"
+  "/root/repo/src/core/pillar_layout.cpp" "src/core/CMakeFiles/pcmd_core.dir/pillar_layout.cpp.o" "gcc" "src/core/CMakeFiles/pcmd_core.dir/pillar_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_core.dir/column_map.cpp.o"
+  "CMakeFiles/pcmd_core.dir/column_map.cpp.o.d"
+  "CMakeFiles/pcmd_core.dir/dlb_protocol.cpp.o"
+  "CMakeFiles/pcmd_core.dir/dlb_protocol.cpp.o.d"
+  "CMakeFiles/pcmd_core.dir/invariant.cpp.o"
+  "CMakeFiles/pcmd_core.dir/invariant.cpp.o.d"
+  "CMakeFiles/pcmd_core.dir/pillar_layout.cpp.o"
+  "CMakeFiles/pcmd_core.dir/pillar_layout.cpp.o.d"
+  "libpcmd_core.a"
+  "libpcmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

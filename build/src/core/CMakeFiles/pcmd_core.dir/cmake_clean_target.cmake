@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcmd_core.a"
+)

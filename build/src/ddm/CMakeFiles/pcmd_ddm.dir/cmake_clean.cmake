@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_ddm.dir/comm_volume.cpp.o"
+  "CMakeFiles/pcmd_ddm.dir/comm_volume.cpp.o.d"
+  "CMakeFiles/pcmd_ddm.dir/parallel_md.cpp.o"
+  "CMakeFiles/pcmd_ddm.dir/parallel_md.cpp.o.d"
+  "CMakeFiles/pcmd_ddm.dir/slab_md.cpp.o"
+  "CMakeFiles/pcmd_ddm.dir/slab_md.cpp.o.d"
+  "CMakeFiles/pcmd_ddm.dir/wire.cpp.o"
+  "CMakeFiles/pcmd_ddm.dir/wire.cpp.o.d"
+  "libpcmd_ddm.a"
+  "libpcmd_ddm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_ddm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/cell_grid.cpp" "src/md/CMakeFiles/pcmd_md.dir/cell_grid.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/cell_grid.cpp.o.d"
+  "/root/repo/src/md/integrator.cpp" "src/md/CMakeFiles/pcmd_md.dir/integrator.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/md/lj.cpp" "src/md/CMakeFiles/pcmd_md.dir/lj.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/lj.cpp.o.d"
+  "/root/repo/src/md/neighbor_list.cpp" "src/md/CMakeFiles/pcmd_md.dir/neighbor_list.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/neighbor_list.cpp.o.d"
+  "/root/repo/src/md/observables.cpp" "src/md/CMakeFiles/pcmd_md.dir/observables.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/observables.cpp.o.d"
+  "/root/repo/src/md/rdf.cpp" "src/md/CMakeFiles/pcmd_md.dir/rdf.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/rdf.cpp.o.d"
+  "/root/repo/src/md/serial_md.cpp" "src/md/CMakeFiles/pcmd_md.dir/serial_md.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/serial_md.cpp.o.d"
+  "/root/repo/src/md/thermostat.cpp" "src/md/CMakeFiles/pcmd_md.dir/thermostat.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/thermostat.cpp.o.d"
+  "/root/repo/src/md/units.cpp" "src/md/CMakeFiles/pcmd_md.dir/units.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/units.cpp.o.d"
+  "/root/repo/src/md/xyz.cpp" "src/md/CMakeFiles/pcmd_md.dir/xyz.cpp.o" "gcc" "src/md/CMakeFiles/pcmd_md.dir/xyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

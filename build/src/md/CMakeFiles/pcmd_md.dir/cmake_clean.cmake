@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_md.dir/cell_grid.cpp.o"
+  "CMakeFiles/pcmd_md.dir/cell_grid.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/integrator.cpp.o"
+  "CMakeFiles/pcmd_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/lj.cpp.o"
+  "CMakeFiles/pcmd_md.dir/lj.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/neighbor_list.cpp.o"
+  "CMakeFiles/pcmd_md.dir/neighbor_list.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/observables.cpp.o"
+  "CMakeFiles/pcmd_md.dir/observables.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/rdf.cpp.o"
+  "CMakeFiles/pcmd_md.dir/rdf.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/serial_md.cpp.o"
+  "CMakeFiles/pcmd_md.dir/serial_md.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/thermostat.cpp.o"
+  "CMakeFiles/pcmd_md.dir/thermostat.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/units.cpp.o"
+  "CMakeFiles/pcmd_md.dir/units.cpp.o.d"
+  "CMakeFiles/pcmd_md.dir/xyz.cpp.o"
+  "CMakeFiles/pcmd_md.dir/xyz.cpp.o.d"
+  "libpcmd_md.a"
+  "libpcmd_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/md/CMakeFiles/pcmd_md.dir/units.cpp.o: /root/repo/src/md/units.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/util/../md/units.hpp

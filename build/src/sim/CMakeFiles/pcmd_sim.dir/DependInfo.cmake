@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/comm.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/comm.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/mailbox.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/mailbox.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/mailbox.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/message.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/message.cpp.o.d"
+  "/root/repo/src/sim/seq_engine.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/seq_engine.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/seq_engine.cpp.o.d"
+  "/root/repo/src/sim/thread_engine.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/thread_engine.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/thread_engine.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/topology.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/topology.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/pcmd_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/pcmd_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

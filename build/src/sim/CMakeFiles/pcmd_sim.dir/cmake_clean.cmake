@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_sim.dir/comm.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/mailbox.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/mailbox.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/message.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/message.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/seq_engine.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/seq_engine.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/thread_engine.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/thread_engine.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/topology.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/topology.cpp.o.d"
+  "CMakeFiles/pcmd_sim.dir/trace.cpp.o"
+  "CMakeFiles/pcmd_sim.dir/trace.cpp.o.d"
+  "libpcmd_sim.a"
+  "libpcmd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

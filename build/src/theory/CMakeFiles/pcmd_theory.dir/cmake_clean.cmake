@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_theory.dir/boundary.cpp.o"
+  "CMakeFiles/pcmd_theory.dir/boundary.cpp.o.d"
+  "CMakeFiles/pcmd_theory.dir/bounds.cpp.o"
+  "CMakeFiles/pcmd_theory.dir/bounds.cpp.o.d"
+  "CMakeFiles/pcmd_theory.dir/concentration.cpp.o"
+  "CMakeFiles/pcmd_theory.dir/concentration.cpp.o.d"
+  "CMakeFiles/pcmd_theory.dir/effective_range.cpp.o"
+  "CMakeFiles/pcmd_theory.dir/effective_range.cpp.o.d"
+  "CMakeFiles/pcmd_theory.dir/synthetic_balance.cpp.o"
+  "CMakeFiles/pcmd_theory.dir/synthetic_balance.cpp.o.d"
+  "libpcmd_theory.a"
+  "libpcmd_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

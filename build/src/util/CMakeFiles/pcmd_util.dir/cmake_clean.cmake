@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_util.dir/cli.cpp.o"
+  "CMakeFiles/pcmd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/least_squares.cpp.o"
+  "CMakeFiles/pcmd_util.dir/least_squares.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/log.cpp.o"
+  "CMakeFiles/pcmd_util.dir/log.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/pbc.cpp.o"
+  "CMakeFiles/pcmd_util.dir/pbc.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/rng.cpp.o"
+  "CMakeFiles/pcmd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/stats.cpp.o"
+  "CMakeFiles/pcmd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/table.cpp.o"
+  "CMakeFiles/pcmd_util.dir/table.cpp.o.d"
+  "CMakeFiles/pcmd_util.dir/vec3.cpp.o"
+  "CMakeFiles/pcmd_util.dir/vec3.cpp.o.d"
+  "libpcmd_util.a"
+  "libpcmd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cluster.cpp" "src/workload/CMakeFiles/pcmd_workload.dir/cluster.cpp.o" "gcc" "src/workload/CMakeFiles/pcmd_workload.dir/cluster.cpp.o.d"
+  "/root/repo/src/workload/gas.cpp" "src/workload/CMakeFiles/pcmd_workload.dir/gas.cpp.o" "gcc" "src/workload/CMakeFiles/pcmd_workload.dir/gas.cpp.o.d"
+  "/root/repo/src/workload/lattice.cpp" "src/workload/CMakeFiles/pcmd_workload.dir/lattice.cpp.o" "gcc" "src/workload/CMakeFiles/pcmd_workload.dir/lattice.cpp.o.d"
+  "/root/repo/src/workload/paper_system.cpp" "src/workload/CMakeFiles/pcmd_workload.dir/paper_system.cpp.o" "gcc" "src/workload/CMakeFiles/pcmd_workload.dir/paper_system.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/pcmd_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/pcmd_workload.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/pcmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

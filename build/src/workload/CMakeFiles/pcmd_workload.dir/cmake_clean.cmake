@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmd_workload.dir/cluster.cpp.o"
+  "CMakeFiles/pcmd_workload.dir/cluster.cpp.o.d"
+  "CMakeFiles/pcmd_workload.dir/gas.cpp.o"
+  "CMakeFiles/pcmd_workload.dir/gas.cpp.o.d"
+  "CMakeFiles/pcmd_workload.dir/lattice.cpp.o"
+  "CMakeFiles/pcmd_workload.dir/lattice.cpp.o.d"
+  "CMakeFiles/pcmd_workload.dir/paper_system.cpp.o"
+  "CMakeFiles/pcmd_workload.dir/paper_system.cpp.o.d"
+  "CMakeFiles/pcmd_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/pcmd_workload.dir/synthetic.cpp.o.d"
+  "libpcmd_workload.a"
+  "libpcmd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/column_map_test.cpp" "tests/CMakeFiles/test_core.dir/core/column_map_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/column_map_test.cpp.o.d"
+  "/root/repo/tests/core/dlb_protocol_test.cpp" "tests/CMakeFiles/test_core.dir/core/dlb_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dlb_protocol_test.cpp.o.d"
+  "/root/repo/tests/core/invariant_test.cpp" "tests/CMakeFiles/test_core.dir/core/invariant_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/invariant_test.cpp.o.d"
+  "/root/repo/tests/core/pillar_layout_test.cpp" "tests/CMakeFiles/test_core.dir/core/pillar_layout_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pillar_layout_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddm.dir/ddm/comm_volume_test.cpp.o"
+  "CMakeFiles/test_ddm.dir/ddm/comm_volume_test.cpp.o.d"
+  "CMakeFiles/test_ddm.dir/ddm/parallel_md_test.cpp.o"
+  "CMakeFiles/test_ddm.dir/ddm/parallel_md_test.cpp.o.d"
+  "CMakeFiles/test_ddm.dir/ddm/parity_sweep_test.cpp.o"
+  "CMakeFiles/test_ddm.dir/ddm/parity_sweep_test.cpp.o.d"
+  "CMakeFiles/test_ddm.dir/ddm/slab_md_test.cpp.o"
+  "CMakeFiles/test_ddm.dir/ddm/slab_md_test.cpp.o.d"
+  "CMakeFiles/test_ddm.dir/ddm/wire_test.cpp.o"
+  "CMakeFiles/test_ddm.dir/ddm/wire_test.cpp.o.d"
+  "test_ddm"
+  "test_ddm.pdb"
+  "test_ddm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

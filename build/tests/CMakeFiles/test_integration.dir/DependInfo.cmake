@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/pipeline_test.cpp.o.d"
+  "/root/repo/tests/integration/umbrella_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/umbrella_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/pcmd_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddm/CMakeFiles/pcmd_ddm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcmd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcmd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/pcmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/md/cell_grid_test.cpp" "tests/CMakeFiles/test_md.dir/md/cell_grid_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/cell_grid_test.cpp.o.d"
+  "/root/repo/tests/md/forces_test.cpp" "tests/CMakeFiles/test_md.dir/md/forces_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/forces_test.cpp.o.d"
+  "/root/repo/tests/md/integrator_test.cpp" "tests/CMakeFiles/test_md.dir/md/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/integrator_test.cpp.o.d"
+  "/root/repo/tests/md/lj_test.cpp" "tests/CMakeFiles/test_md.dir/md/lj_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/lj_test.cpp.o.d"
+  "/root/repo/tests/md/neighbor_list_test.cpp" "tests/CMakeFiles/test_md.dir/md/neighbor_list_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/neighbor_list_test.cpp.o.d"
+  "/root/repo/tests/md/pressure_test.cpp" "tests/CMakeFiles/test_md.dir/md/pressure_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/pressure_test.cpp.o.d"
+  "/root/repo/tests/md/rdf_test.cpp" "tests/CMakeFiles/test_md.dir/md/rdf_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/rdf_test.cpp.o.d"
+  "/root/repo/tests/md/restart_test.cpp" "tests/CMakeFiles/test_md.dir/md/restart_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/restart_test.cpp.o.d"
+  "/root/repo/tests/md/serial_md_test.cpp" "tests/CMakeFiles/test_md.dir/md/serial_md_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/serial_md_test.cpp.o.d"
+  "/root/repo/tests/md/thermostat_test.cpp" "tests/CMakeFiles/test_md.dir/md/thermostat_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/thermostat_test.cpp.o.d"
+  "/root/repo/tests/md/units_test.cpp" "tests/CMakeFiles/test_md.dir/md/units_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/units_test.cpp.o.d"
+  "/root/repo/tests/md/xyz_test.cpp" "tests/CMakeFiles/test_md.dir/md/xyz_test.cpp.o" "gcc" "tests/CMakeFiles/test_md.dir/md/xyz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/pcmd_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pcmd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

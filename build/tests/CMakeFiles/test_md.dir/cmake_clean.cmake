@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md.dir/md/cell_grid_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/cell_grid_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/forces_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/forces_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/integrator_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/integrator_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/lj_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/lj_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/neighbor_list_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/neighbor_list_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/pressure_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/pressure_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/rdf_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/rdf_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/restart_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/restart_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/serial_md_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/serial_md_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/thermostat_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/thermostat_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/units_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/units_test.cpp.o.d"
+  "CMakeFiles/test_md.dir/md/xyz_test.cpp.o"
+  "CMakeFiles/test_md.dir/md/xyz_test.cpp.o.d"
+  "test_md"
+  "test_md.pdb"
+  "test_md[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

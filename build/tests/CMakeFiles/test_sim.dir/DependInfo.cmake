@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cost_model_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/cost_model_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/message_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/message_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/message_test.cpp.o.d"
+  "/root/repo/tests/sim/stress_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stress_test.cpp.o.d"
+  "/root/repo/tests/sim/topology_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcmd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

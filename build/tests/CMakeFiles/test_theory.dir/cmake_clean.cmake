@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theory.dir/theory/boundary_test.cpp.o"
+  "CMakeFiles/test_theory.dir/theory/boundary_test.cpp.o.d"
+  "CMakeFiles/test_theory.dir/theory/bounds_test.cpp.o"
+  "CMakeFiles/test_theory.dir/theory/bounds_test.cpp.o.d"
+  "CMakeFiles/test_theory.dir/theory/concentration_test.cpp.o"
+  "CMakeFiles/test_theory.dir/theory/concentration_test.cpp.o.d"
+  "CMakeFiles/test_theory.dir/theory/effective_range_test.cpp.o"
+  "CMakeFiles/test_theory.dir/theory/effective_range_test.cpp.o.d"
+  "CMakeFiles/test_theory.dir/theory/synthetic_balance_test.cpp.o"
+  "CMakeFiles/test_theory.dir/theory/synthetic_balance_test.cpp.o.d"
+  "test_theory"
+  "test_theory.pdb"
+  "test_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
