@@ -1,0 +1,15 @@
+#include "core/check.hpp"
+
+namespace pcmd::core {
+
+void check_failed(const char* macro, const char* expr, const char* file,
+                  int line, const std::string& message) {
+  std::ostringstream os;
+  os << macro << "(" << expr << ") failed at " << file << ":" << line;
+  if (!message.empty()) {
+    os << ": " << message;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace pcmd::core

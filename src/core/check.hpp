@@ -1,0 +1,72 @@
+// Levelled runtime-check macros. Failures throw CheckError (never abort) so
+// SPMD harnesses and tests can observe the diagnostic instead of dying.
+//
+//   PCMD_CHECK(cond)            cheap, protocol-critical; compiled in at
+//   PCMD_CHECK_MSG(cond, msg)   level >= 1 (the default in every build)
+//
+//   PCMD_ASSERT(cond)           expensive consistency checks; compiled in
+//   PCMD_ASSERT_MSG(cond, msg)  only at level >= 2 (-DPCMD_CHECKS=ON)
+//
+// The `msg` argument is an ostream expression, e.g.
+//   PCMD_CHECK_MSG(owner >= 0, "column " << col << " has owner " << owner);
+//
+// The level comes from the PCMD_CHECKS_LEVEL macro (0 disables everything,
+// 1 keeps only PCMD_CHECK, 2 enables both); the build system sets it from
+// the PCMD_CHECKS CMake option. Naked `assert` is banned by tools/lint.sh —
+// it vanishes under NDEBUG, aborts instead of reporting, and carries no
+// context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pcmd::core {
+
+// Thrown by failed PCMD_CHECK / PCMD_ASSERT conditions.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Formats "<macro>(<expr>) failed at <file>:<line>: <message>" and throws
+// CheckError. Out of line so the macro expansion stays small.
+[[noreturn]] void check_failed(const char* macro, const char* expr,
+                               const char* file, int line,
+                               const std::string& message);
+
+}  // namespace pcmd::core
+
+#ifndef PCMD_CHECKS_LEVEL
+#define PCMD_CHECKS_LEVEL 1
+#endif
+
+#define PCMD_CHECK_IMPL_(macro, cond, msg)                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream pcmd_check_stream_;                                 \
+      pcmd_check_stream_ << msg;                                             \
+      ::pcmd::core::check_failed(macro, #cond, __FILE__, __LINE__,           \
+                                 pcmd_check_stream_.str());                  \
+    }                                                                        \
+  } while (0)
+
+#if PCMD_CHECKS_LEVEL >= 1
+#define PCMD_CHECK(cond) PCMD_CHECK_IMPL_("PCMD_CHECK", cond, "")
+#define PCMD_CHECK_MSG(cond, msg) PCMD_CHECK_IMPL_("PCMD_CHECK", cond, msg)
+#else
+#define PCMD_CHECK(cond) ((void)0)
+#define PCMD_CHECK_MSG(cond, msg) ((void)0)
+#endif
+
+#if PCMD_CHECKS_LEVEL >= 2
+#define PCMD_ASSERT(cond) PCMD_CHECK_IMPL_("PCMD_ASSERT", cond, "")
+#define PCMD_ASSERT_MSG(cond, msg) PCMD_CHECK_IMPL_("PCMD_ASSERT", cond, msg)
+#else
+#define PCMD_ASSERT(cond) ((void)0)
+#define PCMD_ASSERT_MSG(cond, msg) ((void)0)
+#endif
+
+// True when PCMD_ASSERT is live — lets callers skip work that only feeds
+// assertions (e.g. building an InvariantReport).
+#define PCMD_ASSERTS_ENABLED (PCMD_CHECKS_LEVEL >= 2)

@@ -1,5 +1,7 @@
 #include "core/column_map.hpp"
 
+#include "core/check.hpp"
+
 #include <stdexcept>
 
 namespace pcmd::core {
@@ -15,6 +17,8 @@ void ColumnMap::set_owner(int col, int rank) {
   if (col < 0 || col >= num_columns()) {
     throw std::out_of_range("ColumnMap::set_owner: column out of range");
   }
+  PCMD_CHECK_MSG(rank >= 0,
+                 "column " << col << " assigned negative owner " << rank);
   owner_[col] = rank;
 }
 

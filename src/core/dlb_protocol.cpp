@@ -1,5 +1,8 @@
 #include "core/dlb_protocol.hpp"
 
+#include "core/check.hpp"
+
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -128,6 +131,12 @@ DlbDecision DlbProtocol::decide_for_target(
       decision.target = target;
       decision.column = col;
       decision.is_return = false;
+      const auto allowed = layout_->allowed_owners(col);
+      PCMD_ASSERT_MSG(
+          std::binary_search(allowed.begin(), allowed.end(), target),
+          "case-1 decision would give column " << col
+                                               << " to disallowed rank "
+                                               << target);
     }
     return decision;
   }
@@ -149,6 +158,9 @@ DlbDecision DlbProtocol::decide_for_target(
     decision.target = target;
     decision.column = col;
     decision.is_return = true;
+    PCMD_ASSERT_MSG(layout_->home_rank(col) == target,
+                    "case-3 return of column " << col << " to rank " << target
+                                               << " which is not its home");
   }
   return decision;
 }
@@ -214,6 +226,8 @@ DlbDecision DlbProtocol::decide(
 
 void DlbProtocol::apply(ColumnMap& map, const DlbDecision& decision) {
   if (decision.target < 0 || decision.column < 0) return;
+  PCMD_CHECK_MSG(decision.column < map.num_columns(),
+                 "decision column " << decision.column << " out of range");
   map.set_owner(decision.column, decision.target);
 }
 

@@ -48,6 +48,14 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
   if (config.rescale_temperature) {
     thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
+  if (config_.verify_invariants) {
+    sim::ProtocolChecker::Options options;
+    // Every message of the six-phase step protocol must stay on the paper's
+    // 8-neighbour stencil; no tag is exempt.
+    options.neighbor_torus = layout_.pe_torus();
+    checker_ = std::make_unique<sim::ProtocolChecker>(std::move(options));
+    engine_->set_checker(checker_.get());
+  }
 
   ranks_.reserve(layout_.pe_count());
   for (int r = 0; r < layout_.pe_count(); ++r) {
@@ -89,6 +97,34 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
     rank.owned.assign(rank.with_halo.begin(),
                       rank.with_halo.begin() + rank.owned.size());
   });
+}
+
+ParallelMd::~ParallelMd() {
+  if (checker_) {
+    engine_->set_checker(nullptr);
+  }
+}
+
+void ParallelMd::verify_step_invariants() const {
+  if (checker_) {
+    // All six phases have run: every send must be consumed, every
+    // collective completed, all traffic neighbour-confined.
+    checker_->require_clean();
+    // The step's trace is clean; drop it so a long run stays O(1) per step.
+    checker_->reset();
+  }
+  if (dlb_active_this_step_) {
+    const core::InvariantReport report = check_ownership();
+    if (!report.ok) {
+      std::ostringstream os;
+      os << "permanent-cell invariants violated after DLB step "
+         << step_count_ << ":";
+      for (const auto& violation : report.violations) {
+        os << "\n  " << violation;
+      }
+      PCMD_CHECK_MSG(false, os.str());
+    }
+  }
 }
 
 int ParallelMd::column_of_position(const Vec3& position) const {
@@ -413,6 +449,9 @@ ParallelStepStats ParallelMd::step() {
   engine_->run_phase([this](sim::Comm& c) { phase_f_finish(c); });
 
   ++step_count_;
+  if (config_.verify_invariants) {
+    verify_step_invariants();
+  }
 
   const Rank& r0 = *ranks_[0];
   ParallelStepStats stats;

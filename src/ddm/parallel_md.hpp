@@ -25,6 +25,7 @@
 // rescale, whose global kinetic-energy sum differs only in rounding).
 #pragma once
 
+#include "core/check.hpp"
 #include "core/column_map.hpp"
 #include "core/dlb_protocol.hpp"
 #include "core/invariant.hpp"
@@ -34,6 +35,7 @@
 #include "md/lj.hpp"
 #include "md/particle.hpp"
 #include "md/thermostat.hpp"
+#include "sim/checker.hpp"
 #include "sim/comm.hpp"
 
 #include <cstdint>
@@ -52,6 +54,13 @@ struct ParallelMdConfig {
   int rescale_interval = 50;
   bool dlb_enabled = false;
   core::DlbConfig dlb;
+  // Runtime verification: attach a sim::ProtocolChecker to the engine (all
+  // traffic must stay on the 8-neighbour torus stencil and drain every
+  // step) and re-verify the permanent-cell ownership invariants after each
+  // DLB-active step. Violations throw core::CheckError /
+  // sim::ProtocolError with provenance. Defaults to on in -DPCMD_CHECKS=ON
+  // builds; force it on anywhere for debugging.
+  bool verify_invariants = PCMD_ASSERTS_ENABLED;
 };
 
 // Per-step statistics (globally reduced; identical on every rank).
@@ -83,6 +92,11 @@ class ParallelMd {
   // (m * pe_side) * cell_edge with cell_edge >= cutoff.
   ParallelMd(sim::Engine& engine, const Box& box,
              const md::ParticleVector& initial, const ParallelMdConfig& config);
+  // Detaches the protocol checker from the engine when one was installed.
+  ~ParallelMd();
+
+  ParallelMd(const ParallelMd&) = delete;
+  ParallelMd& operator=(const ParallelMd&) = delete;
 
   // Advances one step; the returned statistics are the globally reduced
   // values every PE agreed on.
@@ -153,9 +167,14 @@ class ParallelMd {
   md::VelocityVerlet integrator_;
   std::optional<md::RescaleThermostat> thermostat_;
   core::DlbProtocol protocol_;
+  std::unique_ptr<sim::ProtocolChecker> checker_;  // when verify_invariants
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::int64_t step_count_ = 0;
   bool dlb_active_this_step_ = false;
+
+  // End-of-step verification (verify_invariants only): SPMD protocol trace
+  // clean and, on DLB steps, the paper's structural invariants.
+  void verify_step_invariants() const;
 };
 
 }  // namespace pcmd::ddm

@@ -57,8 +57,8 @@
 #include "ddm/wire.hpp"
 
 // theory — Section 4 bounds and effective-range analysis
-#include "theory/bounds.hpp"
 #include "theory/boundary.hpp"
+#include "theory/bounds.hpp"
 #include "theory/concentration.hpp"
 #include "theory/effective_range.hpp"
 #include "theory/synthetic_balance.hpp"

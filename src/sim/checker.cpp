@@ -1,0 +1,241 @@
+#include "sim/checker.hpp"
+
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pcmd::sim {
+
+const char* to_string(ProtocolViolation::Kind kind) {
+  switch (kind) {
+    case ProtocolViolation::Kind::kUnconsumedSend:
+      return "unconsumed-send";
+    case ProtocolViolation::Kind::kMissingSender:
+      return "missing-sender";
+    case ProtocolViolation::Kind::kCollectiveArity:
+      return "collective-arity";
+    case ProtocolViolation::Kind::kCollectiveMismatch:
+      return "collective-mismatch";
+    case ProtocolViolation::Kind::kClockRegression:
+      return "clock-regression";
+    case ProtocolViolation::Kind::kNonNeighborMessage:
+      return "non-neighbor-message";
+  }
+  return "unknown";
+}
+
+std::size_t ProtocolReport::count(ProtocolViolation::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [kind](const ProtocolViolation& v) {
+                      return v.kind == kind;
+                    }));
+}
+
+std::string ProtocolReport::to_string() const {
+  std::ostringstream os;
+  os << "protocol checker: " << violations.size() << " violation(s)";
+  for (const auto& v : violations) {
+    os << "\n  [" << sim::to_string(v.kind) << "] rank=" << v.rank
+       << " phase=" << v.phase << ": " << v.detail;
+  }
+  return os.str();
+}
+
+ProtocolChecker::ProtocolChecker(Options options)
+    : options_(std::move(options)) {}
+
+void ProtocolChecker::record(ProtocolViolation::Kind kind, int rank, int phase,
+                             std::string detail) {
+  violations_.push_back({kind, rank, phase, std::move(detail)});
+}
+
+void ProtocolChecker::on_attach(int ranks) {
+  std::lock_guard lock(mutex_);
+  attached_ranks_ = ranks;
+}
+
+void ProtocolChecker::on_phase_begin(int phase) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  current_phase_ = phase;
+}
+
+void ProtocolChecker::on_send(int src, int dst, int tag, int phase,
+                              std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max({max_rank_seen_, src, dst});
+  if (options_.neighbor_torus && src != dst &&
+      !options_.exempt_tags.count(tag) &&
+      !options_.neighbor_torus->adjacent8(src, dst)) {
+    std::ostringstream os;
+    os << "rank " << src << " sent tag " << tag << " (" << bytes
+       << " bytes) to rank " << dst
+       << ", which is not an 8-neighbour on the "
+       << options_.neighbor_torus->rows() << "x"
+       << options_.neighbor_torus->cols()
+       << " torus — regular-communication guarantee violated";
+    record(ProtocolViolation::Kind::kNonNeighborMessage, src, phase, os.str());
+  }
+  pending_.push_back({src, dst, tag, phase, bytes});
+}
+
+void ProtocolChecker::on_recv(int dst, int src, int tag, int recv_phase,
+                              int sent_phase) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max({max_rank_seen_, src, dst});
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(), [&](const PendingSend& s) {
+        return s.src == src && s.dst == dst && s.tag == tag &&
+               s.phase == sent_phase;
+      });
+  if (it == pending_.end()) {
+    std::ostringstream os;
+    os << "rank " << dst << " received tag " << tag << " from rank " << src
+       << " in phase " << recv_phase
+       << " but the checker never saw the matching send (sent phase "
+       << sent_phase << ") — was the checker attached after traffic started?";
+    record(ProtocolViolation::Kind::kMissingSender, dst, recv_phase,
+           os.str());
+    return;
+  }
+  pending_.erase(it);
+}
+
+void ProtocolChecker::on_recv_missing(int dst, int src, int tag, int phase) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max({max_rank_seen_, src, dst});
+  std::ostringstream os;
+  os << "rank " << dst << " posted recv(src=" << src << ", tag=" << tag
+     << ") in phase " << phase
+     << " with no matching send from an earlier phase — a real message"
+        "-passing run would deadlock here";
+  record(ProtocolViolation::Kind::kMissingSender, dst, phase, os.str());
+}
+
+void ProtocolChecker::on_clock(int rank, double clock) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max(max_rank_seen_, rank);
+  if (rank >= 0) {
+    if (last_clock_.size() <= static_cast<std::size_t>(rank)) {
+      last_clock_.resize(rank + 1, 0.0);
+    }
+    if (clock < last_clock_[rank]) {
+      std::ostringstream os;
+      os << "rank " << rank << " clock moved backwards from "
+         << last_clock_[rank] << " to " << clock;
+      record(ProtocolViolation::Kind::kClockRegression, rank, current_phase_,
+             os.str());
+    }
+    last_clock_[rank] = clock;
+  }
+}
+
+void ProtocolChecker::on_collective_begin(int rank, int phase, int op,
+                                          std::size_t width) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max(max_rank_seen_, rank);
+  if (begin_seq_.size() <= static_cast<std::size_t>(rank)) {
+    begin_seq_.resize(rank + 1, 0);
+  }
+  const std::size_t slot = begin_seq_[rank]++;
+  if (collectives_.size() <= slot) {
+    collectives_.resize(slot + 1);
+  }
+  auto& trace = collectives_[slot];
+  if (trace.begins == 0) {
+    trace.op = op;
+    trace.width = width;
+  } else if (trace.op != op || trace.width != width) {
+    std::ostringstream os;
+    os << "rank " << rank << " began collective #" << slot << " with op "
+       << op << " width " << width << " but earlier ranks used op "
+       << trace.op << " width " << trace.width;
+    record(ProtocolViolation::Kind::kCollectiveMismatch, rank, phase,
+           os.str());
+  }
+  trace.begin_ranks.push_back(rank);
+  ++trace.begins;
+}
+
+void ProtocolChecker::on_collective_end(int rank, int phase) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max(max_rank_seen_, rank);
+  if (end_seq_.size() <= static_cast<std::size_t>(rank)) {
+    end_seq_.resize(rank + 1, 0);
+  }
+  const std::size_t slot = end_seq_[rank]++;
+  if (slot >= collectives_.size()) {
+    std::ostringstream os;
+    os << "rank " << rank << " completed collective #" << slot
+       << " that no rank ever began";
+    record(ProtocolViolation::Kind::kCollectiveArity, rank, phase, os.str());
+    return;
+  }
+  ++collectives_[slot].ends;
+}
+
+ProtocolReport ProtocolChecker::report() const {
+  std::lock_guard lock(mutex_);
+  ProtocolReport report;
+  report.violations = violations_;
+
+  const int ranks = attached_ranks_ > 0 ? attached_ranks_ : max_rank_seen_ + 1;
+  for (const auto& send : pending_) {
+    std::ostringstream os;
+    os << "message from rank " << send.src << " to rank " << send.dst
+       << " tag " << send.tag << " (" << send.bytes << " bytes), sent in phase "
+       << send.phase << ", was never received";
+    report.violations.push_back({ProtocolViolation::Kind::kUnconsumedSend,
+                                 send.src, send.phase, os.str()});
+  }
+  for (std::size_t slot = 0; slot < collectives_.size(); ++slot) {
+    const auto& trace = collectives_[slot];
+    if (trace.begins != ranks || trace.ends != ranks) {
+      std::ostringstream os;
+      os << "collective #" << slot << " (width " << trace.width
+         << ") begun by " << trace.begins << " and completed by "
+         << trace.ends << " of " << ranks
+         << " ranks — barrier arity mismatch";
+      const int rank = trace.begin_ranks.empty() ? -1 : trace.begin_ranks[0];
+      report.violations.push_back({ProtocolViolation::Kind::kCollectiveArity,
+                                   rank, current_phase_, os.str()});
+    }
+  }
+  return report;
+}
+
+void ProtocolChecker::require_clean() const {
+  const ProtocolReport r = report();
+  if (!r.ok()) {
+    throw ProtocolError(r.to_string());
+  }
+}
+
+void ProtocolChecker::reset() {
+  std::lock_guard lock(mutex_);
+  current_phase_ = 0;
+  max_rank_seen_ = -1;
+  // attached_ranks_ survives reset: the engine is still the same.
+  events_ = 0;
+  pending_.clear();
+  last_clock_.clear();
+  begin_seq_.clear();
+  end_seq_.clear();
+  collectives_.clear();
+  violations_.clear();
+}
+
+std::uint64_t ProtocolChecker::events_recorded() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+}  // namespace pcmd::sim

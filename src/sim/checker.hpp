@@ -1,0 +1,138 @@
+// SPMD protocol checker: a debug-mode observer that records every
+// send/recv/collective event the engine executes and verifies the protocol
+// invariants the permanent-cell scheme relies on:
+//
+//   * every send is consumed by a matching recv (no leaked messages),
+//   * no recv without a sender — instead of deadlocking (as real MPI would)
+//     the violation is reported with rank/phase provenance,
+//   * collective arity: every collective begun is completed by all ranks
+//     with the same op and width (a lone barrier_begin is a future deadlock),
+//   * virtual clocks are monotone per rank,
+//   * optionally, all point-to-point traffic is confined to 8-neighbours of
+//     a 2-D torus — the paper's regular-communication guarantee (PAPER.md
+//     Section 3): permanent cells exist precisely so that no DLB state ever
+//     requires a non-neighbour message.
+//
+// Usage: attach to an Engine with Engine::set_checker before the first
+// phase; call report() / require_clean() at a quiescent point (a phase
+// boundary where the program expects all traffic drained, e.g. the end of an
+// MD step). The hooks are compiled into the engines only when
+// PCMD_CHECKER_ENABLED is 1 (the PCMD_CHECKER CMake option, default ON);
+// with no checker attached they cost one predicted-not-taken branch.
+//
+// Thread-safe: the thread engine invokes hooks concurrently from all ranks.
+#pragma once
+
+#include "sim/topology.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pcmd::sim {
+
+// One recorded protocol violation, with enough provenance to find the
+// offending phase body.
+struct ProtocolViolation {
+  enum class Kind {
+    kUnconsumedSend,     // message sent but never received
+    kMissingSender,      // recv with no matching send (MPI would deadlock)
+    kCollectiveArity,    // collective begun by a strict subset of ranks
+    kCollectiveMismatch, // ranks disagreed on op or width
+    kClockRegression,    // a rank's virtual clock moved backwards
+    kNonNeighborMessage, // point-to-point traffic outside the torus stencil
+  };
+
+  Kind kind;
+  int rank = -1;   // rank where the violation happened (receiver for
+                   // kMissingSender, sender otherwise)
+  int phase = -1;  // phase of the offending event (-1: outside any phase)
+  std::string detail;
+};
+
+const char* to_string(ProtocolViolation::Kind kind);
+
+struct ProtocolReport {
+  std::vector<ProtocolViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::size_t count(ProtocolViolation::Kind kind) const;
+  bool has(ProtocolViolation::Kind kind) const { return count(kind) > 0; }
+  // All violations, one per line, "kind rank=R phase=P: detail".
+  std::string to_string() const;
+};
+
+class ProtocolChecker {
+ public:
+  struct Options {
+    // When set, every send must target an 8-neighbour (or the sender itself)
+    // on this torus; rank ids are torus ranks. Unset disables the check.
+    std::optional<Torus2D> neighbor_torus;
+    // Tags exempt from the neighbour rule (e.g. gather-to-root diagnostics).
+    std::set<int> exempt_tags;
+  };
+
+  ProtocolChecker() = default;
+  explicit ProtocolChecker(Options options);
+
+  // ---- event hooks, called by the engine (or directly by tests) ----
+  // Engine::set_checker calls this with the engine's rank count; collectives
+  // are then checked against it instead of the largest rank seen in traffic.
+  void on_attach(int ranks);
+  void on_phase_begin(int phase);
+  void on_send(int src, int dst, int tag, int phase, std::size_t bytes);
+  // `sent_phase` identifies which pending send this recv consumed.
+  void on_recv(int dst, int src, int tag, int recv_phase, int sent_phase);
+  void on_recv_missing(int dst, int src, int tag, int phase);
+  void on_clock(int rank, double clock);
+  void on_collective_begin(int rank, int phase, int op, std::size_t width);
+  void on_collective_end(int rank, int phase);
+
+  // ---- verification ----
+  // Immediate violations plus trace-derived ones (unconsumed sends,
+  // incomplete collectives). Call at a quiescent point: messages legally
+  // still in flight are indistinguishable from leaked ones.
+  ProtocolReport report() const;
+  // Throws ProtocolError (sim/comm.hpp) with the full report when dirty.
+  void require_clean() const;
+  // Forgets the recorded trace and violations; options are kept.
+  void reset();
+
+  // Events seen so far (for overhead accounting and tests).
+  std::uint64_t events_recorded() const;
+
+ private:
+  struct PendingSend {
+    int src, dst, tag, phase;
+    std::size_t bytes;
+  };
+  struct CollectiveTrace {
+    int op = 0;
+    std::size_t width = 0;
+    std::vector<int> begin_ranks;  // in arrival order
+    int begins = 0;
+    int ends = 0;
+  };
+
+  void record(ProtocolViolation::Kind kind, int rank, int phase,
+              std::string detail);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  int current_phase_ = 0;
+  int attached_ranks_ = 0;  // 0: infer from traffic
+  int max_rank_seen_ = -1;
+  std::uint64_t events_ = 0;
+  std::vector<PendingSend> pending_;
+  std::vector<double> last_clock_;           // per rank, grown on demand
+  std::vector<std::size_t> begin_seq_;       // collectives begun per rank
+  std::vector<std::size_t> end_seq_;         // collectives completed per rank
+  std::vector<CollectiveTrace> collectives_; // by slot index
+  std::vector<ProtocolViolation> violations_;
+};
+
+}  // namespace pcmd::sim

@@ -1,8 +1,29 @@
 #include "sim/comm.hpp"
 
+#include "sim/checker.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+
+// Protocol-checker hooks. Compiled in when PCMD_CHECKER_ENABLED is 1 (the
+// PCMD_CHECKER CMake option); then each hook is one branch on a pointer
+// that is null unless a checker is attached. Compiled out entirely when 0.
+#ifndef PCMD_CHECKER_ENABLED
+#define PCMD_CHECKER_ENABLED 1
+#endif
+#if PCMD_CHECKER_ENABLED
+#define PCMD_CHECKER_HOOK(engine, call)              \
+  do {                                               \
+    if (auto* pcmd_checker_ = (engine)->checker_) {  \
+      pcmd_checker_->call;                           \
+    }                                                \
+  } while (0)
+#else
+#define PCMD_CHECKER_HOOK(engine, call) \
+  do {                                  \
+  } while (0)
+#endif
 
 namespace pcmd::sim {
 
@@ -17,6 +38,7 @@ void Comm::advance(double seconds) {
   auto& state = *engine_->states_[rank_];
   state.clock += seconds;
   state.counters.compute_seconds += seconds;
+  PCMD_CHECKER_HOOK(engine_, on_clock(rank_, state.clock));
 }
 
 double Comm::clock() const { return engine_->states_[rank_]->clock; }
@@ -83,6 +105,22 @@ double Engine::makespan() const {
 void Engine::align_clocks() {
   const double m = makespan();
   for (auto& s : states_) s->clock = m;
+#if PCMD_CHECKER_ENABLED
+  if (checker_) {
+    for (int r = 0; r < ranks_; ++r) checker_->on_clock(r, m);
+  }
+#endif
+}
+
+void Engine::set_checker(ProtocolChecker* checker) {
+  checker_ = checker;
+#if PCMD_CHECKER_ENABLED
+  if (checker_) checker_->on_attach(ranks_);
+#endif
+}
+
+void Engine::notify_phase_begin() {
+  PCMD_CHECKER_HOOK(this, on_phase_begin(phase_));
 }
 
 void Engine::do_send(int src, int dst, int tag, Buffer payload) {
@@ -103,12 +141,15 @@ void Engine::do_send(int src, int dst, int tag, Buffer payload) {
 
   sender.counters.messages_sent += 1;
   sender.counters.bytes_sent += bytes;
+  PCMD_CHECKER_HOOK(this, on_send(src, dst, tag, phase_,
+                                  static_cast<std::size_t>(bytes)));
   states_[dst]->mailbox.push(std::move(msg));
 }
 
 Buffer Engine::do_recv(int rank, int src, int tag) {
   auto msg = do_try_recv(rank, src, tag);
   if (!msg) {
+    PCMD_CHECKER_HOOK(this, on_recv_missing(rank, src, tag, phase_));
     throw ProtocolError("Comm::recv: no message from rank " +
                         std::to_string(src) + " tag " + std::to_string(tag) +
                         " visible to rank " + std::to_string(rank) +
@@ -128,6 +169,8 @@ std::optional<Buffer> Engine::do_try_recv(int rank, int src, int tag) {
   }
   state.counters.messages_received += 1;
   state.counters.bytes_received += msg->payload.size();
+  PCMD_CHECKER_HOOK(this, on_recv(rank, src, tag, phase_, msg->phase));
+  PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
   return std::move(msg->payload);
 }
 
@@ -155,6 +198,9 @@ void Engine::do_collective_begin(int rank, ReduceOp op,
   slot.max_clock = std::max(slot.max_clock, state.clock);
   slot.last_begin_phase = std::max(slot.last_begin_phase, phase_);
   slot.contributions += 1;
+  PCMD_CHECKER_HOOK(this, on_collective_begin(rank, phase_,
+                                              static_cast<int>(op),
+                                              values.size()));
 }
 
 std::vector<double> Engine::do_collective_end(int rank) {
@@ -202,6 +248,8 @@ std::vector<double> Engine::do_collective_end(int rank) {
     state.counters.collective_seconds += finish - state.clock;
     state.clock = finish;
   }
+  PCMD_CHECKER_HOOK(this, on_collective_end(rank, phase_));
+  PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
   return slot.combined;
 }
 

@@ -33,6 +33,8 @@
 
 namespace pcmd::sim {
 
+class ProtocolChecker;
+
 // Reduction operators for collectives.
 enum class ReduceOp { kSum, kMax, kMin };
 
@@ -136,7 +138,18 @@ class Engine {
   // hard synchronisation point without paying collective cost).
   void align_clocks();
 
+  // Attaches a protocol checker (sim/checker.hpp) observing every
+  // communication event; nullptr detaches. Attach before the first phase —
+  // traffic already in flight makes the trace unmatchable. Hooks only fire
+  // when compiled with PCMD_CHECKER_ENABLED (the PCMD_CHECKER CMake
+  // option); the checker's lifetime is the caller's problem.
+  void set_checker(ProtocolChecker* checker);
+  ProtocolChecker* checker() const { return checker_; }
+
  protected:
+  // Subclasses call this at the top of run_phase, after ++phase_.
+  void notify_phase_begin();
+
   int phase_ = 0;
 
  private:
@@ -174,6 +187,7 @@ class Engine {
   int ranks_;
   MachineModel model_;
   HopModel hop_model_;
+  ProtocolChecker* checker_ = nullptr;
   std::vector<std::unique_ptr<RankState>> states_;
   std::vector<CollectiveSlot> collectives_;
   mutable std::mutex collective_mutex_;

@@ -7,6 +7,7 @@ SeqEngine::SeqEngine(int ranks, MachineModel model)
 
 void SeqEngine::run_phase(const std::function<void(Comm&)>& body) {
   ++phase_;
+  notify_phase_begin();
   for (int r = 0; r < size(); ++r) {
     Comm comm(this, r);
     body(comm);

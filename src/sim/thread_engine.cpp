@@ -93,6 +93,7 @@ ThreadEngine::~ThreadEngine() = default;
 
 void ThreadEngine::run_phase(const std::function<void(Comm&)>& body) {
   ++phase_;
+  notify_phase_begin();
   pool_->run(body);
 }
 

@@ -1,0 +1,77 @@
+// PCMD_CHECK / PCMD_ASSERT macro family: failures must throw CheckError
+// (never abort) with file/line/expression provenance, and the message
+// expression must only be evaluated on failure.
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmd::core {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(PCMD_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PCMD_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(Check, FailureThrowsCheckErrorWithProvenance) {
+  try {
+    PCMD_CHECK(2 + 2 == 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PCMD_CHECK"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MessageStreamsArbitraryExpressions) {
+  const int col = 17, owner = -3;
+  try {
+    PCMD_CHECK_MSG(owner >= 0, "column " << col << " has owner " << owner);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("column 17 has owner -3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Check, MessageNotEvaluatedWhenConditionHolds) {
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return "x";
+  };
+  PCMD_CHECK_MSG(true, count());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(PCMD_CHECK_MSG(false, count()), CheckError);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, CheckErrorIsALogicError) {
+  // Callers may catch std::logic_error generically (like ProtocolError).
+  EXPECT_THROW(PCMD_CHECK(false), std::logic_error);
+}
+
+TEST(Check, AssertLevelMatchesBuildFlag) {
+#if PCMD_ASSERTS_ENABLED
+  EXPECT_THROW(PCMD_ASSERT(false), CheckError);
+  EXPECT_THROW(PCMD_ASSERT_MSG(false, "expensive check"), CheckError);
+  EXPECT_NO_THROW(PCMD_ASSERT(true));
+#else
+  // Compiled out: the condition must not even be evaluated.
+  int evaluations = 0;
+  auto touch = [&] {
+    ++evaluations;
+    return false;
+  };
+  PCMD_ASSERT(touch());
+  PCMD_ASSERT_MSG(touch(), "unused");
+  (void)touch;  // referenced only in the level >= 2 expansion
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace pcmd::core

@@ -43,7 +43,7 @@ TEST_F(DlbProtocolCase, SelfFastestMeansNoTransfer) {
 
 TEST_F(DlbProtocolCase, Case1SendsOwnMovableToUpperLeft) {
   const int rank = rank_at(2, 2);
-  for (const auto [di, dj] : {std::pair{-1, -1}, {-1, 0}, {0, -1}}) {
+  for (const auto& [di, dj] : {std::pair{-1, -1}, {-1, 0}, {0, -1}}) {
     const int fast = rank_at(2 + di, 2 + dj);
     const auto d =
         protocol_.decide(rank, map_, times_with_fastest(layout_, rank, fast),
@@ -69,7 +69,7 @@ TEST_F(DlbProtocolCase, Case1NothingLeftWhenAllMovableLentOut) {
 
 TEST_F(DlbProtocolCase, Case2AntiDiagonalSendsNothing) {
   const int rank = rank_at(2, 2);
-  for (const auto [di, dj] : {std::pair{-1, 1}, {1, -1}}) {
+  for (const auto& [di, dj] : {std::pair{-1, 1}, {1, -1}}) {
     const int fast = rank_at(2 + di, 2 + dj);
     const auto d = protocol_.decide(
         rank, map_, times_with_fastest(layout_, rank, fast), unit_load);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace pcmd::core {
 namespace {
 
@@ -59,7 +61,7 @@ TEST(Invariants, MaximalLegalDomainIsValidAndTight) {
   ColumnMap map(layout);
   const auto& torus = layout.pe_torus();
   const int target = torus.rank_of({1, 1});
-  for (const auto [di, dj] : {std::pair{1, 0}, {0, 1}, {1, 1}}) {
+  for (const auto& [di, dj] : {std::pair{1, 0}, {0, 1}, {1, 1}}) {
     const int donor = torus.rank_of({1 + di, 1 + dj});
     for (const int col : layout.movable_columns_of_block(donor)) {
       map.set_owner(col, target);
@@ -138,11 +140,13 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzParam{4, 3, 11, /*fallback=*/false, /*avoid_overshoot=*/false},
         FuzzParam{6, 4, 12, /*fallback=*/true, /*avoid_overshoot=*/false}),
     [](const auto& info) {
-      return "s" + std::to_string(info.param.pe_side) + "m" +
-             std::to_string(info.param.m) + "_" +
-             std::to_string(info.param.seed) +
-             (info.param.fallback ? "fb" : "") +
-             (info.param.avoid_overshoot ? "" : "raw");
+      // Built with ostringstream: GCC 12's -Wrestrict false-positives on
+      // chained "literal" + std::to_string temporaries at -O2.
+      std::ostringstream os;
+      os << "s" << info.param.pe_side << "m" << info.param.m << "_"
+         << info.param.seed << (info.param.fallback ? "fb" : "")
+         << (info.param.avoid_overshoot ? "" : "raw");
+      return os.str();
     });
 
 // Convergence harness: concentrated load on one block, times proportional

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace pcmd::ddm {
 namespace {
 
@@ -24,8 +26,12 @@ struct SweepParam {
 
 std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
   const auto& p = info.param;
-  return "s" + std::to_string(p.pe_side) + "m" + std::to_string(p.m) +
-         (p.dlb ? "dlb" : "static") + (p.thread_backend ? "Thread" : "Seq");
+  // Built with ostringstream: GCC 12's -Wrestrict false-positives on
+  // chained "literal" + std::to_string temporaries at -O2.
+  std::ostringstream os;
+  os << "s" << p.pe_side << "m" << p.m << (p.dlb ? "dlb" : "static")
+     << (p.thread_backend ? "Thread" : "Seq");
+  return os.str();
 }
 
 class ParitySweep : public ::testing::TestWithParam<SweepParam> {};

@@ -8,6 +8,15 @@
 namespace pcmd::md {
 namespace {
 
+// GCC's -Wmissing-field-initializers fires on designated initializers that
+// skip velocity/force, so tests build particles through this helper.
+Particle particle_at(std::int64_t id, const Vec3& position) {
+  Particle p;
+  p.id = id;
+  p.position = position;
+  return p;
+}
+
 TEST(CellGrid, DimsFromCutoff) {
   const CellGrid grid(Box::cubic(10.0), 2.5);
   EXPECT_EQ(grid.nx(), 4);
@@ -108,9 +117,9 @@ TEST(CellBins, BinsSortedByParticleId) {
   const CellGrid grid(Box::cubic(10.0), 2.5);
   // Three particles in the same cell inserted in reverse id order.
   ParticleVector particles(3);
-  particles[0] = {.id = 30, .position = {1.0, 1.0, 1.0}};
-  particles[1] = {.id = 10, .position = {1.1, 1.0, 1.0}};
-  particles[2] = {.id = 20, .position = {1.2, 1.0, 1.0}};
+  particles[0] = particle_at(30, {1.0, 1.0, 1.0});
+  particles[1] = particle_at(10, {1.1, 1.0, 1.0});
+  particles[2] = particle_at(20, {1.2, 1.0, 1.0});
   const CellBins bins(grid, particles);
   const auto cell = bins.cell(grid.cell_of_position({1.0, 1.0, 1.0}));
   ASSERT_EQ(cell.size(), 3u);
@@ -122,8 +131,8 @@ TEST(CellBins, BinsSortedByParticleId) {
 TEST(CellBins, EmptyCellsCount) {
   const CellGrid grid(Box::cubic(10.0), 2.5);  // 64 cells
   ParticleVector particles(2);
-  particles[0] = {.id = 0, .position = {0.5, 0.5, 0.5}};
-  particles[1] = {.id = 1, .position = {0.6, 0.5, 0.5}};  // same cell
+  particles[0] = particle_at(0, {0.5, 0.5, 0.5});
+  particles[1] = particle_at(1, {0.6, 0.5, 0.5});  // same cell
   const CellBins bins(grid, particles);
   EXPECT_EQ(bins.empty_cells(), 63);
   EXPECT_EQ(bins.num_cells(), 64);
@@ -132,7 +141,7 @@ TEST(CellBins, EmptyCellsCount) {
 TEST(CellBins, RebuildReflectsMovement) {
   const CellGrid grid(Box::cubic(10.0), 2.5);
   ParticleVector particles(1);
-  particles[0] = {.id = 0, .position = {0.5, 0.5, 0.5}};
+  particles[0] = particle_at(0, {0.5, 0.5, 0.5});
   CellBins bins(grid, particles);
   EXPECT_EQ(bins.cell(grid.cell_of_position({0.5, 0.5, 0.5})).size(), 1u);
   particles[0].position = {9.5, 9.5, 9.5};

@@ -10,6 +10,15 @@
 namespace pcmd::md {
 namespace {
 
+// GCC's -Wmissing-field-initializers fires on designated initializers that
+// skip velocity/force, so tests build particles through this helper.
+Particle particle_at(std::int64_t id, const Vec3& position) {
+  Particle p;
+  p.id = id;
+  p.position = position;
+  return p;
+}
+
 // Random positions with a minimum separation: overlapping random points give
 // astronomically large LJ forces and turn tolerance checks meaningless.
 ParticleVector random_particles(int n, const Box& box, std::uint64_t seed) {
@@ -29,8 +38,8 @@ TEST(Forces, TwoParticleForceIsAnalytic) {
   const Box box = Box::cubic(10.0);
   const LennardJones lj(2.5);
   ParticleVector particles(2);
-  particles[0] = {.id = 0, .position = {2.0, 5.0, 5.0}};
-  particles[1] = {.id = 1, .position = {3.5, 5.0, 5.0}};  // r = 1.5
+  particles[0] = particle_at(0, {2.0, 5.0, 5.0});
+  particles[1] = particle_at(1, {3.5, 5.0, 5.0});  // r = 1.5
   const CellGrid grid(box, 2.5);
   const CellBins bins(grid, particles);
   const auto result =
@@ -101,8 +110,8 @@ TEST(Forces, PairEvaluationsCountsAllStencilCombinations) {
   const LennardJones lj(2.5);
   // Two particles in the same cell: each sees the other once -> 2 evals.
   ParticleVector particles(2);
-  particles[0] = {.id = 0, .position = {1.0, 1.0, 1.0}};
-  particles[1] = {.id = 1, .position = {1.5, 1.0, 1.0}};
+  particles[0] = particle_at(0, {1.0, 1.0, 1.0});
+  particles[1] = particle_at(1, {1.5, 1.0, 1.0});
   const CellGrid grid(box, 2.5);
   const CellBins bins(grid, particles);
   const auto result =
@@ -114,8 +123,8 @@ TEST(Forces, TargetCellSubsetOnlyUpdatesThoseParticles) {
   const Box box = Box::cubic(10.0);
   const LennardJones lj(2.5);
   ParticleVector particles(2);
-  particles[0] = {.id = 0, .position = {1.0, 1.0, 1.0}};
-  particles[1] = {.id = 1, .position = {1.5, 1.0, 1.0}};
+  particles[0] = particle_at(0, {1.0, 1.0, 1.0});
+  particles[1] = particle_at(1, {1.5, 1.0, 1.0});
   particles[0].force = {99, 99, 99};
   particles[1].force = {99, 99, 99};
   const CellGrid grid(box, 2.5);
@@ -136,8 +145,8 @@ TEST(Forces, InteractionThroughPeriodicBoundary) {
   const Box box = Box::cubic(10.0);
   const LennardJones lj(2.5);
   ParticleVector particles(2);
-  particles[0] = {.id = 0, .position = {0.2, 5.0, 5.0}};
-  particles[1] = {.id = 1, .position = {9.8, 5.0, 5.0}};  // r = 0.4 via wrap
+  particles[0] = particle_at(0, {0.2, 5.0, 5.0});
+  particles[1] = particle_at(1, {9.8, 5.0, 5.0});  // r = 0.4 via wrap
   const CellGrid grid(box, 2.5);
   const CellBins bins(grid, particles);
   accumulate_forces(particles, grid, bins, all_cells(grid), lj);

@@ -1,8 +1,8 @@
 #include "md/serial_md.hpp"
 
+#include "util/rng.hpp"
 #include "workload/gas.hpp"
 #include "workload/lattice.hpp"
-#include "util/rng.hpp"
 
 #include <gtest/gtest.h>
 

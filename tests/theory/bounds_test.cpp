@@ -112,7 +112,7 @@ TEST(Bounds, UpperBoundSaturatesUniformAllocationCondition) {
 TEST(Bounds, BeyondBoundMaxDomainCannotHoldAverageLoad) {
   // Strictly above the bound the maximum domain holds fewer particles than
   // the per-PE average: uniform balancing is impossible (the DLB limit).
-  const int m = 3, pe_side = 6;
+  const int m = 3;
   const double k = 18.0, c_total = k * k * k, p = 36.0;
   const double c_prime = (9 + 12) * k;
   const double n = 2.0;
