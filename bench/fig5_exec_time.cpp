@@ -13,27 +13,46 @@
 // paper's 36-PE, rho* = 0.256, 10^4-step configuration (a long run).
 //
 //   ./fig5_exec_time [--steps 1500] [--interval 125] [--density 0.384]
-//                    [--seed 1] [--full]
+//                    [--seed 1] [--full] [--trace out/fig5]
+//
+// --trace PATH writes, per case and per run, a Chrome trace-event JSON
+// (PATH.m4.ddm.json, ...; open in Perfetto) and the per-step metrics CSV
+// (PATH.m4.ddm.csv, ...).
 
+#include "obs/chrome_trace.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
 #include "theory/effective_range.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 #include <cstdio>
 #include <iostream>
-#include <numeric>
+#include <optional>
 
 using namespace pcmd;
 
 namespace {
 
 struct CaseResult {
-  std::vector<double> ddm;   // Tt per step
-  std::vector<double> dlb;
+  std::vector<obs::StepMetrics> ddm;  // one row per step
+  std::vector<obs::StepMetrics> dlb;
 };
 
+void export_run(const std::string& base, obs::TraceCollector& collector,
+                std::span<const obs::StepMetrics> rows) {
+  if (!obs::write_chrome_trace_file(base + ".json", collector)) {
+    std::fprintf(stderr, "trace: failed to write %s.json\n", base.c_str());
+  }
+  if (!obs::write_csv_file(base + ".csv", rows)) {
+    std::fprintf(stderr, "trace: failed to write %s.csv\n", base.c_str());
+  }
+  collector.clear();
+}
+
 CaseResult run_case(int pe_count, int m, double density, int steps,
-                    std::uint64_t seed) {
+                    std::uint64_t seed,
+                    const std::optional<std::string>& trace_base) {
   theory::MdTrajectoryConfig config;
   config.spec.pe_count = pe_count;
   config.spec.m = m;
@@ -41,17 +60,22 @@ CaseResult run_case(int pe_count, int m, double density, int steps,
   config.spec.seed = seed;
   config.steps = steps;
 
+  obs::TraceCollector collector;
+  if (trace_base) config.trace = &collector;
+
   CaseResult result;
   config.dlb_enabled = false;
-  result.ddm = run_md_trajectory(config).t_step;
+  result.ddm = run_md_trajectory(config).metrics;
+  if (trace_base) export_run(*trace_base + ".ddm", collector, result.ddm);
   config.dlb_enabled = true;
-  result.dlb = run_md_trajectory(config).t_step;
+  result.dlb = run_md_trajectory(config).metrics;
+  if (trace_base) export_run(*trace_base + ".dlb", collector, result.dlb);
   return result;
 }
 
-double window_mean(const std::vector<double>& xs, int lo, int hi) {
+double window_mean(const std::vector<obs::StepMetrics>& rows, int lo, int hi) {
   double sum = 0.0;
-  for (int i = lo; i < hi; ++i) sum += xs[i];
+  for (int i = lo; i < hi; ++i) sum += rows[i].t_step;
   return sum / std::max(1, hi - lo);
 }
 
@@ -67,10 +91,9 @@ void print_case(const char* title, const CaseResult& result, int interval) {
                    Table::num(b > 0 ? a / b : 0.0, 3)});
   }
   table.print(std::cout);
-  const double total_a =
-      std::accumulate(result.ddm.begin(), result.ddm.end(), 0.0);
-  const double total_b =
-      std::accumulate(result.dlb.begin(), result.dlb.end(), 0.0);
+  double total_a = 0.0, total_b = 0.0;
+  for (const auto& row : result.ddm) total_a += row.t_step;
+  for (const auto& row : result.dlb) total_b += row.t_step;
   std::printf("whole run: DDM %.2f s, DLB-DDM %.2f s (speedup %.2fx)\n\n",
               total_a, total_b, total_b > 0 ? total_a / total_b : 0.0);
 }
@@ -86,13 +109,16 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("interval", std::max(1, steps / 12)));
   const double density = cli.get_double("density", full ? 0.256 : 0.384);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto trace = cli.get_optional("trace");
 
   std::printf("== Figure 5: time per step, DDM vs DLB-DDM (%d virtual PEs, "
               "T3E cost model, T*=0.722, rho*=%.3f) ==\n\n",
               pe_count, density);
 
   {
-    const auto result = run_case(pe_count, 4, density, steps, seed);
+    const auto result =
+        run_case(pe_count, 4, density, steps, seed,
+                 trace ? std::optional(*trace + ".m4") : std::nullopt);
     print_case("(a) m = 4  — movable fraction 9/16, strong DLB capability",
                result, interval);
   }
@@ -100,7 +126,9 @@ int main(int argc, char** argv) {
     // m = 2 steps are ~7x cheaper; run a longer horizon so the condensation
     // (and the DDM slowdown) is equally visible.
     const int m2_steps = full ? steps : 2 * steps;
-    const auto result = run_case(pe_count, 2, density, m2_steps, seed);
+    const auto result =
+        run_case(pe_count, 2, density, m2_steps, seed,
+                 trace ? std::optional(*trace + ".m2") : std::nullopt);
     print_case("(b) m = 2  — movable fraction 1/4, weak DLB capability",
                result, full ? interval : 2 * interval);
   }

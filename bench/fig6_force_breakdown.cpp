@@ -10,9 +10,17 @@
 //
 //   ./fig6_force_breakdown [--steps 1500] [--interval 125]
 //                          [--density 0.384] [--seed 1] [--full]
+//                          [--trace out/fig6]
 // (default density 0.384 > paper's 0.256 so condensation develops within
 //  the scaled step budget; --full restores paper conditions)
+//
+// All numbers come from the per-step metrics stream (obs::StepMetrics), the
+// same rows --trace writes as PATH.ddm.csv / PATH.dlb.csv; the Chrome
+// trace-event JSONs next to them open in Perfetto.
 
+#include "obs/chrome_trace.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
 #include "theory/effective_range.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -25,18 +33,18 @@ using namespace pcmd;
 namespace {
 
 void print_breakdown(const char* title,
-                     const theory::MdTrajectoryResult& result, int interval) {
+                     const std::vector<obs::StepMetrics>& rows, int interval) {
   std::printf("%s\n", title);
   Table table({"steps", "Tt [s]", "Fmax [s]", "Fave [s]", "Fmin [s]",
                "(Fmax-Fmin)/Fave"});
-  const int steps = static_cast<int>(result.t_step.size());
+  const int steps = static_cast<int>(rows.size());
   for (int hi = interval; hi <= steps; hi += interval) {
     double tt = 0, fmax = 0, fave = 0, fmin = 0;
     for (int i = hi - interval; i < hi; ++i) {
-      tt += result.t_step[i];
-      fmax += result.f_max[i];
-      fave += result.f_avg[i];
-      fmin += result.f_min[i];
+      tt += rows[i].t_step;
+      fmax += rows[i].force_max;
+      fave += rows[i].force_avg;
+      fmin += rows[i].force_min;
     }
     const double inv = 1.0 / interval;
     tt *= inv;
@@ -51,6 +59,17 @@ void print_breakdown(const char* title,
   std::printf("\n");
 }
 
+void export_run(const std::string& base, obs::TraceCollector& collector,
+                std::span<const obs::StepMetrics> rows) {
+  if (!obs::write_chrome_trace_file(base + ".json", collector)) {
+    std::fprintf(stderr, "trace: failed to write %s.json\n", base.c_str());
+  }
+  if (!obs::write_csv_file(base + ".csv", rows)) {
+    std::fprintf(stderr, "trace: failed to write %s.csv\n", base.c_str());
+  }
+  collector.clear();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +78,7 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(cli.get_int("steps", full ? 10000 : 1500));
   const int interval =
       static_cast<int>(cli.get_int("interval", std::max(1, steps / 12)));
+  const auto trace = cli.get_optional("trace");
 
   theory::MdTrajectoryConfig config;
   config.spec.pe_count = full ? 36 : 9;
@@ -67,6 +87,9 @@ int main(int argc, char** argv) {
   config.spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   config.steps = steps;
 
+  obs::TraceCollector collector;
+  if (trace) config.trace = &collector;
+
   std::printf("== Figure 6: Tt and Fmax/Fave/Fmin, m = 4, %d virtual PEs "
               "(T3E cost model) ==\n\n",
               config.spec.pe_count);
@@ -74,12 +97,14 @@ int main(int argc, char** argv) {
   config.dlb_enabled = false;
   const auto ddm = run_md_trajectory(config);
   print_breakdown("(a) DDM — the Fmax/Fmin gap widens with condensation",
-                  ddm, interval);
+                  ddm.metrics, interval);
+  if (trace) export_run(*trace + ".ddm", collector, ddm.metrics);
 
   config.dlb_enabled = true;
   const auto dlb = run_md_trajectory(config);
   print_breakdown("(b) DLB-DDM — the gap stays small inside the DLB limit",
-                  dlb, interval);
+                  dlb.metrics, interval);
+  if (trace) export_run(*trace + ".dlb", collector, dlb.metrics);
 
   std::puts("paper shape: Tt follows Fmax in both; DLB-DDM holds "
             "Fmax ~ Fave ~ Fmin until concentration exceeds the DLB limit.");

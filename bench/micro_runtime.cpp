@@ -2,8 +2,11 @@
 //
 // Host-side overhead of phases, message passing and collectives on both
 // engines — the fixed cost the simulation harness pays per MD step, as
-// opposed to the modelled (virtual) time.
+// opposed to the modelled (virtual) time. The BM_Trace* group measures the
+// observability layer: detached (compiled in, no sink — must stay within a
+// few percent of the plain runtime) vs attached (events recorded).
 
+#include "obs/collector.hpp"
 #include "sim/comm.hpp"
 
 #include <benchmark/benchmark.h>
@@ -65,6 +68,45 @@ void BM_Collective(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Collective)->Arg(9)->Arg(64);
+
+// The traced workload: one compute advance, one ring send + recv, one
+// reduction — every hook the engine can fire, once per rank per iteration.
+void traffic_phases(Engine& engine) {
+  engine.run_phase([](Comm& comm) {
+    comm.advance(1e-9);
+    Buffer payload(64);
+    comm.send((comm.rank() + 1) % comm.size(), 0, std::move(payload));
+    comm.reduce_begin(ReduceOp::kSum, 1.0);
+  });
+  engine.run_phase([](Comm& comm) {
+    const int src = (comm.rank() + comm.size() - 1) % comm.size();
+    benchmark::DoNotOptimize(comm.recv(src, 0));
+    benchmark::DoNotOptimize(comm.reduce_end());
+  });
+}
+
+void BM_TraceDetached(benchmark::State& state) {
+  SeqEngine engine(static_cast<int>(state.range(0)),
+                   MachineModel::ideal_network());
+  for (auto _ : state) {
+    traffic_phases(engine);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceDetached)->Arg(9)->Arg(36);
+
+void BM_TraceAttached(benchmark::State& state) {
+  SeqEngine engine(static_cast<int>(state.range(0)),
+                   MachineModel::ideal_network());
+  pcmd::obs::TraceCollector collector;
+  engine.set_trace_sink(&collector);
+  for (auto _ : state) {
+    traffic_phases(engine);
+  }
+  engine.set_trace_sink(nullptr);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceAttached)->Arg(9)->Arg(36);
 
 void BM_PackUnpackParticles(benchmark::State& state) {
   const auto count = static_cast<std::size_t>(state.range(0));

@@ -7,9 +7,15 @@
 // prints the analytic communication profiles of the three domain shapes.
 //
 //   ./scaling_study [--steps 100] [--density 0.256] [--m 2]
+//                   [--trace out/scaling]
+//
+// --trace PATH writes one Chrome trace-event JSON (PATH.p9.json, PATH.p16.json,
+// ... — open in Perfetto) and one per-step metrics CSV per PE-grid size.
 
 #include "ddm/comm_volume.hpp"
 #include "ddm/parallel_md.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -17,6 +23,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 int main(int argc, char** argv) {
   using namespace pcmd;
@@ -24,6 +31,7 @@ int main(int argc, char** argv) {
   const auto steps = cli.get_int("steps", 100);
   const double density = cli.get_double("density", 0.256);
   const int m = static_cast<int>(cli.get_int("m", 2));
+  const auto trace = cli.get_optional("trace");
 
   std::puts("== weak scaling: fixed density, growing PE grid ==");
   Table scaling({"PEs", "N", "cells", "time/step [s]", "efficiency",
@@ -38,16 +46,35 @@ int main(int argc, char** argv) {
     const auto initial = workload::make_paper_system(spec, rng);
 
     sim::SeqEngine engine(spec.pe_count);
+    obs::TraceSession session(
+        engine,
+        trace ? *trace + ".p" + std::to_string(spec.pe_count) + ".json" : "");
     ddm::ParallelMdConfig config;
     config.pe_side = side;
     config.m = m;
     config.dt = spec.dt;
     config.rescale_temperature = spec.temperature;
     config.dlb_enabled = true;
+    config.trace = session.collector();
     ddm::ParallelMd md(engine, spec.box(), initial, config);
+    obs::MetricsRecorder recorder(engine);
 
     const double before = engine.makespan();
-    md.run(steps);
+    for (std::int64_t i = 0; i < steps; ++i) {
+      const auto stats = md.step();
+      obs::MetricsRecorder::StepInput input;
+      input.step = stats.step;
+      input.t_step = stats.t_step;
+      input.force_max = stats.force_max;
+      input.force_avg = stats.force_avg;
+      input.force_min = stats.force_min;
+      input.transfers = stats.transfers;
+      input.potential_energy = stats.potential_energy;
+      input.kinetic_energy = stats.kinetic_energy;
+      input.temperature = stats.temperature;
+      recorder.record(input);
+    }
+    session.finish(recorder.rows());
     const double per_step = (engine.makespan() - before) / steps;
     const auto report = sim::machine_report(engine);
     scaling.add_row(

@@ -2,6 +2,7 @@
 
 #include "ddm/wire.hpp"
 #include "md/observables.hpp"
+#include "obs/collector.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -55,6 +56,14 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
     options.neighbor_torus = layout_.pe_torus();
     checker_ = std::make_unique<sim::ProtocolChecker>(std::move(options));
     engine_->set_checker(checker_.get());
+  }
+  if (config_.trace) {
+    config_.trace->on_attach(layout_.pe_count());
+    spans_.drift = config_.trace->intern("drift");
+    spans_.dlb = config_.trace->intern("dlb");
+    spans_.migrate = config_.trace->intern("migrate");
+    spans_.halo = config_.trace->intern("halo");
+    spans_.force = config_.trace->intern("force");
   }
 
   ranks_.reserve(layout_.pe_count());
@@ -144,6 +153,18 @@ double ParallelMd::advance_compute(sim::Comm& comm, Rank& rank,
   return seconds;
 }
 
+void ParallelMd::span_begin(sim::Comm& comm, std::uint32_t name) const {
+  if (config_.trace) {
+    config_.trace->span_begin(comm.rank(), name, comm.clock());
+  }
+}
+
+void ParallelMd::span_end(sim::Comm& comm, std::uint32_t name) const {
+  if (config_.trace) {
+    config_.trace->span_end(comm.rank(), name, comm.clock());
+  }
+}
+
 void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int tag) {
   const int me = comm.rank();
   const auto& col_torus = layout_.column_torus();
@@ -214,9 +235,11 @@ void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm) {
   rank.busy_accum = 0.0;
   rank.transfers_made = 0;
 
+  span_begin(comm, spans_.drift);
   advance_compute(comm, rank,
                   engine_->model().particle_cost * rank.owned.size());
   integrator_.drift(rank.owned, box_);
+  span_end(comm, spans_.drift);
 
   std::vector<std::int32_t> columns;
   for (const int col : owned_columns(rank, me)) {
@@ -245,6 +268,7 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
 
   AnnounceRecord announce;
   if (dlb_active_this_step_) {
+    span_begin(comm, spans_.dlb);
     // Per-column particle counts as the load proxy for the selection policy.
     std::vector<double> column_load(layout_.num_columns(), 0.0);
     for (const auto& p : rank.owned) {
@@ -260,6 +284,10 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
       announce.target = decision.target;
       announce.column = decision.column;
       rank.transfers_made = 1;
+      if (config_.trace) {
+        config_.trace->dlb_decision(me, decision.column, decision.target,
+                                    comm.clock());
+      }
 
       md::ParticleVector moving;
       auto keep = rank.owned.begin();
@@ -273,12 +301,14 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
       rank.owned.erase(keep, rank.owned.end());
       comm.send(decision.target, kTagTransfer, pack_particles(moving));
     }
+    span_end(comm, spans_.dlb);
   }
   for (const int nb : neighbors) {
     comm.send(nb, kTagAnnounce, pack_announce(announce));
   }
 
   // Round-1 migration: particles that drifted out of my columns.
+  span_begin(comm, spans_.migrate);
   std::vector<md::ParticleVector> outgoing(neighbors.size());
   auto keep = rank.owned.begin();
   for (auto& p : rank.owned) {
@@ -299,6 +329,7 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
     comm.send(neighbors[k], kTagMigrate1, pack_particles(outgoing[k]));
   }
+  span_end(comm, spans_.migrate);
 }
 
 void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
@@ -307,6 +338,7 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
   const auto neighbors = layout_.pe_torus().neighbors8(me);
 
   // Announcements first, so forwarding below sees fresh ownership.
+  span_begin(comm, spans_.dlb);
   std::vector<int> transfers_to_me;
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
     const AnnounceRecord announce =
@@ -323,8 +355,10 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
       rank.owned.push_back(p);
     }
   }
+  span_end(comm, spans_.dlb);
 
   // Round-1 migrants; forward any whose column changed hands this step.
+  span_begin(comm, spans_.migrate);
   std::vector<md::ParticleVector> forward(neighbors.size());
   for (const int nb : neighbors) {
     for (const auto& p : unpack_particles(comm.recv(nb, kTagMigrate1))) {
@@ -345,11 +379,13 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
     comm.send(neighbors[k], kTagMigrate2, pack_particles(forward[k]));
   }
+  span_end(comm, spans_.migrate);
 }
 
 void ParallelMd::phase_d_halo_send(sim::Comm& comm) {
   const int me = comm.rank();
   Rank& rank = *ranks_[me];
+  span_begin(comm, spans_.migrate);
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
     for (const auto& p : unpack_particles(comm.recv(nb, kTagMigrate2))) {
       const int owner = rank.map.owner(column_of_position(p.position));
@@ -360,13 +396,19 @@ void ParallelMd::phase_d_halo_send(sim::Comm& comm) {
       rank.owned.push_back(p);
     }
   }
+  span_end(comm, spans_.migrate);
+  span_begin(comm, spans_.halo);
   send_halo(comm, rank, kTagHalo);
+  span_end(comm, spans_.halo);
 }
 
 void ParallelMd::phase_e_forces(sim::Comm& comm) {
   const int me = comm.rank();
   Rank& rank = *ranks_[me];
+  span_begin(comm, spans_.halo);
   absorb_halo(comm, rank, kTagHalo);
+  span_end(comm, spans_.halo);
+  span_begin(comm, spans_.force);
   rank.bins.rebuild(grid_, rank.with_halo);
 
   std::vector<int> targets;
@@ -390,6 +432,7 @@ void ParallelMd::phase_e_forces(sim::Comm& comm) {
   rank.owned.assign(rank.with_halo.begin(),
                     rank.with_halo.begin() + rank.owned.size());
   integrator_.kick(rank.owned);
+  span_end(comm, spans_.force);
 
   rank.local_pe = result.potential_energy;
   rank.local_virial = result.virial;

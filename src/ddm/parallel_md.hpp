@@ -43,6 +43,10 @@
 #include <optional>
 #include <vector>
 
+namespace pcmd::obs {
+class TraceCollector;
+}
+
 namespace pcmd::ddm {
 
 struct ParallelMdConfig {
@@ -61,6 +65,13 @@ struct ParallelMdConfig {
   // sim::ProtocolError with provenance. Defaults to on in -DPCMD_CHECKS=ON
   // builds; force it on anywhere for debugging.
   bool verify_invariants = PCMD_ASSERTS_ENABLED;
+  // Observability: when set, named spans for the step's sub-phases (drift,
+  // dlb, migrate, halo, force) and DLB-decision events are recorded into
+  // this collector, in virtual time. The caller usually also attaches the
+  // same collector to the engine (Engine::set_trace_sink) so machine-level
+  // send/recv/collective events land in between the spans. Not owned; must
+  // outlive this object. nullptr (default) records nothing.
+  obs::TraceCollector* trace = nullptr;
 };
 
 // Per-step statistics (globally reduced; identical on every rank).
@@ -158,6 +169,18 @@ class ParallelMd {
   void absorb_halo(sim::Comm& comm, Rank& rank, int tag);
   double advance_compute(sim::Comm& comm, Rank& rank, double seconds);
 
+  // Span instrumentation (no-ops when config_.trace is null). Ids are
+  // interned once in the constructor so the per-event path takes no lock.
+  struct SpanNames {
+    std::uint32_t drift = 0;
+    std::uint32_t dlb = 0;
+    std::uint32_t migrate = 0;
+    std::uint32_t halo = 0;
+    std::uint32_t force = 0;
+  };
+  void span_begin(sim::Comm& comm, std::uint32_t name) const;
+  void span_end(sim::Comm& comm, std::uint32_t name) const;
+
   sim::Engine* engine_;
   Box box_;
   ParallelMdConfig config_;
@@ -168,6 +191,7 @@ class ParallelMd {
   std::optional<md::RescaleThermostat> thermostat_;
   core::DlbProtocol protocol_;
   std::unique_ptr<sim::ProtocolChecker> checker_;  // when verify_invariants
+  SpanNames spans_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::int64_t step_count_ = 0;
   bool dlb_active_this_step_ = false;

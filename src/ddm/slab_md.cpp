@@ -2,6 +2,7 @@
 
 #include "ddm/wire.hpp"
 #include "md/observables.hpp"
+#include "obs/collector.hpp"
 
 #include <algorithm>
 #include <sstream>
@@ -94,6 +95,14 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
   if (config.rescale_temperature) {
     thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
+  if (config_.trace) {
+    config_.trace->on_attach(config.pe_count);
+    spans_.drift = config_.trace->intern("drift");
+    spans_.shift = config_.trace->intern("shift");
+    spans_.migrate = config_.trace->intern("migrate");
+    spans_.halo = config_.trace->intern("halo");
+    spans_.force = config_.trace->intern("force");
+  }
 
   ranks_.reserve(config.pe_count);
   for (int r = 0; r < config.pe_count; ++r) {
@@ -158,6 +167,18 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
   });
 }
 
+void SlabMd::span_begin(sim::Comm& comm, std::uint32_t name) const {
+  if (config_.trace) {
+    config_.trace->span_begin(comm.rank(), name, comm.clock());
+  }
+}
+
+void SlabMd::span_end(sim::Comm& comm, std::uint32_t name) const {
+  if (config_.trace) {
+    config_.trace->span_end(comm.rank(), name, comm.clock());
+  }
+}
+
 int SlabMd::left(int rank) const {
   return (rank + config_.pe_count - 1) % config_.pe_count;
 }
@@ -194,10 +215,12 @@ void SlabMd::phase_a_drift_and_times(sim::Comm& comm) {
   Rank& rank = *ranks_[comm.rank()];
   rank.busy_accum = 0.0;
   rank.shifts_made = 0;
+  span_begin(comm, spans_.drift);
   const double cost = engine_->model().particle_cost * rank.owned.size();
   comm.advance(cost);
   rank.busy_accum += cost;
   integrator_.drift(rank.owned, box_);
+  span_end(comm, spans_.drift);
 
   SlabInfo info;
   info.busy = rank.last_busy;
@@ -244,6 +267,7 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
   };
 
   if (config_.shift_enabled) {
+    span_begin(comm, spans_.shift);
     // My left boundary has id `me`.
     if (me != 0 && (step_number + me) % 2 == 0) {
       const int shift =
@@ -268,8 +292,10 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
         rank.hi += 1;  // right neighbour sheds its bottom layer to me
       }
     }
+    span_end(comm, spans_.shift);
   }
 
+  span_begin(comm, spans_.migrate);
   // Migration: particles that drifted out of [lo, hi). A particle can end
   // up at most 2 layers outside: one layer of physical drift plus one layer
   // of boundary shift in the same step — and in the shift case the shed
@@ -301,11 +327,13 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
   comm.send(right(me), kSlabTransfer, pack_particles(to_right));
   comm.send(left(me), kSlabMigrate, pack_particles(migrate_left));
   comm.send(right(me), kSlabMigrate, pack_particles(migrate_right));
+  span_end(comm, spans_.migrate);
 }
 
 void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
   const int me = comm.rank();
   Rank& rank = *ranks_[me];
+  span_begin(comm, spans_.migrate);
   for (const int nb : {left(me), right(me)}) {
     for (const auto& p : unpack_particles(comm.recv(nb, kSlabTransfer))) {
       rank.owned.push_back(p);
@@ -318,7 +346,9 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
       rank.owned.push_back(p);
     }
   }
+  span_end(comm, spans_.migrate);
 
+  span_begin(comm, spans_.halo);
   auto pack_layer = [&](int layer) {
     std::vector<HaloRecord> records;
     for (const auto& p : rank.owned) {
@@ -330,11 +360,13 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
   };
   comm.send(left(me), kSlabHalo, pack_layer(rank.lo));
   comm.send(right(me), kSlabHalo, pack_layer(rank.hi - 1));
+  span_end(comm, spans_.halo);
 }
 
 void SlabMd::phase_d_forces(sim::Comm& comm) {
   const int me = comm.rank();
   Rank& rank = *ranks_[me];
+  span_begin(comm, spans_.halo);
   rank.with_halo = rank.owned;
   for (const int nb : {left(me), right(me)}) {
     for (const auto& record : unpack_halo(comm.recv(nb, kSlabHalo))) {
@@ -344,6 +376,8 @@ void SlabMd::phase_d_forces(sim::Comm& comm) {
       rank.with_halo.push_back(p);
     }
   }
+  span_end(comm, spans_.halo);
+  span_begin(comm, spans_.force);
   rank.bins.rebuild(grid_, rank.with_halo);
   const auto targets = cells_of_layers(rank.lo, rank.hi);
   const auto result =
@@ -357,6 +391,7 @@ void SlabMd::phase_d_forces(sim::Comm& comm) {
   rank.owned.assign(rank.with_halo.begin(),
                     rank.with_halo.begin() + rank.owned.size());
   integrator_.kick(rank.owned);
+  span_end(comm, spans_.force);
 
   const double ke = md::kinetic_energy(rank.owned);
   const double sums[5] = {result.potential_energy, ke,

@@ -29,6 +29,10 @@
 #include <optional>
 #include <vector>
 
+namespace pcmd::obs {
+class TraceCollector;
+}
+
 namespace pcmd::ddm {
 
 struct SlabMdConfig {
@@ -43,6 +47,9 @@ struct SlabMdConfig {
   // Shift only when the time gap exceeds the moved layer's own cost
   // (overshoot prevention, same rationale as DlbConfig::avoid_overshoot).
   bool avoid_overshoot = true;
+  // Observability: sub-step spans (drift, shift, migrate, halo, force) in
+  // virtual time; same contract as ParallelMdConfig::trace. Not owned.
+  obs::TraceCollector* trace = nullptr;
 };
 
 struct SlabStepStats {
@@ -105,6 +112,18 @@ class SlabMd {
   void phase_d_forces(sim::Comm& comm);
   void phase_e_finish(sim::Comm& comm);
 
+  // Span instrumentation (no-ops when config_.trace is null); ids interned
+  // once in the constructor.
+  struct SpanNames {
+    std::uint32_t drift = 0;
+    std::uint32_t shift = 0;
+    std::uint32_t migrate = 0;
+    std::uint32_t halo = 0;
+    std::uint32_t force = 0;
+  };
+  void span_begin(sim::Comm& comm, std::uint32_t name) const;
+  void span_end(sim::Comm& comm, std::uint32_t name) const;
+
   sim::Engine* engine_;
   Box box_;
   SlabMdConfig config_;
@@ -112,6 +131,7 @@ class SlabMd {
   md::LennardJones lj_;
   md::VelocityVerlet integrator_;
   std::optional<md::RescaleThermostat> thermostat_;
+  SpanNames spans_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::int64_t step_count_ = 0;
 };

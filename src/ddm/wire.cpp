@@ -1,6 +1,37 @@
 #include "ddm/wire.hpp"
 
+#include "sim/comm.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
 namespace pcmd::ddm {
+
+namespace {
+// Runs one message's unpacking with uniform error handling: a short or
+// corrupted buffer (Unpacker throws std::out_of_range) and trailing bytes
+// both become sim::ProtocolError with the message kind in the text, so a
+// malformed payload reads as the protocol violation it is rather than a
+// generic range error.
+template <typename F>
+auto checked_unpack(const char* what, sim::Buffer buffer, F&& body) {
+  sim::Unpacker unpacker(std::move(buffer));
+  try {
+    auto value = body(unpacker);
+    if (!unpacker.exhausted()) {
+      throw sim::ProtocolError(
+          std::string("unpack_") + what + ": " +
+          std::to_string(unpacker.remaining()) +
+          " trailing bytes after the payload");
+    }
+    return value;
+  } catch (const std::out_of_range& e) {
+    throw sim::ProtocolError(std::string("unpack_") + what +
+                             ": malformed payload: " + e.what());
+  }
+}
+}  // namespace
 
 sim::Buffer pack_digest(double busy_seconds,
                         const std::vector<std::int32_t>& columns) {
@@ -12,9 +43,13 @@ sim::Buffer pack_digest(double busy_seconds,
 
 void unpack_digest(sim::Buffer buffer, double& busy_seconds,
                    std::vector<std::int32_t>& columns) {
-  sim::Unpacker unpacker(std::move(buffer));
-  busy_seconds = unpacker.get<DigestHeader>().busy_seconds;
-  columns = unpacker.get_vector<std::int32_t>();
+  auto result = checked_unpack(
+      "digest", std::move(buffer), [](sim::Unpacker& unpacker) {
+        const double busy = unpacker.get<DigestHeader>().busy_seconds;
+        return std::pair(busy, unpacker.get_vector<std::int32_t>());
+      });
+  busy_seconds = result.first;
+  columns = std::move(result.second);
 }
 
 sim::Buffer pack_announce(const AnnounceRecord& record) {
@@ -24,8 +59,9 @@ sim::Buffer pack_announce(const AnnounceRecord& record) {
 }
 
 AnnounceRecord unpack_announce(sim::Buffer buffer) {
-  sim::Unpacker unpacker(std::move(buffer));
-  return unpacker.get<AnnounceRecord>();
+  return checked_unpack(
+      "announce", std::move(buffer),
+      [](sim::Unpacker& unpacker) { return unpacker.get<AnnounceRecord>(); });
 }
 
 sim::Buffer pack_particles(const std::vector<md::Particle>& particles) {
@@ -35,8 +71,10 @@ sim::Buffer pack_particles(const std::vector<md::Particle>& particles) {
 }
 
 std::vector<md::Particle> unpack_particles(sim::Buffer buffer) {
-  sim::Unpacker unpacker(std::move(buffer));
-  return unpacker.get_vector<md::Particle>();
+  return checked_unpack("particles", std::move(buffer),
+                        [](sim::Unpacker& unpacker) {
+                          return unpacker.get_vector<md::Particle>();
+                        });
 }
 
 sim::Buffer pack_halo(const std::vector<HaloRecord>& records) {
@@ -46,8 +84,10 @@ sim::Buffer pack_halo(const std::vector<HaloRecord>& records) {
 }
 
 std::vector<HaloRecord> unpack_halo(sim::Buffer buffer) {
-  sim::Unpacker unpacker(std::move(buffer));
-  return unpacker.get_vector<HaloRecord>();
+  return checked_unpack("halo", std::move(buffer),
+                        [](sim::Unpacker& unpacker) {
+                          return unpacker.get_vector<HaloRecord>();
+                        });
 }
 
 }  // namespace pcmd::ddm

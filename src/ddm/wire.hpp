@@ -43,6 +43,9 @@ struct AnnounceRecord {
 static_assert(std::is_trivially_copyable_v<AnnounceRecord>);
 
 // Packing helpers -----------------------------------------------------------
+//
+// Every unpack_* validates the whole buffer: truncated or corrupted payloads
+// (including trailing bytes after the last field) throw sim::ProtocolError.
 
 sim::Buffer pack_digest(double busy_seconds,
                         const std::vector<std::int32_t>& columns);

@@ -1,0 +1,199 @@
+#include "obs/collector.hpp"
+
+#include <stdexcept>
+
+namespace pcmd::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpanBegin:
+      return "span_begin";
+    case EventKind::kSpanEnd:
+      return "span_end";
+    case EventKind::kCompute:
+      return "compute";
+    case EventKind::kMessageSend:
+      return "send";
+    case EventKind::kMessageRecv:
+      return "recv";
+    case EventKind::kCollectiveBegin:
+      return "collective_begin";
+    case EventKind::kCollectiveEnd:
+      return "collective_end";
+    case EventKind::kDlbDecision:
+      return "dlb_decision";
+    case EventKind::kCounter:
+      return "counter";
+  }
+  return "unknown";
+}
+
+TraceCollector::TraceCollector(Options options) : options_(options) {
+  if (options_.ring_capacity == 0) {
+    throw std::invalid_argument("TraceCollector: ring_capacity must be > 0");
+  }
+  names_.emplace_back();  // id 0 = unnamed
+}
+
+TraceCollector::TraceCollector(int ranks, Options options)
+    : TraceCollector(options) {
+  on_attach(ranks);
+}
+
+void TraceCollector::on_attach(int ranks) {
+  if (names_.empty()) names_.emplace_back();
+  if (ranks < 0) {
+    throw std::invalid_argument("TraceCollector: negative rank count");
+  }
+  // Grow only: re-attaching to a larger engine keeps existing events.
+  while (rings_.size() < static_cast<std::size_t>(ranks)) {
+    Ring ring;
+    ring.buffer.resize(options_.ring_capacity == 0 ? (std::size_t{1} << 16)
+                                                   : options_.ring_capacity);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void TraceCollector::record(int rank, const TraceEvent& event) {
+  auto& ring = rings_.at(static_cast<std::size_t>(rank));
+  ring.buffer[ring.next] = event;
+  ring.next = (ring.next + 1) % ring.buffer.size();
+  if (ring.size < ring.buffer.size()) ring.size += 1;
+  ring.recorded += 1;
+}
+
+void TraceCollector::on_compute(int rank, double start, double seconds) {
+  TraceEvent event;
+  event.kind = EventKind::kCompute;
+  event.t = start;
+  event.value = seconds;
+  record(rank, event);
+}
+
+void TraceCollector::on_send(int rank, int peer, int tag, std::size_t bytes,
+                             double clock) {
+  TraceEvent event;
+  event.kind = EventKind::kMessageSend;
+  event.a = peer;
+  event.b = tag;
+  event.bytes = bytes;
+  event.t = clock;
+  record(rank, event);
+}
+
+void TraceCollector::on_recv(int rank, int peer, int tag, std::size_t bytes,
+                             double clock, double wait) {
+  TraceEvent event;
+  event.kind = EventKind::kMessageRecv;
+  event.a = peer;
+  event.b = tag;
+  event.bytes = bytes;
+  event.t = clock;
+  event.value = wait;
+  record(rank, event);
+}
+
+void TraceCollector::on_collective_begin(int rank, int op, std::size_t width,
+                                         double clock) {
+  TraceEvent event;
+  event.kind = EventKind::kCollectiveBegin;
+  event.a = op;
+  event.b = static_cast<std::int32_t>(width);
+  event.t = clock;
+  record(rank, event);
+}
+
+void TraceCollector::on_collective_end(int rank, double clock, double wait) {
+  TraceEvent event;
+  event.kind = EventKind::kCollectiveEnd;
+  event.t = clock;
+  event.value = wait;
+  record(rank, event);
+}
+
+std::uint32_t TraceCollector::intern(std::string_view name) {
+  std::lock_guard lock(names_mutex_);
+  if (names_.empty()) names_.emplace_back();
+  for (std::size_t i = 1; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+std::string TraceCollector::name(std::uint32_t id) const {
+  std::lock_guard lock(names_mutex_);
+  if (id >= names_.size()) return {};
+  return names_[id];
+}
+
+void TraceCollector::span_begin(int rank, std::uint32_t name, double clock) {
+  TraceEvent event;
+  event.kind = EventKind::kSpanBegin;
+  event.name = name;
+  event.t = clock;
+  record(rank, event);
+}
+
+void TraceCollector::span_end(int rank, std::uint32_t name, double clock) {
+  TraceEvent event;
+  event.kind = EventKind::kSpanEnd;
+  event.name = name;
+  event.t = clock;
+  record(rank, event);
+}
+
+void TraceCollector::counter(int rank, std::uint32_t name, double clock,
+                             double value) {
+  TraceEvent event;
+  event.kind = EventKind::kCounter;
+  event.name = name;
+  event.t = clock;
+  event.value = value;
+  record(rank, event);
+}
+
+void TraceCollector::dlb_decision(int rank, int column, int target,
+                                  double clock) {
+  TraceEvent event;
+  event.kind = EventKind::kDlbDecision;
+  event.a = column;
+  event.b = target;
+  event.t = clock;
+  record(rank, event);
+}
+
+std::vector<TraceEvent> TraceCollector::events(int rank) const {
+  const auto& ring = rings_.at(static_cast<std::size_t>(rank));
+  std::vector<TraceEvent> out;
+  out.reserve(ring.size);
+  // Oldest event: when the ring has wrapped, `next` points at it; before
+  // wrapping the oldest is slot 0.
+  const std::size_t start = ring.size < ring.buffer.size() ? 0 : ring.next;
+  for (std::size_t i = 0; i < ring.size; ++i) {
+    out.push_back(ring.buffer[(start + i) % ring.buffer.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceCollector::events_recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring.recorded;
+  return total;
+}
+
+std::uint64_t TraceCollector::events_dropped() const {
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) dropped += ring.recorded - ring.size;
+  return dropped;
+}
+
+void TraceCollector::clear() {
+  for (auto& ring : rings_) {
+    ring.size = 0;
+    ring.next = 0;
+    ring.recorded = 0;
+  }
+}
+
+}  // namespace pcmd::obs

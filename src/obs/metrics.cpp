@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include "sim/comm.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace pcmd::obs {
+
+MetricsRecorder::MetricsRecorder(const sim::Engine& engine)
+    : engine_(&engine), last_(total()) {}
+
+MetricsRecorder::Snapshot MetricsRecorder::total() const {
+  Snapshot snapshot;
+  for (int r = 0; r < engine_->size(); ++r) {
+    const sim::RankCounters& c = engine_->counters(r);
+    snapshot.wait += c.comm_wait_seconds;
+    snapshot.collective += c.collective_seconds;
+    snapshot.messages += c.messages_sent;
+    snapshot.bytes += c.bytes_sent;
+  }
+  return snapshot;
+}
+
+const StepMetrics& MetricsRecorder::record(const StepInput& input) {
+  const Snapshot now = total();
+  StepMetrics row;
+  row.step = input.step;
+  row.t_step = input.t_step;
+  row.force_max = input.force_max;
+  row.force_avg = input.force_avg;
+  row.force_min = input.force_min;
+  row.wait_seconds = now.wait - last_.wait;
+  row.collective_seconds = now.collective - last_.collective;
+  row.messages = now.messages - last_.messages;
+  row.bytes = now.bytes - last_.bytes;
+  row.transfers = input.transfers;
+  row.potential_energy = input.potential_energy;
+  row.kinetic_energy = input.kinetic_energy;
+  row.temperature = input.temperature;
+  last_ = now;
+  rows_.push_back(row);
+  return rows_.back();
+}
+
+std::string csv_header() {
+  return "step,t_step,force_max,force_avg,force_min,wait_seconds,"
+         "collective_seconds,messages,bytes,transfers,potential_energy,"
+         "kinetic_energy,temperature";
+}
+
+namespace {
+// Shortest representation that round-trips a double exactly.
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+}  // namespace
+
+void write_csv(std::ostream& os, std::span<const StepMetrics> rows) {
+  os << csv_header() << '\n';
+  for (const StepMetrics& r : rows) {
+    os << r.step << ',' << num(r.t_step) << ',' << num(r.force_max) << ','
+       << num(r.force_avg) << ',' << num(r.force_min) << ','
+       << num(r.wait_seconds) << ',' << num(r.collective_seconds) << ','
+       << r.messages << ',' << r.bytes << ',' << r.transfers << ','
+       << num(r.potential_energy) << ',' << num(r.kinetic_energy) << ','
+       << num(r.temperature) << '\n';
+  }
+}
+
+bool write_csv_file(const std::string& path,
+                    std::span<const StepMetrics> rows) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_csv(file, rows);
+  return file.good();
+}
+
+}  // namespace pcmd::obs

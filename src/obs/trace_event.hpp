@@ -1,0 +1,53 @@
+// Typed trace events recorded by obs::TraceCollector.
+//
+// One event is 40 bytes of POD; the generic fields `a`/`b`/`bytes`/`value`
+// are interpreted per kind (table below) so every event fits one ring slot
+// and sequences compare bitwise — the engine-parity determinism tests rely
+// on exact equality of per-rank event streams across backends.
+//
+//   kind             name            a        b       bytes    value
+//   kSpanBegin       span name id    -        -       -        -
+//   kSpanEnd         span name id    -        -       -        -
+//   kCompute         0               -        -       -        seconds
+//   kMessageSend     0               peer     tag     payload  -
+//   kMessageRecv     0               peer     tag     payload  wait s
+//   kCollectiveBegin 0               op       width   -        -
+//   kCollectiveEnd   0               -        -       -        wait s
+//   kDlbDecision     0               column   target  -        -
+//   kCounter         counter name id -        -       -        value
+//
+// `t` is always the event's virtual time on the recording rank's clock
+// (for kCompute: the start of the charged interval).
+#pragma once
+
+#include <cstdint>
+
+namespace pcmd::obs {
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin,
+  kSpanEnd,
+  kCompute,
+  kMessageSend,
+  kMessageRecv,
+  kCollectiveBegin,
+  kCollectiveEnd,
+  kDlbDecision,
+  kCounter,
+};
+
+const char* to_string(EventKind kind);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kSpanBegin;
+  std::uint32_t name = 0;  // interned via TraceCollector::intern; 0 = none
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::uint64_t bytes = 0;
+  double t = 0.0;
+  double value = 0.0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+}  // namespace pcmd::obs

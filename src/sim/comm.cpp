@@ -1,6 +1,7 @@
 #include "sim/comm.hpp"
 
 #include "sim/checker.hpp"
+#include "sim/trace_sink.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -36,9 +37,11 @@ void Comm::advance(double seconds) {
     throw std::invalid_argument("Comm::advance: negative time");
   }
   auto& state = *engine_->states_[rank_];
+  const double start = state.clock;
   state.clock += seconds;
   state.counters.compute_seconds += seconds;
   PCMD_CHECKER_HOOK(engine_, on_clock(rank_, state.clock));
+  if (auto* sink = engine_->sink_) sink->on_compute(rank_, start, seconds);
 }
 
 double Comm::clock() const { return engine_->states_[rank_]->clock; }
@@ -119,6 +122,11 @@ void Engine::set_checker(ProtocolChecker* checker) {
 #endif
 }
 
+void Engine::set_trace_sink(TraceSink* sink) {
+  sink_ = sink;
+  if (sink_) sink_->on_attach(ranks_);
+}
+
 void Engine::notify_phase_begin() {
   PCMD_CHECKER_HOOK(this, on_phase_begin(phase_));
 }
@@ -143,6 +151,10 @@ void Engine::do_send(int src, int dst, int tag, Buffer payload) {
   sender.counters.bytes_sent += bytes;
   PCMD_CHECKER_HOOK(this, on_send(src, dst, tag, phase_,
                                   static_cast<std::size_t>(bytes)));
+  if (auto* sink = sink_) {
+    sink->on_send(src, dst, tag, static_cast<std::size_t>(bytes),
+                  sender.clock);
+  }
   states_[dst]->mailbox.push(std::move(msg));
 }
 
@@ -163,14 +175,19 @@ std::optional<Buffer> Engine::do_try_recv(int rank, int src, int tag) {
   auto& state = *states_[rank];
   auto msg = state.mailbox.pop(src, tag, phase_);
   if (!msg) return std::nullopt;
+  double wait = 0.0;
   if (msg->arrival > state.clock) {
-    state.counters.comm_wait_seconds += msg->arrival - state.clock;
+    wait = msg->arrival - state.clock;
+    state.counters.comm_wait_seconds += wait;
     state.clock = msg->arrival;
   }
   state.counters.messages_received += 1;
   state.counters.bytes_received += msg->payload.size();
   PCMD_CHECKER_HOOK(this, on_recv(rank, src, tag, phase_, msg->phase));
   PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
+  if (auto* sink = sink_) {
+    sink->on_recv(rank, src, tag, msg->payload.size(), state.clock, wait);
+  }
   return std::move(msg->payload);
 }
 
@@ -201,6 +218,10 @@ void Engine::do_collective_begin(int rank, ReduceOp op,
   PCMD_CHECKER_HOOK(this, on_collective_begin(rank, phase_,
                                               static_cast<int>(op),
                                               values.size()));
+  if (auto* sink = sink_) {
+    sink->on_collective_begin(rank, static_cast<int>(op), values.size(),
+                              state.clock);
+  }
 }
 
 std::vector<double> Engine::do_collective_end(int rank) {
@@ -244,12 +265,15 @@ std::vector<double> Engine::do_collective_end(int rank) {
   const double cost =
       model_.collective_time(ranks_, slot.width * sizeof(double));
   const double finish = slot.max_clock + cost;
+  double wait = 0.0;
   if (finish > state.clock) {
-    state.counters.collective_seconds += finish - state.clock;
+    wait = finish - state.clock;
+    state.counters.collective_seconds += wait;
     state.clock = finish;
   }
   PCMD_CHECKER_HOOK(this, on_collective_end(rank, phase_));
   PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
+  if (auto* sink = sink_) sink->on_collective_end(rank, state.clock, wait);
   return slot.combined;
 }
 

@@ -34,6 +34,7 @@
 namespace pcmd::sim {
 
 class ProtocolChecker;
+class TraceSink;
 
 // Reduction operators for collectives.
 enum class ReduceOp { kSum, kMax, kMin };
@@ -146,6 +147,14 @@ class Engine {
   void set_checker(ProtocolChecker* checker);
   ProtocolChecker* checker() const { return checker_; }
 
+  // Attaches an observability sink (sim/trace_sink.hpp) that receives every
+  // compute/send/recv/collective event with virtual timestamps; nullptr
+  // detaches. Orthogonal to the protocol checker: the checker verifies, the
+  // sink records. Detached cost is one branch per event. The sink's
+  // lifetime is the caller's problem.
+  void set_trace_sink(TraceSink* sink);
+  TraceSink* trace_sink() const { return sink_; }
+
  protected:
   // Subclasses call this at the top of run_phase, after ++phase_.
   void notify_phase_begin();
@@ -188,6 +197,7 @@ class Engine {
   MachineModel model_;
   HopModel hop_model_;
   ProtocolChecker* checker_ = nullptr;
+  TraceSink* sink_ = nullptr;
   std::vector<std::unique_ptr<RankState>> states_;
   std::vector<CollectiveSlot> collectives_;
   mutable std::mutex collective_mutex_;

@@ -68,6 +68,14 @@ class Unpacker {
     static_assert(std::is_trivially_copyable_v<T>,
                   "Unpacker::get_vector requires a trivially copyable type");
     const auto count = get<std::uint64_t>();
+    // Check the element count against the remaining bytes *before* the
+    // multiply: a corrupted count near 2^64 would overflow count * sizeof(T)
+    // and sail past require() into a huge allocation.
+    if (count > remaining() / sizeof(T)) {
+      throw std::out_of_range("Unpacker: vector count " +
+                              std::to_string(count) + " exceeds the " +
+                              std::to_string(remaining()) + " bytes left");
+    }
     require(count * sizeof(T));
     std::vector<T> values(count);
     if (count > 0) {

@@ -1,5 +1,6 @@
 #include "theory/effective_range.hpp"
 
+#include "obs/collector.hpp"
 #include "theory/bounds.hpp"
 #include "util/stats.hpp"
 
@@ -122,6 +123,9 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
   const auto initial = workload::make_paper_system(config.spec, rng);
 
   sim::SeqEngine engine(config.spec.pe_count, config.machine);
+  if (config.trace) {
+    engine.set_trace_sink(config.trace);
+  }
   ddm::ParallelMdConfig pmd_config;
   pmd_config.pe_side = config.spec.pe_side();
   pmd_config.m = config.spec.m;
@@ -131,8 +135,12 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
   pmd_config.rescale_interval = config.spec.rescale_interval;
   pmd_config.dlb_enabled = config.dlb_enabled;
   pmd_config.dlb = config.dlb;
+  pmd_config.trace = config.trace;
 
   ddm::ParallelMd pmd(engine, config.spec.box(), initial, pmd_config);
+  // Baseline the counter deltas after the constructor's initial force
+  // phase, so row 0 covers exactly step 1.
+  obs::MetricsRecorder recorder(engine);
 
   MdTrajectoryResult result;
   result.particles = static_cast<std::int64_t>(initial.size());
@@ -147,6 +155,22 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
     result.concentration.push_back(
         estimate_concentration(stats, pmd.total_cells()));
     result.transfers_total += stats.transfers;
+
+    obs::MetricsRecorder::StepInput input;
+    input.step = stats.step;
+    input.t_step = stats.t_step;
+    input.force_max = stats.force_max;
+    input.force_avg = stats.force_avg;
+    input.force_min = stats.force_min;
+    input.transfers = stats.transfers;
+    input.potential_energy = stats.potential_energy;
+    input.kinetic_energy = stats.kinetic_energy;
+    input.temperature = stats.temperature;
+    recorder.record(input);
+  }
+  result.metrics = recorder.rows();
+  if (config.trace) {
+    engine.set_trace_sink(nullptr);
   }
   return result;
 }

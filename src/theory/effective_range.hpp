@@ -7,6 +7,7 @@
 
 #include "core/dlb_protocol.hpp"
 #include "ddm/parallel_md.hpp"
+#include "obs/metrics.hpp"
 #include "theory/boundary.hpp"
 #include "theory/concentration.hpp"
 #include "theory/synthetic_balance.hpp"
@@ -89,6 +90,10 @@ struct MdTrajectoryConfig {
   bool dlb_enabled = true;
   core::DlbConfig dlb;
   sim::MachineModel machine = sim::MachineModel::t3e();
+  // When set, the collector is attached to the engine as its trace sink and
+  // to the MD engine for sub-step spans, so the run produces a full span +
+  // message trace. Not owned; must outlive the call.
+  obs::TraceCollector* trace = nullptr;
 };
 
 struct MdTrajectoryResult {
@@ -97,6 +102,9 @@ struct MdTrajectoryResult {
   std::vector<double> f_min;
   std::vector<double> f_avg;
   Trajectory concentration;
+  // One row per step: the ad-hoc series above plus engine counters (wait
+  // time, messages, bytes) and energies, ready for obs::write_csv.
+  std::vector<obs::StepMetrics> metrics;
   int transfers_total = 0;
   std::int64_t particles = 0;
   int total_cells = 0;

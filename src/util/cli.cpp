@@ -40,6 +40,13 @@ std::string Cli::get(const std::string& name,
   return it == flags_.end() ? fallback : it->second;
 }
 
+std::optional<std::string> Cli::get_optional(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
   const std::string v = get(name, "");

@@ -1,0 +1,185 @@
+// TraceCollector unit tests: interning, span/counter/DLB recording, ring
+// overwrite semantics, and the engine hook wiring.
+#include "obs/collector.hpp"
+
+#include "sim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pcmd::obs {
+namespace {
+
+TEST(Collector, InternReturnsStableNonZeroIds) {
+  TraceCollector collector(1, {});
+  const auto force = collector.intern("force");
+  const auto halo = collector.intern("halo");
+  EXPECT_NE(force, 0u);
+  EXPECT_NE(halo, 0u);
+  EXPECT_NE(force, halo);
+  EXPECT_EQ(collector.intern("force"), force);
+  EXPECT_EQ(collector.name(force), "force");
+  EXPECT_EQ(collector.name(halo), "halo");
+  EXPECT_EQ(collector.name(0), "");
+}
+
+TEST(Collector, RecordsSpansOldestFirst) {
+  TraceCollector collector(2, {});
+  const auto id = collector.intern("step");
+  collector.span_begin(0, id, 1.0);
+  collector.span_end(0, id, 2.5);
+  const auto events = collector.events(0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpanBegin);
+  EXPECT_EQ(events[0].name, id);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
+  EXPECT_EQ(events[1].kind, EventKind::kSpanEnd);
+  EXPECT_DOUBLE_EQ(events[1].t, 2.5);
+  EXPECT_TRUE(collector.events(1).empty());
+}
+
+TEST(Collector, RingOverwritesOldestAndCountsDrops) {
+  TraceCollector::Options options;
+  options.ring_capacity = 4;
+  TraceCollector collector(1, options);
+  const auto id = collector.intern("s");
+  for (int i = 0; i < 6; ++i) {
+    collector.span_begin(0, id, static_cast<double>(i));
+  }
+  EXPECT_EQ(collector.events_recorded(), 6u);
+  EXPECT_EQ(collector.events_dropped(), 2u);
+  const auto events = collector.events(0);
+  ASSERT_EQ(events.size(), 4u);
+  // The two oldest events (t = 0, 1) were overwritten.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t, static_cast<double>(i + 2));
+  }
+}
+
+TEST(Collector, ClearKeepsNamesAndRankCount) {
+  TraceCollector collector(3, {});
+  const auto id = collector.intern("x");
+  collector.span_begin(2, id, 1.0);
+  collector.clear();
+  EXPECT_EQ(collector.ranks(), 3);
+  EXPECT_TRUE(collector.events(2).empty());
+  EXPECT_EQ(collector.events_recorded(), 0u);
+  EXPECT_EQ(collector.intern("x"), id);
+}
+
+TEST(Collector, OnAttachGrowsButNeverShrinks) {
+  TraceCollector collector;
+  EXPECT_EQ(collector.ranks(), 0);
+  collector.on_attach(4);
+  EXPECT_EQ(collector.ranks(), 4);
+  const auto id = collector.intern("s");
+  collector.span_begin(3, id, 1.0);
+  // Re-attach with fewer ranks (e.g. a second smaller engine sharing the
+  // collector): rank 3's events survive.
+  collector.on_attach(2);
+  EXPECT_EQ(collector.ranks(), 4);
+  EXPECT_EQ(collector.events(3).size(), 1u);
+}
+
+TEST(Collector, DlbDecisionAndCounterEvents) {
+  TraceCollector collector(2, {});
+  const auto id = collector.intern("load");
+  collector.dlb_decision(1, /*column=*/7, /*target=*/3, 2.0);
+  collector.counter(1, id, 2.5, 42.0);
+  const auto events = collector.events(1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kDlbDecision);
+  EXPECT_EQ(events[0].a, 7);
+  EXPECT_EQ(events[0].b, 3);
+  EXPECT_EQ(events[1].kind, EventKind::kCounter);
+  EXPECT_EQ(events[1].name, id);
+  EXPECT_DOUBLE_EQ(events[1].value, 42.0);
+}
+
+TEST(Collector, EngineHooksRecordMachineEvents) {
+  sim::SeqEngine engine(2, sim::MachineModel::t3e());
+  TraceCollector collector;
+  engine.set_trace_sink(&collector);
+  EXPECT_EQ(collector.ranks(), 2);
+
+  engine.run_phase([](sim::Comm& comm) {
+    comm.advance(1.0e-3);
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/5, sim::Buffer(16));
+    }
+    comm.reduce_begin(sim::ReduceOp::kSum, 1.0);
+  });
+  engine.run_phase([](sim::Comm& comm) {
+    if (comm.rank() == 1) {
+      (void)comm.recv(0, 5);
+    }
+    (void)comm.reduce_end();
+  });
+  engine.set_trace_sink(nullptr);
+
+  auto kinds = [](const std::vector<TraceEvent>& events) {
+    std::vector<EventKind> out;
+    for (const auto& e : events) out.push_back(e.kind);
+    return out;
+  };
+  const auto r0 = collector.events(0);
+  EXPECT_EQ(kinds(r0),
+            (std::vector<EventKind>{EventKind::kCompute,
+                                    EventKind::kMessageSend,
+                                    EventKind::kCollectiveBegin,
+                                    EventKind::kCollectiveEnd}));
+  const auto r1 = collector.events(1);
+  EXPECT_EQ(kinds(r1),
+            (std::vector<EventKind>{EventKind::kCompute,
+                                    EventKind::kCollectiveBegin,
+                                    EventKind::kMessageRecv,
+                                    EventKind::kCollectiveEnd}));
+
+  // The send event carries peer/tag/bytes; the recv's wait is the clock jump
+  // to the arrival time and its timestamp the post-jump clock.
+  const auto& send = r0[1];
+  EXPECT_EQ(send.a, 1);
+  EXPECT_EQ(send.b, 5);
+  EXPECT_EQ(send.bytes, 16u);
+  const auto& recv = r1[2];
+  EXPECT_EQ(recv.a, 0);
+  EXPECT_EQ(recv.b, 5);
+  EXPECT_EQ(recv.bytes, 16u);
+  EXPECT_GE(recv.value, 0.0);
+  EXPECT_DOUBLE_EQ(recv.t, engine.counters(1).comm_wait_seconds + 1.0e-3);
+
+  // Timestamps are monotone per rank (virtual clocks never go backwards).
+  for (const auto& events : {r0, r1}) {
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GE(events[i].t, events[i - 1].t);
+    }
+  }
+}
+
+TEST(Collector, DetachedEngineRecordsNothing) {
+  sim::SeqEngine engine(2, sim::MachineModel::t3e());
+  TraceCollector collector(2, {});
+  engine.run_phase([](sim::Comm& comm) { comm.advance(1.0); });
+  EXPECT_EQ(collector.events_recorded(), 0u);
+}
+
+TEST(EventKindNames, AllDistinctAndNonEmpty) {
+  const EventKind kinds[] = {
+      EventKind::kSpanBegin,       EventKind::kSpanEnd,
+      EventKind::kCompute,         EventKind::kMessageSend,
+      EventKind::kMessageRecv,     EventKind::kCollectiveBegin,
+      EventKind::kCollectiveEnd,   EventKind::kDlbDecision,
+      EventKind::kCounter};
+  std::vector<std::string> names;
+  for (const auto kind : kinds) {
+    names.emplace_back(to_string(kind));
+    EXPECT_FALSE(names.back().empty());
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace pcmd::obs

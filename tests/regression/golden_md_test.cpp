@@ -1,0 +1,119 @@
+// Golden regression battery: a short, fully deterministic ParallelMd run
+// (DLB on, fixed seed) checked against committed golden values for the
+// physics (total energy), the virtual-machine makespan, and the load-balance
+// spread. The run is bitwise reproducible on both engines (see the engine
+// parity suite), so any drift here means an intentional behaviour change —
+// regenerate the goldens by running with --gtest_filter='*PrintActuals*'
+// after convincing yourself the change is correct.
+#include "obs/metrics.hpp"
+#include "theory/effective_range.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+
+namespace pcmd::theory {
+namespace {
+
+MdTrajectoryConfig golden_config() {
+  MdTrajectoryConfig config;
+  config.spec.pe_count = 9;
+  config.spec.m = 2;
+  config.spec.density = 0.384;
+  config.spec.seed = 7;
+  config.steps = 60;
+  config.dlb_enabled = true;
+  return config;
+}
+
+struct GoldenSummary {
+  double final_total_energy = 0.0;  // PE + KE after the last step
+  double makespan = 0.0;            // sum of per-step Tt (virtual seconds)
+  double mean_spread = 0.0;         // mean of Fmax - Fmin over all steps
+};
+
+GoldenSummary summarize(const MdTrajectoryResult& result) {
+  GoldenSummary s;
+  const auto& last = result.metrics.back();
+  s.final_total_energy = last.potential_energy + last.kinetic_energy;
+  s.makespan =
+      std::accumulate(result.t_step.begin(), result.t_step.end(), 0.0);
+  for (std::size_t i = 0; i < result.f_max.size(); ++i) {
+    s.mean_spread += result.f_max[i] - result.f_min[i];
+  }
+  s.mean_spread /= static_cast<double>(result.f_max.size());
+  return s;
+}
+
+// Committed goldens for golden_config() (9 PEs, m=2, rho*=0.384, seed 7,
+// 60 steps, DLB on). Tolerance is relative 1e-6: the run itself is
+// deterministic, the slack only absorbs benign compiler/libm variation.
+constexpr double kGoldenTotalEnergy = -1549.2539981889756;
+constexpr double kGoldenMakespan = 2.4124042266666623;
+constexpr double kGoldenMeanSpread = 0.0071342249999999958;
+constexpr double kRelTol = 1.0e-6;
+
+void expect_near_rel(double actual, double golden, const char* what) {
+  EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol) << what;
+}
+
+TEST(GoldenMd, SummaryMatchesCommittedGoldens) {
+  const auto result = run_md_trajectory(golden_config());
+  ASSERT_EQ(result.metrics.size(), 60u);
+  const auto s = summarize(result);
+  expect_near_rel(s.final_total_energy, kGoldenTotalEnergy, "total energy");
+  expect_near_rel(s.makespan, kGoldenMakespan, "makespan");
+  expect_near_rel(s.mean_spread, kGoldenMeanSpread, "Fmax-Fmin spread");
+}
+
+TEST(GoldenMd, MetricsRowsMirrorAdHocSeries) {
+  // The CSV metrics path must carry exactly the numbers the ad-hoc vectors
+  // (the pre-observability outputs) carry — bitwise, not approximately.
+  const auto result = run_md_trajectory(golden_config());
+  ASSERT_EQ(result.metrics.size(), result.t_step.size());
+  int transfers = 0;
+  for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+    const auto& row = result.metrics[i];
+    EXPECT_EQ(row.step, static_cast<std::int64_t>(i) + 1);  // 1-based steps
+    EXPECT_EQ(row.t_step, result.t_step[i]);
+    EXPECT_EQ(row.force_max, result.f_max[i]);
+    EXPECT_EQ(row.force_avg, result.f_avg[i]);
+    EXPECT_EQ(row.force_min, result.f_min[i]);
+    EXPECT_GE(row.force_max, row.force_min);
+    EXPECT_GT(row.messages, 0u);
+    EXPECT_GT(row.bytes, 0u);
+    EXPECT_GE(row.wait_seconds, 0.0);
+    EXPECT_GE(row.collective_seconds, 0.0);
+    EXPECT_GT(row.temperature, 0.0);
+    transfers += row.transfers;
+  }
+  EXPECT_EQ(transfers, result.transfers_total);
+}
+
+TEST(GoldenMd, RunIsBitwiseReproducible) {
+  const auto a = run_md_trajectory(golden_config());
+  const auto b = run_md_trajectory(golden_config());
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics[i].t_step, b.metrics[i].t_step) << "step " << i;
+    EXPECT_EQ(a.metrics[i].potential_energy, b.metrics[i].potential_energy);
+    EXPECT_EQ(a.metrics[i].wait_seconds, b.metrics[i].wait_seconds);
+    EXPECT_EQ(a.metrics[i].messages, b.metrics[i].messages);
+    EXPECT_EQ(a.metrics[i].bytes, b.metrics[i].bytes);
+  }
+}
+
+// Disabled by default: prints the actual summary values in golden-constant
+// form. Run with --gtest_also_run_disabled_tests (or filter *PrintActuals*)
+// to regenerate the constants above after an intentional change.
+TEST(GoldenMd, DISABLED_PrintActuals) {
+  const auto s = summarize(run_md_trajectory(golden_config()));
+  std::printf("constexpr double kGoldenTotalEnergy = %.17g;\n",
+              s.final_total_energy);
+  std::printf("constexpr double kGoldenMakespan = %.17g;\n", s.makespan);
+  std::printf("constexpr double kGoldenMeanSpread = %.17g;\n", s.mean_spread);
+}
+
+}  // namespace
+}  // namespace pcmd::theory
