@@ -14,10 +14,17 @@
 //
 //   ./fig5_exec_time [--steps 1500] [--interval 125] [--density 0.384]
 //                    [--seed 1] [--full] [--trace out/fig5]
+//                    [--faults seed=7,drop=0.05] [--checkpoint-every 100]
 //
 // --trace PATH writes, per case and per run, a Chrome trace-event JSON
 // (PATH.m4.ddm.json, ...; open in Perfetto) and the per-step metrics CSV
 // (PATH.m4.ddm.csv, ...).
+//
+// --faults PLAN injects deterministic message faults (sim::FaultPlan
+// grammar) and routes all traffic through the reliable channel; the run's
+// physics is unchanged, only clocks and retry counters move. The fault and
+// retry counters land in the metrics CSV. --checkpoint-every N serializes a
+// full checkpoint every N steps and reports its size.
 
 #include "obs/chrome_trace.hpp"
 #include "obs/collector.hpp"
@@ -52,23 +59,48 @@ void export_run(const std::string& base, obs::TraceCollector& collector,
 
 CaseResult run_case(int pe_count, int m, double density, int steps,
                     std::uint64_t seed,
-                    const std::optional<std::string>& trace_base) {
+                    const std::optional<std::string>& trace_base,
+                    const sim::FaultPlan& faults, int checkpoint_every) {
   theory::MdTrajectoryConfig config;
   config.spec.pe_count = pe_count;
   config.spec.m = m;
   config.spec.density = density;
   config.spec.seed = seed;
   config.steps = steps;
+  config.faults = faults;
+  config.fault_tolerance.reliable = !faults.empty();
+  config.checkpoint_every = checkpoint_every;
 
   obs::TraceCollector collector;
   if (trace_base) config.trace = &collector;
 
+  auto report_ft = [&](const char* label,
+                       const theory::MdTrajectoryResult& run) {
+    if (!faults.empty()) {
+      std::printf("  [%s] retransmissions %llu, recv timeouts %llu\n", label,
+                  static_cast<unsigned long long>(run.retransmissions_total),
+                  static_cast<unsigned long long>(run.recv_timeouts_total));
+    }
+    if (checkpoint_every > 0) {
+      std::printf("  [%s] %d checkpoints, last %zu bytes\n", label,
+                  run.checkpoints_taken, run.last_checkpoint.size());
+    }
+  };
+
   CaseResult result;
   config.dlb_enabled = false;
-  result.ddm = run_md_trajectory(config).metrics;
+  {
+    const auto run = run_md_trajectory(config);
+    result.ddm = run.metrics;
+    report_ft("ddm", run);
+  }
   if (trace_base) export_run(*trace_base + ".ddm", collector, result.ddm);
   config.dlb_enabled = true;
-  result.dlb = run_md_trajectory(config).metrics;
+  {
+    const auto run = run_md_trajectory(config);
+    result.dlb = run.metrics;
+    report_ft("dlb", run);
+  }
   if (trace_base) export_run(*trace_base + ".dlb", collector, result.dlb);
   return result;
 }
@@ -110,6 +142,11 @@ int main(int argc, char** argv) {
   const double density = cli.get_double("density", full ? 0.256 : 0.384);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto trace = cli.get_optional("trace");
+  const auto faults_spec = cli.get_optional("faults");
+  const sim::FaultPlan faults =
+      faults_spec ? sim::FaultPlan::parse(*faults_spec) : sim::FaultPlan{};
+  const int checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 0));
 
   std::printf("== Figure 5: time per step, DDM vs DLB-DDM (%d virtual PEs, "
               "T3E cost model, T*=0.722, rho*=%.3f) ==\n\n",
@@ -118,7 +155,8 @@ int main(int argc, char** argv) {
   {
     const auto result =
         run_case(pe_count, 4, density, steps, seed,
-                 trace ? std::optional(*trace + ".m4") : std::nullopt);
+                 trace ? std::optional(*trace + ".m4") : std::nullopt, faults,
+                 checkpoint_every);
     print_case("(a) m = 4  — movable fraction 9/16, strong DLB capability",
                result, interval);
   }
@@ -128,7 +166,8 @@ int main(int argc, char** argv) {
     const int m2_steps = full ? steps : 2 * steps;
     const auto result =
         run_case(pe_count, 2, density, m2_steps, seed,
-                 trace ? std::optional(*trace + ".m2") : std::nullopt);
+                 trace ? std::optional(*trace + ".m2") : std::nullopt, faults,
+                 checkpoint_every);
     print_case("(b) m = 2  — movable fraction 1/4, weak DLB capability",
                result, full ? interval : 2 * interval);
   }

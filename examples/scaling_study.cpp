@@ -8,14 +8,26 @@
 //
 //   ./scaling_study [--steps 100] [--density 0.256] [--m 2]
 //                   [--trace out/scaling]
+//                   [--faults seed=7,drop=0.05] [--checkpoint-every 50]
+//                   [--degrade rank=4,at=0.05] [--degrade-factor 6]
 //
 // --trace PATH writes one Chrome trace-event JSON (PATH.p9.json, PATH.p16.json,
 // ... — open in Perfetto) and one per-step metrics CSV per PE-grid size.
+//
+// --faults PLAN injects deterministic message faults into the sweep and
+// routes all traffic through the reliable channel (physics unchanged).
+// --checkpoint-every N serializes a full checkpoint every N steps.
+//
+// --degrade rank=K,at=T switches to a dedicated mode: a 3x3 DLB-DDM run in
+// which rank K's compute slows down by --degrade-factor (default 6x) from
+// virtual time T on. The before/after Fmax/Fave/Fmin table shows the DLB
+// shifting permanent cells off the slow PE until the imbalance is absorbed.
 
 #include "ddm/comm_volume.hpp"
 #include "ddm/parallel_md.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -24,6 +36,101 @@
 #include <cstdio>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
+
+namespace {
+
+// The --degrade mode: DLB absorbing a permanently slowed rank.
+int run_degrade_mode(const std::string& spec_text, double factor, int m,
+                     double density, std::int64_t steps) {
+  using namespace pcmd;
+  int slow_rank = -1;
+  double at = 0.0;
+  if (std::sscanf(spec_text.c_str(), "rank=%d,at=%lf", &slow_rank, &at) != 2) {
+    throw std::invalid_argument("--degrade expects rank=K,at=T, got \"" +
+                                spec_text + "\"");
+  }
+
+  workload::PaperSystemSpec spec;
+  spec.pe_count = 9;
+  spec.m = m;
+  spec.density = density;
+  spec.seed = 42;
+  if (slow_rank < 0 || slow_rank >= spec.pe_count) {
+    throw std::invalid_argument("--degrade rank out of range for 3x3");
+  }
+  Rng rng(spec.seed);
+  const auto initial = workload::make_paper_system(spec, rng);
+
+  sim::FaultPlan plan;
+  plan.stalls.push_back({slow_rank, at, 1e30, factor});
+  sim::FaultInjector injector(plan);
+
+  sim::SeqEngine engine(spec.pe_count);
+  engine.set_fault_injector(&injector);
+  ddm::ParallelMdConfig config;
+  config.pe_side = 3;
+  config.m = m;
+  config.dt = spec.dt;
+  config.rescale_temperature = spec.temperature;
+  config.dlb_enabled = true;
+  ddm::ParallelMd md(engine, spec.box(), initial, config);
+
+  std::printf("== degrade mode: rank %d slows %.1fx at t=%g s (3x3, m=%d, "
+              "DLB on) ==\n",
+              slow_rank, factor, at, m);
+
+  // Classify each step by when it started relative to the stall onset: the
+  // "impact" bucket (first 30 steps after T) takes the hit, then the DLB
+  // walks the slow rank's columns away and "absorbed" settles back down.
+  struct Bucket {
+    double fmax = 0.0, fave = 0.0, fmin = 0.0;
+    int transfers = 0;
+    int steps = 0;
+  } before, impact, absorbed;
+  int steps_after = 0;
+  for (std::int64_t i = 0; i < steps; ++i) {
+    const double start = engine.makespan();
+    const auto stats = md.step();
+    Bucket* b = &before;
+    if (start >= at) {
+      ++steps_after;
+      b = steps_after <= 30 ? &impact : &absorbed;
+    }
+    b->fmax += stats.force_max;
+    b->fave += stats.force_avg;
+    b->fmin += stats.force_min;
+    b->transfers += stats.transfers;
+    b->steps += 1;
+  }
+
+  Table table({"phase", "steps", "Fmax [s]", "Fave [s]", "Fmin [s]",
+               "(Fmax-Fmin)/Fave", "DLB transfers"});
+  auto add = [&](const char* name, const Bucket& b) {
+    if (b.steps == 0) return;
+    const double inv = 1.0 / b.steps;
+    const double fmax = b.fmax * inv, fave = b.fave * inv, fmin = b.fmin * inv;
+    table.add_row({name, std::to_string(b.steps), Table::num(fmax, 4),
+                   Table::num(fave, 4), Table::num(fmin, 4),
+                   Table::num(fave > 0 ? (fmax - fmin) / fave : 0.0, 3),
+                   std::to_string(b.transfers)});
+  };
+  add("before", before);
+  add("impact (first 30)", impact);
+  add("absorbed (rest)", absorbed);
+  table.print(std::cout);
+  const auto fc = injector.counters();
+  std::printf("\nstall stretched %llu compute intervals by %.3f virtual "
+              "seconds total.\n",
+              static_cast<unsigned long long>(fc.stalled_advances),
+              fc.stall_seconds);
+  std::puts("paper analogue: a T3E PE running hot/throttled — the permanent-"
+            "cell DLB drains its columns instead of letting Fmax track the "
+            "slow PE forever.");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pcmd;
@@ -32,6 +139,24 @@ int main(int argc, char** argv) {
   const double density = cli.get_double("density", 0.256);
   const int m = static_cast<int>(cli.get_int("m", 2));
   const auto trace = cli.get_optional("trace");
+  if (const auto degrade = cli.get_optional("degrade")) {
+    // Default to m = 4 here (movable fraction 9/16): at m = 2 only 1/4 of a
+    // PE's columns may move, which caps how much load the DLB can drain off
+    // the degraded rank (the paper's "weak DLB capability" regime).
+    const int degrade_m =
+        cli.get_optional("m") ? m : 4;
+    return run_degrade_mode(*degrade, cli.get_double("degrade-factor", 6.0),
+                            degrade_m, density,
+                            std::max<std::int64_t>(steps, 300));
+  }
+  sim::FaultPlan faults;
+  if (const auto faults_spec = cli.get_optional("faults")) {
+    faults = sim::FaultPlan::parse(*faults_spec);
+  }
+  std::optional<sim::FaultInjector> injector;
+  if (!faults.empty()) injector.emplace(faults);
+  const int checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 0));
 
   std::puts("== weak scaling: fixed density, growing PE grid ==");
   Table scaling({"PEs", "N", "cells", "time/step [s]", "efficiency",
@@ -46,6 +171,7 @@ int main(int argc, char** argv) {
     const auto initial = workload::make_paper_system(spec, rng);
 
     sim::SeqEngine engine(spec.pe_count);
+    if (injector) engine.set_fault_injector(&*injector);
     obs::TraceSession session(
         engine,
         trace ? *trace + ".p" + std::to_string(spec.pe_count) + ".json" : "");
@@ -56,9 +182,12 @@ int main(int argc, char** argv) {
     config.rescale_temperature = spec.temperature;
     config.dlb_enabled = true;
     config.trace = session.collector();
+    config.fault_tolerance.reliable = !faults.empty();
     ddm::ParallelMd md(engine, spec.box(), initial, config);
     obs::MetricsRecorder recorder(engine);
 
+    sim::Buffer last_checkpoint;
+    int checkpoints_taken = 0;
     const double before = engine.makespan();
     for (std::int64_t i = 0; i < steps; ++i) {
       const auto stats = md.step();
@@ -72,9 +201,18 @@ int main(int argc, char** argv) {
       input.potential_energy = stats.potential_energy;
       input.kinetic_energy = stats.kinetic_energy;
       input.temperature = stats.temperature;
+      input.retransmissions = stats.retransmissions;
       recorder.record(input);
+      if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) {
+        last_checkpoint = md.checkpoint();
+        ++checkpoints_taken;
+      }
     }
     session.finish(recorder.rows());
+    if (checkpoints_taken > 0) {
+      std::printf("p%d: %d checkpoints, last %zu bytes\n", spec.pe_count,
+                  checkpoints_taken, last_checkpoint.size());
+    }
     const double per_step = (engine.makespan() - before) / steps;
     const auto report = sim::machine_report(engine);
     scaling.add_row(

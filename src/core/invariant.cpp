@@ -12,10 +12,20 @@ void InvariantReport::fail(std::string message) {
 }
 
 InvariantReport check_invariants(const PillarLayout& layout,
-                                 const ColumnMap& map) {
+                                 const ColumnMap& map,
+                                 const std::vector<char>* alive) {
   InvariantReport report;
   const auto& pe_torus = layout.pe_torus();
   const auto& col_torus = layout.column_torus();
+
+  const auto rank_alive = [&](int r) {
+    return alive == nullptr || (*alive)[static_cast<std::size_t>(r)] != 0;
+  };
+  // A column homed on a crashed rank was adopted by a survivor; the static
+  // placement rules no longer apply to it.
+  const auto adopted = [&](int col) {
+    return !rank_alive(layout.home_rank(col));
+  };
 
   std::vector<int> counts(layout.pe_count(), 0);
 
@@ -27,6 +37,13 @@ InvariantReport check_invariants(const PillarLayout& layout,
       report.fail(os.str());
       continue;
     }
+    if (!rank_alive(owner)) {
+      std::ostringstream os;
+      os << "column " << col << " owned by dead rank " << owner;
+      report.fail(os.str());
+      continue;
+    }
+    if (adopted(col)) continue;  // exempt from placement and the C' bound
     ++counts[owner];
 
     const auto allowed = layout.allowed_owners(col);
@@ -56,11 +73,13 @@ InvariantReport check_invariants(const PillarLayout& layout,
     const auto [cx, cy] = layout.column_coord(col);
     const int owner = map.owner(col);
     if (!valid_rank(owner)) continue;  // already reported above
+    if (adopted(col)) continue;
     const std::pair<int, int> deltas[] = {{1, 0}, {0, 1}, {1, 1}, {1, -1}};
     for (const auto& [dx, dy] : deltas) {
       const int other = col_torus.rank_of({cx + dx, cy + dy});
       const int other_owner = map.owner(other);
       if (!valid_rank(other_owner)) continue;
+      if (adopted(other)) continue;
       if (!pe_torus.adjacent8(owner, other_owner)) {
         std::ostringstream os;
         os << "columns " << col << " (owner " << owner << ") and " << other

@@ -25,7 +25,15 @@ struct InvariantReport {
 //  * the owners of any two 8-adjacent columns are 8-neighbours (or equal)
 //    on the PE torus — the regular-communication guarantee,
 //  * no rank owns more than m^2 + 3(m-1)^2 columns (the paper's C' bound).
+//
+// `alive` (optional; alive[r] != 0 means rank r is running) relaxes the
+// rules for crash recovery: a column homed on a dead rank may be owned by
+// any live rank (the adopter), does not count toward the C' bound, and is
+// exempt from the adjacency rule — but owning any column from a dead rank
+// while dead yourself is still a violation. nullptr = everyone alive, the
+// strict paper invariants.
 InvariantReport check_invariants(const PillarLayout& layout,
-                                 const ColumnMap& map);
+                                 const ColumnMap& map,
+                                 const std::vector<char>* alive = nullptr);
 
 }  // namespace pcmd::core

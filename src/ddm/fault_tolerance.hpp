@@ -1,0 +1,28 @@
+// Fault-tolerance knobs shared by the parallel MD engines (the paper's
+// square-pillar ParallelMd and the 1-D slab baseline SlabMd).
+#pragma once
+
+#include "sim/reliable.hpp"
+
+namespace pcmd::ddm {
+
+struct FaultToleranceConfig {
+  // Route every wire exchange through a sim::ReliableChannel, masking
+  // dropped/corrupted/delayed messages (transient faults) exactly: the
+  // delivered bytes — and therefore the trajectory — match a fault-free
+  // run; only the virtual clocks and retry counters differ.
+  bool reliable = false;
+  sim::ReliablePolicy policy;
+  // Detect permanently crashed ranks (a peer silent past recv_timeout) and
+  // degrade gracefully: survivors re-adopt the dead rank's permanent cells
+  // and continue with its particles lost. Consistent adoption requires
+  // every survivor to observe the crash in the same phase, which the
+  // 8-neighbour digest traffic guarantees on a 3x3 process torus (each rank
+  // hears from every other rank every step). Only ParallelMd implements
+  // recovery; SlabMd ignores this flag (a ring cannot re-close around a
+  // dead rank without global renumbering).
+  bool recovery = false;
+  double recv_timeout = 5e-4;  // virtual seconds before a peer is presumed dead
+};
+
+}  // namespace pcmd::ddm

@@ -1,11 +1,14 @@
 #include "ddm/parallel_md.hpp"
 
 #include "ddm/wire.hpp"
+#include "md/checkpoint.hpp"
 #include "md/observables.hpp"
 #include "obs/collector.hpp"
+#include "sim/fault.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -49,22 +52,6 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
   if (config.rescale_temperature) {
     thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
-  if (config_.verify_invariants) {
-    sim::ProtocolChecker::Options options;
-    // Every message of the six-phase step protocol must stay on the paper's
-    // 8-neighbour stencil; no tag is exempt.
-    options.neighbor_torus = layout_.pe_torus();
-    checker_ = std::make_unique<sim::ProtocolChecker>(std::move(options));
-    engine_->set_checker(checker_.get());
-  }
-  if (config_.trace) {
-    config_.trace->on_attach(layout_.pe_count());
-    spans_.drift = config_.trace->intern("drift");
-    spans_.dlb = config_.trace->intern("dlb");
-    spans_.migrate = config_.trace->intern("migrate");
-    spans_.halo = config_.trace->intern("halo");
-    spans_.force = config_.trace->intern("force");
-  }
 
   ranks_.reserve(layout_.pe_count());
   for (int r = 0; r < layout_.pe_count(); ++r) {
@@ -80,7 +67,112 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
     ranks_[layout_.home_rank(col)]->owned.push_back(particle);
   }
 
-  // Initial force computation so the first step's drift has f(t).
+  finish_construction(false, {});
+}
+
+ParallelMd::ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
+                       const ParallelMdConfig& config)
+    : engine_(&engine),
+      box_(Box::cubic(1.0)),  // placeholder; restored below
+      config_(config),
+      layout_(config.pe_side, config.m),
+      grid_(Box::cubic(static_cast<double>(config.pe_side * config.m) *
+                       config.cutoff),
+            layout_.cells_axis(), layout_.cells_axis(), layout_.cells_axis()),
+      lj_(config.cutoff),
+      integrator_(config.dt),
+      protocol_(layout_, config.dlb) {
+  if (engine.size() != layout_.pe_count()) {
+    throw std::invalid_argument(
+        "ParallelMd: engine rank count must equal pe_side^2");
+  }
+  if (config.rescale_temperature) {
+    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
+  }
+
+  sim::Unpacker unpacker(md::open_checkpoint(md::CheckpointKind::kParallel,
+                                             checkpoint));
+  try {
+    const auto pe_side = unpacker.get<std::int32_t>();
+    const auto m = unpacker.get<std::int32_t>();
+    if (pe_side != config.pe_side || m != config.m) {
+      throw std::runtime_error(
+          "ParallelMd: checkpoint decomposition (pe_side=" +
+          std::to_string(pe_side) + ", m=" + std::to_string(m) +
+          ") does not match the config");
+    }
+    step_count_ = unpacker.get<std::int64_t>();
+    box_ = unpacker.get<Box>();
+    grid_ = md::CellGrid(box_, layout_.cells_axis(), layout_.cells_axis(),
+                         layout_.cells_axis());
+    if (!grid_.covers_cutoff(config.cutoff)) {
+      throw std::runtime_error(
+          "ParallelMd: checkpointed box too small for this cut-off");
+    }
+    std::vector<double> last_busy(static_cast<std::size_t>(layout_.pe_count()),
+                                  0.0);
+    ranks_.reserve(layout_.pe_count());
+    for (int r = 0; r < layout_.pe_count(); ++r) {
+      auto rank = std::make_unique<Rank>(layout_);
+      rank->owned = unpacker.get_vector<md::Particle>();
+      const auto owners = unpacker.get_vector<std::int32_t>();
+      if (static_cast<int>(owners.size()) != layout_.num_columns()) {
+        throw std::runtime_error(
+            "ParallelMd: checkpoint column table has the wrong size");
+      }
+      for (int col = 0; col < layout_.num_columns(); ++col) {
+        rank->map.set_owner(col, owners[static_cast<std::size_t>(col)]);
+      }
+      last_busy[static_cast<std::size_t>(r)] = unpacker.get<double>();
+      rank->force_seconds = unpacker.get<double>();
+      ranks_.push_back(std::move(rank));
+    }
+    if (!unpacker.exhausted()) {
+      throw std::runtime_error(
+          "ParallelMd: trailing bytes in checkpoint payload");
+    }
+    finish_construction(true, last_busy);
+  } catch (const std::out_of_range& e) {
+    throw std::runtime_error(std::string("ParallelMd: truncated checkpoint: ") +
+                             e.what());
+  }
+}
+
+void ParallelMd::finish_construction(
+    bool resume, const std::vector<double>& resume_last_busy) {
+  // The strict checker presumes lossless, crash-free traffic; leave it off
+  // when the run is deliberately faulty.
+  auto* injector = engine_->fault_injector();
+  const bool faulty = (injector != nullptr && !injector->plan().empty()) ||
+                      config_.fault_tolerance.recovery;
+  if (config_.verify_invariants && !faulty) {
+    sim::ProtocolChecker::Options options;
+    // Every message of the six-phase step protocol must stay on the paper's
+    // 8-neighbour stencil; no tag is exempt.
+    options.neighbor_torus = layout_.pe_torus();
+    checker_ = std::make_unique<sim::ProtocolChecker>(std::move(options));
+    engine_->set_checker(checker_.get());
+  }
+  if (config_.trace) {
+    config_.trace->on_attach(layout_.pe_count());
+    spans_.drift = config_.trace->intern("drift");
+    spans_.dlb = config_.trace->intern("dlb");
+    spans_.migrate = config_.trace->intern("migrate");
+    spans_.halo = config_.trace->intern("halo");
+    spans_.force = config_.trace->intern("force");
+    spans_.ctr_retransmissions = config_.trace->intern("retransmissions");
+    spans_.ctr_recv_timeouts = config_.trace->intern("recv_timeouts");
+    spans_.ctr_faults_injected = config_.trace->intern("faults_injected");
+  }
+  for (auto& rank : ranks_) {
+    rank->peer_alive.assign(static_cast<std::size_t>(layout_.pe_count()), 1);
+    rank->channel = sim::ReliableChannel(config_.fault_tolerance.policy);
+  }
+
+  // Initial force computation so the first step's drift has f(t). On resume
+  // the forces recompute bitwise from the restored positions; the restored
+  // busy times then overwrite what this phase charged, because they — not
+  // the init cost — drive the next DLB decision.
   engine_->run_phase([this](sim::Comm& comm) {
     send_halo(comm, *ranks_[comm.rank()], kTagInitHalo);
   });
@@ -106,6 +198,34 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
     rank.owned.assign(rank.with_halo.begin(),
                       rank.with_halo.begin() + rank.owned.size());
   });
+  if (resume) {
+    for (int r = 0; r < layout_.pe_count(); ++r) {
+      ranks_[static_cast<std::size_t>(r)]->last_busy =
+          resume_last_busy[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+sim::Buffer ParallelMd::checkpoint() const {
+  sim::Packer packer;
+  packer.put(static_cast<std::int32_t>(config_.pe_side));
+  packer.put(static_cast<std::int32_t>(config_.m));
+  packer.put(step_count_);
+  packer.put(box_);
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    const Rank& rank = *ranks_[static_cast<std::size_t>(r)];
+    packer.put_vector(rank.owned);
+    std::vector<std::int32_t> owners(
+        static_cast<std::size_t>(layout_.num_columns()));
+    for (int col = 0; col < layout_.num_columns(); ++col) {
+      owners[static_cast<std::size_t>(col)] =
+          static_cast<std::int32_t>(rank.map.owner(col));
+    }
+    packer.put_vector(owners);
+    packer.put(rank.last_busy);
+    packer.put(rank.force_seconds);
+  }
+  return md::seal_checkpoint(md::CheckpointKind::kParallel, packer.take());
 }
 
 ParallelMd::~ParallelMd() {
@@ -123,6 +243,16 @@ void ParallelMd::verify_step_invariants() const {
     checker_->reset();
   }
   if (dlb_active_this_step_) {
+    // After a crash in a recovery run the global view is only *eventually*
+    // consistent: survivors detect the death independently, so for a few
+    // steps some views still show the dead rank as an owner while its
+    // columns await adoption. The strict per-step check would flag that
+    // window as a bug; the settled state is asserted by the caller (and the
+    // chaos battery) via check_ownership() once stepping is done.
+    if (config_.fault_tolerance.recovery &&
+        engine_->alive_count() < engine_->size()) {
+      return;
+    }
     const core::InvariantReport report = check_ownership();
     if (!report.ok) {
       std::ostringstream os;
@@ -148,9 +278,69 @@ std::vector<int> ParallelMd::owned_columns(const Rank& rank,
 
 double ParallelMd::advance_compute(sim::Comm& comm, Rank& rank,
                                    double seconds) {
+  // Measure the actual clock movement, not the requested cost: an injected
+  // stall (sim/fault.hpp) stretches the interval, and the stretch must land
+  // in busy_accum for the DLB to see — and shed — the slow rank.
+  const double before = comm.clock();
   comm.advance(seconds);
-  rank.busy_accum += seconds;
-  return seconds;
+  const double elapsed = comm.clock() - before;
+  rank.busy_accum += elapsed;
+  return elapsed;
+}
+
+void ParallelMd::send_to(sim::Comm& comm, Rank& rank, int dst, int tag,
+                         sim::Buffer payload) {
+  if (config_.fault_tolerance.recovery &&
+      rank.peer_alive[static_cast<std::size_t>(dst)] == 0) {
+    return;  // survivors do not talk to the dead
+  }
+  if (config_.fault_tolerance.reliable) {
+    rank.channel.send(comm, dst, tag, payload);
+  } else {
+    comm.send(dst, tag, std::move(payload));
+  }
+}
+
+std::optional<sim::Buffer> ParallelMd::recv_from(sim::Comm& comm, Rank& rank,
+                                                 int src, int tag) {
+  const auto& ft = config_.fault_tolerance;
+  if (ft.recovery && rank.peer_alive[static_cast<std::size_t>(src)] == 0) {
+    return std::nullopt;  // already known dead; nothing was sent to us
+  }
+  if (!ft.recovery) {
+    if (ft.reliable) return rank.channel.recv(comm, src, tag);
+    return comm.recv(src, tag);
+  }
+  auto payload = ft.reliable
+                     ? rank.channel.recv_deadline(comm, src, tag,
+                                                  ft.recv_timeout)
+                     : comm.recv_deadline(src, tag, ft.recv_timeout);
+  if (!payload) on_peer_dead(rank, comm.rank(), src);
+  return payload;
+}
+
+void ParallelMd::on_peer_dead(Rank& rank, int me, int dead) {
+  rank.peer_alive[static_cast<std::size_t>(dead)] = 0;
+  // Re-adopt the dead rank's permanent cells: each column returns to its
+  // home rank, or to the lowest live rank when the home rank is dead too.
+  // Every survivor runs this rule on an identical view in the same phase
+  // (see FaultToleranceConfig::recovery), so the maps stay consistent
+  // without any extra communication.
+  int lowest_live = -1;
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    if (rank.peer_alive[static_cast<std::size_t>(r)] != 0) {
+      lowest_live = r;
+      break;
+    }
+  }
+  for (const int col : rank.map.columns_of(dead)) {
+    const int home = layout_.home_rank(col);
+    const int successor =
+        rank.peer_alive[static_cast<std::size_t>(home)] != 0 ? home
+                                                             : lowest_live;
+    rank.map.set_owner(col, successor);
+  }
+  (void)me;
 }
 
 void ParallelMd::span_begin(sim::Comm& comm, std::uint32_t name) const {
@@ -212,7 +402,7 @@ void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int tag) {
             {rank.owned[idx].id, rank.owned[idx].position});
       }
     }
-    comm.send(neighbors[k], tag, pack_halo(records));
+    send_to(comm, rank, neighbors[k], tag, pack_halo(records));
   }
 }
 
@@ -220,7 +410,9 @@ void ParallelMd::absorb_halo(sim::Comm& comm, Rank& rank, int tag) {
   const int me = comm.rank();
   rank.with_halo = rank.owned;
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
-    for (const auto& record : unpack_halo(comm.recv(nb, tag))) {
+    auto payload = recv_from(comm, rank, nb, tag);
+    if (!payload) continue;  // dead neighbour: its halo is gone this step
+    for (const auto& record : unpack_halo(std::move(*payload))) {
       md::Particle p;
       p.id = record.id;
       p.position = record.position;
@@ -246,7 +438,7 @@ void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm) {
     columns.push_back(static_cast<std::int32_t>(col));
   }
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
-    comm.send(nb, kTagDigest, pack_digest(rank.last_busy, columns));
+    send_to(comm, rank, nb, kTagDigest, pack_digest(rank.last_busy, columns));
   }
 }
 
@@ -257,9 +449,15 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
 
   rank.neighbor_times.assign(neighbors.size(), 0.0);
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    auto payload = recv_from(comm, rank, neighbors[k], kTagDigest);
+    if (!payload) {
+      // Dead neighbour: infinitely slow, so the DLB never targets it.
+      rank.neighbor_times[k] = std::numeric_limits<double>::infinity();
+      continue;
+    }
     double busy = 0.0;
     std::vector<std::int32_t> columns;
-    unpack_digest(comm.recv(neighbors[k], kTagDigest), busy, columns);
+    unpack_digest(std::move(*payload), busy, columns);
     rank.neighbor_times[k] = busy;
     for (const std::int32_t col : columns) {
       rank.map.set_owner(col, neighbors[k]);
@@ -279,7 +477,8 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
     times.neighbor_times = rank.neighbor_times;
     const core::DlbDecision decision = protocol_.decide(
         me, rank.map, times, [&](int col) { return column_load[col]; });
-    if (decision.target >= 0) {
+    if (decision.target >= 0 &&
+        rank.peer_alive[static_cast<std::size_t>(decision.target)] != 0) {
       core::DlbProtocol::apply(rank.map, decision);
       announce.target = decision.target;
       announce.column = decision.column;
@@ -299,12 +498,13 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
         }
       }
       rank.owned.erase(keep, rank.owned.end());
-      comm.send(decision.target, kTagTransfer, pack_particles(moving));
+      send_to(comm, rank, decision.target, kTagTransfer,
+              pack_particles(moving));
     }
     span_end(comm, spans_.dlb);
   }
   for (const int nb : neighbors) {
-    comm.send(nb, kTagAnnounce, pack_announce(announce));
+    send_to(comm, rank, nb, kTagAnnounce, pack_announce(announce));
   }
 
   // Round-1 migration: particles that drifted out of my columns.
@@ -327,7 +527,8 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
   }
   rank.owned.erase(keep, rank.owned.end());
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
-    comm.send(neighbors[k], kTagMigrate1, pack_particles(outgoing[k]));
+    send_to(comm, rank, neighbors[k], kTagMigrate1,
+            pack_particles(outgoing[k]));
   }
   span_end(comm, spans_.migrate);
 }
@@ -341,8 +542,9 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
   span_begin(comm, spans_.dlb);
   std::vector<int> transfers_to_me;
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
-    const AnnounceRecord announce =
-        unpack_announce(comm.recv(neighbors[k], kTagAnnounce));
+    auto payload = recv_from(comm, rank, neighbors[k], kTagAnnounce);
+    if (!payload) continue;  // dead neighbour announced nothing
+    const AnnounceRecord announce = unpack_announce(std::move(*payload));
     if (announce.target < 0) continue;
     rank.map.set_owner(announce.column, announce.target);
     if (announce.target == me) {
@@ -350,8 +552,9 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
     }
   }
   for (const int k : transfers_to_me) {
-    for (const auto& p :
-         unpack_particles(comm.recv(neighbors[k], kTagTransfer))) {
+    auto payload = recv_from(comm, rank, neighbors[k], kTagTransfer);
+    if (!payload) continue;
+    for (const auto& p : unpack_particles(std::move(*payload))) {
       rank.owned.push_back(p);
     }
   }
@@ -361,7 +564,9 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
   span_begin(comm, spans_.migrate);
   std::vector<md::ParticleVector> forward(neighbors.size());
   for (const int nb : neighbors) {
-    for (const auto& p : unpack_particles(comm.recv(nb, kTagMigrate1))) {
+    auto payload = recv_from(comm, rank, nb, kTagMigrate1);
+    if (!payload) continue;
+    for (const auto& p : unpack_particles(std::move(*payload))) {
       const int owner = rank.map.owner(column_of_position(p.position));
       if (owner == me) {
         rank.owned.push_back(p);
@@ -377,7 +582,8 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
     }
   }
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
-    comm.send(neighbors[k], kTagMigrate2, pack_particles(forward[k]));
+    send_to(comm, rank, neighbors[k], kTagMigrate2,
+            pack_particles(forward[k]));
   }
   span_end(comm, spans_.migrate);
 }
@@ -387,7 +593,9 @@ void ParallelMd::phase_d_halo_send(sim::Comm& comm) {
   Rank& rank = *ranks_[me];
   span_begin(comm, spans_.migrate);
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
-    for (const auto& p : unpack_particles(comm.recv(nb, kTagMigrate2))) {
+    auto payload = recv_from(comm, rank, nb, kTagMigrate2);
+    if (!payload) continue;
+    for (const auto& p : unpack_particles(std::move(*payload))) {
       const int owner = rank.map.owner(column_of_position(p.position));
       if (owner != me) {
         throw std::logic_error(
@@ -496,10 +704,36 @@ ParallelStepStats ParallelMd::step() {
     verify_step_invariants();
   }
 
-  const Rank& r0 = *ranks_[0];
+  // Reduced results are read from the lowest rank that is still running —
+  // every live rank holds identical copies.
+  int reporter = 0;
+  while (reporter < engine_->size() - 1 && !engine_->alive(reporter)) {
+    ++reporter;
+  }
+  const Rank& r0 = *ranks_[static_cast<std::size_t>(reporter)];
   ParallelStepStats stats;
   stats.step = step_count_;
   stats.t_step = engine_->makespan() - makespan_before;
+  stats.live_ranks = engine_->alive_count();
+
+  std::uint64_t retransmissions = 0;
+  std::uint64_t corrupt_discarded = 0;
+  for (const auto& rank : ranks_) {
+    const auto& cc = rank->channel.counters();
+    retransmissions += cc.retransmissions;
+    corrupt_discarded += cc.corrupt_discarded;
+  }
+  // Engine-level count: one per expired deadline, whichever path took it.
+  std::uint64_t timeouts = 0;
+  for (int r = 0; r < engine_->size(); ++r) {
+    timeouts += engine_->counters(r).recv_timeouts;
+  }
+  stats.retransmissions = retransmissions - prev_retransmissions_;
+  stats.corrupt_discarded = corrupt_discarded - prev_corrupt_discarded_;
+  stats.recv_timeouts = timeouts - prev_recv_timeouts_;
+  prev_retransmissions_ = retransmissions;
+  prev_corrupt_discarded_ = corrupt_discarded;
+  prev_recv_timeouts_ = timeouts;
   stats.potential_energy = r0.sums[0];
   stats.kinetic_energy = r0.sums[1];
   stats.pair_evaluations = static_cast<std::uint64_t>(r0.sums[2]);
@@ -522,7 +756,24 @@ ParallelStepStats ParallelMd::step() {
   stats.max_empty_cells = empty_b;
   stats.max_empty_domain_cells = cells_b;
 
-  stats.force_avg = r0.sums[6] / static_cast<double>(ranks_.size());
+  stats.force_avg =
+      r0.sums[6] / static_cast<double>(std::max(stats.live_ranks, 1));
+
+  if (config_.trace) {
+    // Running totals as Chrome-trace counter tracks, next to the spans.
+    const double now = engine_->makespan();
+    config_.trace->counter(reporter, spans_.ctr_retransmissions, now,
+                           static_cast<double>(retransmissions));
+    config_.trace->counter(reporter, spans_.ctr_recv_timeouts, now,
+                           static_cast<double>(timeouts));
+    if (auto* injector = engine_->fault_injector()) {
+      const auto fc = injector->counters();
+      config_.trace->counter(
+          reporter, spans_.ctr_faults_injected, now,
+          static_cast<double>(fc.messages_dropped + fc.messages_corrupted +
+                              fc.messages_delayed));
+    }
+  }
   return stats;
 }
 
@@ -534,7 +785,9 @@ ParallelStepStats ParallelMd::run(std::int64_t steps) {
 
 md::ParticleVector ParallelMd::gather_particles() const {
   md::ParticleVector all;
-  for (const auto& rank : ranks_) {
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    if (!engine_->alive(r)) continue;  // a dead rank's particles are lost
+    const auto& rank = ranks_[static_cast<std::size_t>(r)];
     all.insert(all.end(), rank->owned.begin(), rank->owned.end());
   }
   std::sort(all.begin(), all.end(),
@@ -552,9 +805,11 @@ core::InvariantReport ParallelMd::check_ownership() const {
   core::InvariantReport report;
 
   // Authoritative ownership: rank r owns column c iff r's *own* map says so.
-  // Exactly one rank may claim each column.
+  // Exactly one rank may claim each column. Crashed ranks' frozen views are
+  // excluded — after recovery their columns belong to the adopters.
   std::vector<int> truth(layout_.num_columns(), -1);
   for (int r = 0; r < layout_.pe_count(); ++r) {
+    if (!engine_->alive(r)) continue;
     for (const int col : ranks_[r]->map.columns_of(r)) {
       if (truth[col] != -1) {
         std::ostringstream os;
@@ -575,7 +830,13 @@ core::InvariantReport ParallelMd::check_ownership() const {
       authoritative.set_owner(col, truth[col]);
     }
   }
-  const auto structural = core::check_invariants(layout_, authoritative);
+  // Crash-aware structural check: columns homed on dead ranks are adopted
+  // by survivors and exempt from the static placement rules.
+  std::vector<char> alive(static_cast<std::size_t>(layout_.pe_count()), 1);
+  for (int r = 0; r < layout_.pe_count(); ++r) {
+    alive[static_cast<std::size_t>(r)] = engine_->alive(r) ? 1 : 0;
+  }
+  const auto structural = core::check_invariants(layout_, authoritative, &alive);
   if (!structural.ok) {
     for (const auto& v : structural.violations) {
       report.fail(v);
@@ -588,6 +849,7 @@ core::InvariantReport ParallelMd::check_ownership() const {
   // one step's announcements; the protocol never reads them.)
   const auto& col_torus = layout_.column_torus();
   for (int r = 0; r < layout_.pe_count(); ++r) {
+    if (!engine_->alive(r)) continue;
     for (const int col : ranks_[r]->map.columns_of(r)) {
       const auto [cx, cy] = layout_.column_coord(col);
       for (int dx = -1; dx <= 1; ++dx) {
@@ -606,6 +868,7 @@ core::InvariantReport ParallelMd::check_ownership() const {
   }
   // Every particle must sit in a column its holder owns.
   for (int r = 0; r < layout_.pe_count(); ++r) {
+    if (!engine_->alive(r)) continue;
     for (const auto& p : ranks_[r]->owned) {
       const int col = column_of_position(p.position);
       if (ranks_[r]->map.owner(col) != r) {

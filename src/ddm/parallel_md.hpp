@@ -30,6 +30,7 @@
 #include "core/dlb_protocol.hpp"
 #include "core/invariant.hpp"
 #include "core/pillar_layout.hpp"
+#include "ddm/fault_tolerance.hpp"
 #include "md/cell_grid.hpp"
 #include "md/integrator.hpp"
 #include "md/lj.hpp"
@@ -37,6 +38,7 @@
 #include "md/thermostat.hpp"
 #include "sim/checker.hpp"
 #include "sim/comm.hpp"
+#include "sim/reliable.hpp"
 
 #include <cstdint>
 #include <memory>
@@ -72,6 +74,11 @@ struct ParallelMdConfig {
   // send/recv/collective events land in between the spans. Not owned; must
   // outlive this object. nullptr (default) records nothing.
   obs::TraceCollector* trace = nullptr;
+  // Reliable delivery / crash recovery (see FaultToleranceConfig). When
+  // recovery is on, or a FaultInjector with a lossy plan is attached to the
+  // engine, the strict protocol checker is not installed — dropped copies
+  // and dead ranks are expected traffic anomalies there, not bugs.
+  FaultToleranceConfig fault_tolerance;
 };
 
 // Per-step statistics (globally reduced; identical on every rank).
@@ -95,6 +102,11 @@ struct ParallelStepStats {
   int max_domain_empty = 0;      // empty cells of that same PE
   int max_empty_cells = 0;       // most empty cells on any PE
   int max_empty_domain_cells = 0;  // cells of that PE
+  // Fault-tolerance accounting, summed over ranks for this step only:
+  std::uint64_t retransmissions = 0;   // reliable-channel retries
+  std::uint64_t corrupt_discarded = 0; // frames dropped by the CRC check
+  std::uint64_t recv_timeouts = 0;     // expired recv deadlines
+  int live_ranks = 0;                  // ranks still executing phases
 };
 
 class ParallelMd {
@@ -103,6 +115,13 @@ class ParallelMd {
   // (m * pe_side) * cell_edge with cell_edge >= cutoff.
   ParallelMd(sim::Engine& engine, const Box& box,
              const md::ParticleVector& initial, const ParallelMdConfig& config);
+  // Resumes from a checkpoint() buffer: particle order, ownership, DLB busy
+  // times and the step counter are restored so the continued trajectory is
+  // bitwise identical to the uninterrupted run. The config must describe
+  // the same (pe_side, m) decomposition; throws std::runtime_error on a
+  // mismatched or corrupted checkpoint.
+  ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
+             const ParallelMdConfig& config);
   // Detaches the protocol checker from the engine when one was installed.
   ~ParallelMd();
 
@@ -115,6 +134,11 @@ class ParallelMd {
   ParallelStepStats run(std::int64_t steps);
 
   std::int64_t step_count() const { return step_count_; }
+
+  // Serializes the full engine state (versioned, checksummed; see
+  // md/checkpoint.hpp). Call between steps.
+  sim::Buffer checkpoint() const;
+
   const core::PillarLayout& layout() const { return layout_; }
   const md::CellGrid& grid() const { return grid_; }
   const Box& box() const { return box_; }
@@ -142,6 +166,9 @@ class ParallelMd {
     double busy_accum = 0.0;  // this step's compute seconds so far
     double force_seconds = 0.0;
     int transfers_made = 0;
+    // Fault tolerance (used when config.fault_tolerance enables them):
+    sim::ReliableChannel channel;
+    std::vector<char> peer_alive;  // this rank's view; all 1 initially
     // Scratch reused across phases of one step:
     md::ParticleVector with_halo;
     md::CellBins bins;
@@ -169,6 +196,20 @@ class ParallelMd {
   void absorb_halo(sim::Comm& comm, Rank& rank, int tag);
   double advance_compute(sim::Comm& comm, Rank& rank, double seconds);
 
+  // Fault-tolerant transport: all wire traffic funnels through these. With
+  // fault_tolerance.reliable the payload rides the rank's ReliableChannel;
+  // with .recovery a silent peer is declared dead (recv_from returns
+  // nullopt) and its columns are adopted.
+  void send_to(sim::Comm& comm, Rank& rank, int dst, int tag,
+               sim::Buffer payload);
+  std::optional<sim::Buffer> recv_from(sim::Comm& comm, Rank& rank, int src,
+                                       int tag);
+  void on_peer_dead(Rank& rank, int me, int dead);
+  // Shared post-construction work: checker/trace attachment and the initial
+  // halo + force phases. `resume` preserves checkpointed busy times.
+  void finish_construction(bool resume,
+                           const std::vector<double>& resume_last_busy);
+
   // Span instrumentation (no-ops when config_.trace is null). Ids are
   // interned once in the constructor so the per-event path takes no lock.
   struct SpanNames {
@@ -177,6 +218,10 @@ class ParallelMd {
     std::uint32_t migrate = 0;
     std::uint32_t halo = 0;
     std::uint32_t force = 0;
+    // Counter tracks (running totals) for the fault-tolerance layer:
+    std::uint32_t ctr_retransmissions = 0;
+    std::uint32_t ctr_recv_timeouts = 0;
+    std::uint32_t ctr_faults_injected = 0;
   };
   void span_begin(sim::Comm& comm, std::uint32_t name) const;
   void span_end(sim::Comm& comm, std::uint32_t name) const;
@@ -195,6 +240,10 @@ class ParallelMd {
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::int64_t step_count_ = 0;
   bool dlb_active_this_step_ = false;
+  // Previous step()'s cumulative channel totals, for per-step deltas.
+  std::uint64_t prev_retransmissions_ = 0;
+  std::uint64_t prev_corrupt_discarded_ = 0;
+  std::uint64_t prev_recv_timeouts_ = 0;
 
   // End-of-step verification (verify_invariants only): SPMD protocol trace
   // clean and, on DLB steps, the paper's structural invariants.

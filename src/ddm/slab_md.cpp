@@ -1,12 +1,14 @@
 #include "ddm/slab_md.hpp"
 
 #include "ddm/wire.hpp"
+#include "md/checkpoint.hpp"
 #include "md/observables.hpp"
 #include "obs/collector.hpp"
 
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace pcmd::ddm {
 
@@ -33,11 +35,11 @@ static_assert(std::is_trivially_copyable_v<SlabInfo>);
 sim::Buffer pack_info(const SlabInfo& info) {
   sim::Packer packer;
   packer.put(info);
-  return packer.take();
+  return seal_payload(packer.take());
 }
 
 SlabInfo unpack_info(sim::Buffer buffer) {
-  sim::Unpacker unpacker(std::move(buffer));
+  sim::Unpacker unpacker(open_payload("slab_info", std::move(buffer)));
   return unpacker.get<SlabInfo>();
 }
 
@@ -95,14 +97,6 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
   if (config.rescale_temperature) {
     thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
-  if (config_.trace) {
-    config_.trace->on_attach(config.pe_count);
-    spans_.drift = config_.trace->intern("drift");
-    spans_.shift = config_.trace->intern("shift");
-    spans_.migrate = config_.trace->intern("migrate");
-    spans_.halo = config_.trace->intern("halo");
-    spans_.force = config_.trace->intern("force");
-  }
 
   ranks_.reserve(config.pe_count);
   for (int r = 0; r < config.pe_count; ++r) {
@@ -128,7 +122,97 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
     }
   }
 
-  // Initial force computation.
+  finish_construction(false, {});
+}
+
+SlabMd::SlabMd(sim::Engine& engine, const sim::Buffer& checkpoint,
+               const SlabMdConfig& config)
+    : engine_(&engine),
+      box_(Box::cubic(1.0)),  // placeholder; restored below
+      config_(config),
+      grid_(Box::cubic(static_cast<double>(config.pe_count) * config.cutoff),
+            config.pe_count, config.pe_count, config.pe_count),
+      lj_(config.cutoff),
+      integrator_(config.dt) {
+  if (config.pe_count < 3) {
+    throw std::invalid_argument("SlabMd: need at least 3 PEs on the ring");
+  }
+  if (engine.size() != config.pe_count) {
+    throw std::invalid_argument("SlabMd: engine rank count mismatch");
+  }
+  if (config.rescale_temperature) {
+    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
+  }
+
+  sim::Unpacker unpacker(
+      md::open_checkpoint(md::CheckpointKind::kSlab, checkpoint));
+  try {
+    const auto pe_count = unpacker.get<std::int32_t>();
+    if (pe_count != config.pe_count) {
+      throw std::runtime_error("SlabMd: checkpoint ring size (pe_count=" +
+                               std::to_string(pe_count) +
+                               ") does not match the config");
+    }
+    const auto layers = unpacker.get<std::int32_t>();
+    step_count_ = unpacker.get<std::int64_t>();
+    box_ = unpacker.get<Box>();
+    grid_ = config.cells_per_axis > 0
+                ? md::CellGrid(box_, config.cells_per_axis,
+                               config.cells_per_axis, config.cells_per_axis)
+                : md::CellGrid(box_, config.cutoff);
+    if (grid_.nx() != layers) {
+      throw std::runtime_error(
+          "SlabMd: checkpoint layer count (" + std::to_string(layers) +
+          ") does not match the config's grid (" + std::to_string(grid_.nx()) +
+          ")");
+    }
+    if (!grid_.covers_cutoff(config.cutoff)) {
+      throw std::runtime_error(
+          "SlabMd: checkpointed box too small for this cut-off");
+    }
+    std::vector<double> last_busy(static_cast<std::size_t>(config.pe_count),
+                                  0.0);
+    ranks_.reserve(config.pe_count);
+    for (int r = 0; r < config.pe_count; ++r) {
+      auto rank = std::make_unique<Rank>();
+      rank->owned = unpacker.get_vector<md::Particle>();
+      rank->lo = unpacker.get<std::int32_t>();
+      rank->hi = unpacker.get<std::int32_t>();
+      if (rank->hi - rank->lo < 1 || rank->lo < 0 || rank->hi > grid_.nx()) {
+        throw std::runtime_error("SlabMd: checkpoint slab range invalid");
+      }
+      last_busy[static_cast<std::size_t>(r)] = unpacker.get<double>();
+      rank->force_seconds = unpacker.get<double>();
+      ranks_.push_back(std::move(rank));
+    }
+    if (!unpacker.exhausted()) {
+      throw std::runtime_error("SlabMd: trailing bytes in checkpoint payload");
+    }
+    finish_construction(true, last_busy);
+  } catch (const std::out_of_range& e) {
+    throw std::runtime_error(std::string("SlabMd: truncated checkpoint: ") +
+                             e.what());
+  }
+}
+
+void SlabMd::finish_construction(bool resume,
+                                 const std::vector<double>& resume_last_busy) {
+  if (config_.trace) {
+    config_.trace->on_attach(config_.pe_count);
+    spans_.drift = config_.trace->intern("drift");
+    spans_.shift = config_.trace->intern("shift");
+    spans_.migrate = config_.trace->intern("migrate");
+    spans_.halo = config_.trace->intern("halo");
+    spans_.force = config_.trace->intern("force");
+  }
+  for (auto& rank : ranks_) {
+    rank->channel = sim::ReliableChannel(config_.fault_tolerance.policy);
+  }
+
+  // Initial force computation so the first step's drift has f(t). On resume
+  // the forces recompute bitwise from the restored positions; the restored
+  // busy times then overwrite what this phase charged, because they — not
+  // the init cost — drive the next boundary-shift decision.
   engine_->run_phase([this](sim::Comm& comm) {
     Rank& rank = *ranks_[comm.rank()];
     auto pack_layer = [&](int layer) {
@@ -140,14 +224,16 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
       }
       return pack_halo(records);
     };
-    comm.send(left(comm.rank()), kSlabInitHalo, pack_layer(rank.lo));
-    comm.send(right(comm.rank()), kSlabInitHalo, pack_layer(rank.hi - 1));
+    send_to(comm, rank, left(comm.rank()), kSlabInitHalo, pack_layer(rank.lo));
+    send_to(comm, rank, right(comm.rank()), kSlabInitHalo,
+            pack_layer(rank.hi - 1));
   });
   engine_->run_phase([this](sim::Comm& comm) {
     Rank& rank = *ranks_[comm.rank()];
     rank.with_halo = rank.owned;
     for (const int nb : {left(comm.rank()), right(comm.rank())}) {
-      for (const auto& record : unpack_halo(comm.recv(nb, kSlabInitHalo))) {
+      for (const auto& record :
+           unpack_halo(recv_from(comm, rank, nb, kSlabInitHalo))) {
         md::Particle p;
         p.id = record.id;
         p.position = record.position;
@@ -165,6 +251,43 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
     rank.owned.assign(rank.with_halo.begin(),
                       rank.with_halo.begin() + rank.owned.size());
   });
+  if (resume) {
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      ranks_[r]->last_busy = resume_last_busy[r];
+    }
+  }
+}
+
+sim::Buffer SlabMd::checkpoint() const {
+  sim::Packer packer;
+  packer.put(static_cast<std::int32_t>(config_.pe_count));
+  packer.put(static_cast<std::int32_t>(grid_.nx()));
+  packer.put(step_count_);
+  packer.put(box_);
+  for (const auto& rank : ranks_) {
+    packer.put_vector(rank->owned);
+    packer.put(static_cast<std::int32_t>(rank->lo));
+    packer.put(static_cast<std::int32_t>(rank->hi));
+    packer.put(rank->last_busy);
+    packer.put(rank->force_seconds);
+  }
+  return md::seal_checkpoint(md::CheckpointKind::kSlab, packer.take());
+}
+
+void SlabMd::send_to(sim::Comm& comm, Rank& rank, int dst, int tag,
+                     sim::Buffer payload) {
+  if (config_.fault_tolerance.reliable) {
+    rank.channel.send(comm, dst, tag, payload);
+  } else {
+    comm.send(dst, tag, std::move(payload));
+  }
+}
+
+sim::Buffer SlabMd::recv_from(sim::Comm& comm, Rank& rank, int src, int tag) {
+  if (config_.fault_tolerance.reliable) {
+    return rank.channel.recv(comm, src, tag);
+  }
+  return comm.recv(src, tag);
 }
 
 void SlabMd::span_begin(sim::Comm& comm, std::uint32_t name) const {
@@ -229,15 +352,17 @@ void SlabMd::phase_a_drift_and_times(sim::Comm& comm) {
   info.low_layer_load = layer_load(rank, rank.lo);
   info.high_layer_load = layer_load(rank, rank.hi - 1);
   info.total_load = static_cast<double>(rank.owned.size());
-  comm.send(left(comm.rank()), kSlabInfo, pack_info(info));
-  comm.send(right(comm.rank()), kSlabInfo, pack_info(info));
+  send_to(comm, rank, left(comm.rank()), kSlabInfo, pack_info(info));
+  send_to(comm, rank, right(comm.rank()), kSlabInfo, pack_info(info));
 }
 
 void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
   const int me = comm.rank();
   Rank& rank = *ranks_[me];
-  const SlabInfo left_info = unpack_info(comm.recv(left(me), kSlabInfo));
-  const SlabInfo right_info = unpack_info(comm.recv(right(me), kSlabInfo));
+  const SlabInfo left_info =
+      unpack_info(recv_from(comm, rank, left(me), kSlabInfo));
+  const SlabInfo right_info =
+      unpack_info(recv_from(comm, rank, right(me), kSlabInfo));
 
   SlabInfo my_info;
   my_info.busy = rank.last_busy;
@@ -323,10 +448,10 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
   }
   rank.owned.erase(keep, rank.owned.end());
 
-  comm.send(left(me), kSlabTransfer, pack_particles(to_left));
-  comm.send(right(me), kSlabTransfer, pack_particles(to_right));
-  comm.send(left(me), kSlabMigrate, pack_particles(migrate_left));
-  comm.send(right(me), kSlabMigrate, pack_particles(migrate_right));
+  send_to(comm, rank, left(me), kSlabTransfer, pack_particles(to_left));
+  send_to(comm, rank, right(me), kSlabTransfer, pack_particles(to_right));
+  send_to(comm, rank, left(me), kSlabMigrate, pack_particles(migrate_left));
+  send_to(comm, rank, right(me), kSlabMigrate, pack_particles(migrate_right));
   span_end(comm, spans_.migrate);
 }
 
@@ -335,10 +460,12 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
   Rank& rank = *ranks_[me];
   span_begin(comm, spans_.migrate);
   for (const int nb : {left(me), right(me)}) {
-    for (const auto& p : unpack_particles(comm.recv(nb, kSlabTransfer))) {
+    for (const auto& p :
+         unpack_particles(recv_from(comm, rank, nb, kSlabTransfer))) {
       rank.owned.push_back(p);
     }
-    for (const auto& p : unpack_particles(comm.recv(nb, kSlabMigrate))) {
+    for (const auto& p :
+         unpack_particles(recv_from(comm, rank, nb, kSlabMigrate))) {
       const int layer = layer_of_position(p.position);
       if (layer < rank.lo || layer >= rank.hi) {
         throw std::logic_error("SlabMd: migrant delivered to wrong slab");
@@ -358,8 +485,8 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
     }
     return pack_halo(records);
   };
-  comm.send(left(me), kSlabHalo, pack_layer(rank.lo));
-  comm.send(right(me), kSlabHalo, pack_layer(rank.hi - 1));
+  send_to(comm, rank, left(me), kSlabHalo, pack_layer(rank.lo));
+  send_to(comm, rank, right(me), kSlabHalo, pack_layer(rank.hi - 1));
   span_end(comm, spans_.halo);
 }
 
@@ -369,7 +496,8 @@ void SlabMd::phase_d_forces(sim::Comm& comm) {
   span_begin(comm, spans_.halo);
   rank.with_halo = rank.owned;
   for (const int nb : {left(me), right(me)}) {
-    for (const auto& record : unpack_halo(comm.recv(nb, kSlabHalo))) {
+    for (const auto& record :
+         unpack_halo(recv_from(comm, rank, nb, kSlabHalo))) {
       md::Particle p;
       p.id = record.id;
       p.position = record.position;

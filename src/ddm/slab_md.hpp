@@ -17,12 +17,14 @@
 // bench/ablation_baseline_1d.
 #pragma once
 
+#include "ddm/fault_tolerance.hpp"
 #include "md/cell_grid.hpp"
 #include "md/integrator.hpp"
 #include "md/lj.hpp"
 #include "md/particle.hpp"
 #include "md/thermostat.hpp"
 #include "sim/comm.hpp"
+#include "sim/reliable.hpp"
 
 #include <cstdint>
 #include <memory>
@@ -50,6 +52,10 @@ struct SlabMdConfig {
   // Observability: sub-step spans (drift, shift, migrate, halo, force) in
   // virtual time; same contract as ParallelMdConfig::trace. Not owned.
   obs::TraceCollector* trace = nullptr;
+  // Reliable delivery (see FaultToleranceConfig). The slab ring has no
+  // crash recovery — `recovery` is ignored here — but `reliable` masks
+  // transient faults exactly as in ParallelMd.
+  FaultToleranceConfig fault_tolerance;
 };
 
 struct SlabStepStats {
@@ -68,12 +74,23 @@ class SlabMd {
  public:
   SlabMd(sim::Engine& engine, const Box& box,
          const md::ParticleVector& initial, const SlabMdConfig& config);
+  // Resumes from a checkpoint() buffer: particle order, slab boundaries and
+  // busy times are restored so the continued trajectory is bitwise identical
+  // to the uninterrupted run. The config must describe the same (pe_count,
+  // cells) decomposition; throws std::runtime_error on a mismatched or
+  // corrupted checkpoint.
+  SlabMd(sim::Engine& engine, const sim::Buffer& checkpoint,
+         const SlabMdConfig& config);
 
   SlabStepStats step();
   SlabStepStats run(std::int64_t steps);
 
   std::int64_t step_count() const { return step_count_; }
   const md::CellGrid& grid() const { return grid_; }
+
+  // Serializes the full engine state (versioned, checksummed; see
+  // md/checkpoint.hpp). Call between steps.
+  sim::Buffer checkpoint() const;
 
   // ---- validation / diagnostics (outside the SPMD model) ----
   md::ParticleVector gather_particles() const;
@@ -95,6 +112,7 @@ class SlabMd {
     double busy_accum = 0.0;
     double force_seconds = 0.0;
     int shifts_made = 0;
+    sim::ReliableChannel channel;  // used when fault_tolerance.reliable
     md::ParticleVector with_halo;
     md::CellBins bins;
     std::vector<double> sums, maxes, mins;
@@ -111,6 +129,16 @@ class SlabMd {
   void phase_c_absorb_and_halo(sim::Comm& comm);
   void phase_d_forces(sim::Comm& comm);
   void phase_e_finish(sim::Comm& comm);
+
+  // Fault-tolerant transport: all ring traffic funnels through these; with
+  // fault_tolerance.reliable the payload rides the rank's ReliableChannel.
+  void send_to(sim::Comm& comm, Rank& rank, int dst, int tag,
+               sim::Buffer payload);
+  sim::Buffer recv_from(sim::Comm& comm, Rank& rank, int src, int tag);
+  // Shared post-construction work: trace attachment and the initial halo +
+  // force phases. `resume` preserves checkpointed busy times.
+  void finish_construction(bool resume,
+                           const std::vector<double>& resume_last_busy);
 
   // Span instrumentation (no-ops when config_.trace is null); ids interned
   // once in the constructor.

@@ -1,7 +1,9 @@
 #include "ddm/wire.hpp"
 
 #include "sim/comm.hpp"
+#include "util/checksum.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -9,14 +11,56 @@
 namespace pcmd::ddm {
 
 namespace {
+
+constexpr std::uint32_t kWireMagic = 0x504D4457u;  // "PMDW"
+
+}  // namespace
+
+// Prepends the {magic, crc} wire header to a packed payload.
+sim::Buffer seal_payload(sim::Buffer body) {
+  sim::Buffer out(kWireHeaderBytes + body.size());
+  const std::uint32_t crc = pcmd::crc32(body.data(), body.size());
+  std::memcpy(out.data(), &kWireMagic, sizeof(kWireMagic));
+  std::memcpy(out.data() + 4, &crc, sizeof(crc));
+  if (!body.empty()) {
+    std::memcpy(out.data() + kWireHeaderBytes, body.data(), body.size());
+  }
+  return out;
+}
+
+// Verifies and strips the wire header. Too-short buffers are truncation
+// (ProtocolError); a magic or CRC mismatch is in-flight corruption
+// (ChecksumError).
+sim::Buffer open_payload(const char* what, sim::Buffer buffer) {
+  if (buffer.size() < kWireHeaderBytes) {
+    throw sim::ProtocolError(std::string("unpack_") + what +
+                             ": buffer shorter than the wire header");
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&magic, buffer.data(), sizeof(magic));
+  std::memcpy(&crc, buffer.data() + 4, sizeof(crc));
+  const std::uint32_t actual = pcmd::crc32(
+      buffer.data() + kWireHeaderBytes, buffer.size() - kWireHeaderBytes);
+  if (magic != kWireMagic || crc != actual) {
+    throw sim::ChecksumError(std::string("unpack_") + what +
+                             ": checksum mismatch — payload corrupted in "
+                             "flight");
+  }
+  return sim::Buffer(buffer.begin() + kWireHeaderBytes, buffer.end());
+}
+
+namespace {
+
 // Runs one message's unpacking with uniform error handling: a short or
-// corrupted buffer (Unpacker throws std::out_of_range) and trailing bytes
+// misshapen buffer (Unpacker throws std::out_of_range) and trailing bytes
 // both become sim::ProtocolError with the message kind in the text, so a
 // malformed payload reads as the protocol violation it is rather than a
-// generic range error.
+// generic range error. The wire header is verified (ChecksumError) before
+// any field is read.
 template <typename F>
 auto checked_unpack(const char* what, sim::Buffer buffer, F&& body) {
-  sim::Unpacker unpacker(std::move(buffer));
+  sim::Unpacker unpacker(open_payload(what, std::move(buffer)));
   try {
     auto value = body(unpacker);
     if (!unpacker.exhausted()) {
@@ -38,7 +82,7 @@ sim::Buffer pack_digest(double busy_seconds,
   sim::Packer packer;
   packer.put(DigestHeader{busy_seconds});
   packer.put_vector(columns);
-  return packer.take();
+  return seal_payload(packer.take());
 }
 
 void unpack_digest(sim::Buffer buffer, double& busy_seconds,
@@ -55,7 +99,7 @@ void unpack_digest(sim::Buffer buffer, double& busy_seconds,
 sim::Buffer pack_announce(const AnnounceRecord& record) {
   sim::Packer packer;
   packer.put(record);
-  return packer.take();
+  return seal_payload(packer.take());
 }
 
 AnnounceRecord unpack_announce(sim::Buffer buffer) {
@@ -67,7 +111,7 @@ AnnounceRecord unpack_announce(sim::Buffer buffer) {
 sim::Buffer pack_particles(const std::vector<md::Particle>& particles) {
   sim::Packer packer;
   packer.put_vector(particles);
-  return packer.take();
+  return seal_payload(packer.take());
 }
 
 std::vector<md::Particle> unpack_particles(sim::Buffer buffer) {
@@ -80,7 +124,7 @@ std::vector<md::Particle> unpack_particles(sim::Buffer buffer) {
 sim::Buffer pack_halo(const std::vector<HaloRecord>& records) {
   sim::Packer packer;
   packer.put_vector(records);
-  return packer.take();
+  return seal_payload(packer.take());
 }
 
 std::vector<HaloRecord> unpack_halo(sim::Buffer buffer) {

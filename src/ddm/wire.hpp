@@ -3,6 +3,12 @@
 // Message tags and payload layouts are fixed here so the packing code in the
 // engine and any test double stay in sync. All records are trivially
 // copyable and go through sim::Packer/Unpacker.
+//
+// Every pack_* seals the payload under an 8-byte header {magic, CRC32}; the
+// matching unpack_* verifies it first. A payload whose bytes were flipped in
+// flight throws sim::ChecksumError ("bad link"), while a truncated or
+// misshapen payload throws plain sim::ProtocolError ("bad code") — the
+// fault-injection tests rely on the distinction.
 #pragma once
 
 #include "md/particle.hpp"
@@ -42,10 +48,14 @@ struct AnnounceRecord {
 };
 static_assert(std::is_trivially_copyable_v<AnnounceRecord>);
 
+// Bytes pack_* prepends to every payload: {u32 magic, u32 crc32}.
+inline constexpr std::size_t kWireHeaderBytes = 8;
+
 // Packing helpers -----------------------------------------------------------
 //
-// Every unpack_* validates the whole buffer: truncated or corrupted payloads
-// (including trailing bytes after the last field) throw sim::ProtocolError.
+// Every unpack_* validates the whole buffer: a failed checksum throws
+// sim::ChecksumError; truncated or misshapen payloads (including trailing
+// bytes after the last field) throw sim::ProtocolError.
 
 sim::Buffer pack_digest(double busy_seconds,
                         const std::vector<std::int32_t>& columns);
@@ -60,5 +70,13 @@ std::vector<md::Particle> unpack_particles(sim::Buffer buffer);
 
 sim::Buffer pack_halo(const std::vector<HaloRecord>& records);
 std::vector<HaloRecord> unpack_halo(sim::Buffer buffer);
+
+// Generic sealed payloads, for engine-local records that do not warrant a
+// named pack_*/unpack_* pair (e.g. the slab engine's boundary-info records):
+// seal_payload prepends the same {magic, crc} header; open_payload verifies
+// and strips it with the same ChecksumError/ProtocolError split, tagging
+// errors with `what`.
+sim::Buffer seal_payload(sim::Buffer body);
+sim::Buffer open_payload(const char* what, sim::Buffer sealed);
 
 }  // namespace pcmd::ddm

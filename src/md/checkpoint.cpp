@@ -1,0 +1,122 @@
+#include "md/checkpoint.hpp"
+
+#include "util/checksum.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace pcmd::md {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50434B50u;  // "PCKP"
+constexpr std::size_t kEnvelopeBytes = 16;     // magic, version, kind, crc
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+sim::Buffer seal_checkpoint(CheckpointKind kind, sim::Buffer payload) {
+  sim::Buffer out(kEnvelopeBytes + payload.size());
+  const std::uint32_t fields[4] = {kMagic, kCheckpointVersion,
+                                   static_cast<std::uint32_t>(kind),
+                                   pcmd::crc32(payload.data(), payload.size())};
+  std::memcpy(out.data(), fields, sizeof(fields));
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kEnvelopeBytes, payload.data(), payload.size());
+  }
+  return out;
+}
+
+sim::Buffer open_checkpoint(CheckpointKind kind, sim::Buffer sealed) {
+  if (sealed.size() < kEnvelopeBytes) {
+    throw std::runtime_error("checkpoint: shorter than the envelope");
+  }
+  if (read_u32(sealed.data()) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic (not a checkpoint)");
+  }
+  const std::uint32_t version = read_u32(sealed.data() + 4);
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error("checkpoint: version " + std::to_string(version) +
+                             " unsupported (expected " +
+                             std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint32_t actual_kind = read_u32(sealed.data() + 8);
+  if (actual_kind != static_cast<std::uint32_t>(kind)) {
+    throw std::runtime_error("checkpoint: kind " + std::to_string(actual_kind) +
+                             " does not match the restoring engine (" +
+                             std::to_string(static_cast<std::uint32_t>(kind)) +
+                             ")");
+  }
+  const std::uint32_t crc = read_u32(sealed.data() + 12);
+  if (crc != pcmd::crc32(sealed.data() + kEnvelopeBytes,
+                         sealed.size() - kEnvelopeBytes)) {
+    throw std::runtime_error("checkpoint: payload checksum mismatch");
+  }
+  return sim::Buffer(sealed.begin() + kEnvelopeBytes, sealed.end());
+}
+
+void write_checkpoint_file(const std::string& path, const sim::Buffer& data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open '" + path +
+                             "' for writing");
+  }
+  const std::size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+  const bool ok = written == data.size() && std::fclose(file) == 0;
+  if (!ok) {
+    throw std::runtime_error("checkpoint: short write to '" + path + "'");
+  }
+}
+
+sim::Buffer read_checkpoint_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+  }
+  sim::Buffer data;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    data.insert(data.end(), chunk, chunk + got);
+  }
+  const bool ok = std::feof(file) != 0 && std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) {
+    throw std::runtime_error("checkpoint: read error on '" + path + "'");
+  }
+  return data;
+}
+
+sim::Buffer pack_serial_checkpoint(const SerialCheckpoint& state) {
+  sim::Packer packer;
+  packer.put(state.step);
+  packer.put(state.box);
+  packer.put_vector(state.particles);
+  packer.put(static_cast<std::uint8_t>(state.has_rng ? 1 : 0));
+  for (const std::uint64_t word : state.rng_state) packer.put(word);
+  return seal_checkpoint(CheckpointKind::kSerial, packer.take());
+}
+
+SerialCheckpoint unpack_serial_checkpoint(sim::Buffer sealed) {
+  sim::Unpacker unpacker(
+      open_checkpoint(CheckpointKind::kSerial, std::move(sealed)));
+  SerialCheckpoint state;
+  state.step = unpacker.get<std::int64_t>();
+  state.box = unpacker.get<Box>();
+  state.particles = unpacker.get_vector<Particle>();
+  state.has_rng = unpacker.get<std::uint8_t>() != 0;
+  for (auto& word : state.rng_state) word = unpacker.get<std::uint64_t>();
+  if (!unpacker.exhausted()) {
+    throw std::runtime_error("checkpoint: trailing bytes in serial payload");
+  }
+  return state;
+}
+
+}  // namespace pcmd::md

@@ -1,0 +1,63 @@
+// Versioned checkpoint serialization for the MD engines.
+//
+// A checkpoint is a sealed byte buffer: an envelope {magic, version, kind,
+// CRC32(payload)} followed by an engine-specific payload packed with
+// sim::Packer. The envelope is verified before a single payload field is
+// read, so a truncated, stale-version or bit-flipped checkpoint file fails
+// loudly instead of resurrecting garbage state.
+//
+// Restart contract: an engine restored from a checkpoint taken at step S
+// continues the trajectory *bitwise identically* to the uninterrupted run —
+// particle order, force recomputation, thermostat schedule (a function of
+// the absolute step number) and DLB decisions (functions of the restored
+// busy times) all resume exactly. See ParallelMd::checkpoint / the
+// checkpoint ctor, SlabMd's equivalents, and SerialCheckpoint +
+// SerialMdConfig::initial_step for the serial engine.
+#pragma once
+
+#include "md/particle.hpp"
+#include "sim/message.hpp"
+#include "util/pbc.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pcmd::md {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Payload kinds, so a checkpoint from one engine cannot be fed to another.
+enum class CheckpointKind : std::uint32_t {
+  kSerial = 1,
+  kParallel = 2,
+  kSlab = 3,
+};
+
+// Wraps a packed payload in the versioned envelope.
+sim::Buffer seal_checkpoint(CheckpointKind kind, sim::Buffer payload);
+
+// Verifies the envelope (magic, version, kind, checksum) and returns the
+// payload. Throws std::runtime_error naming the first mismatch.
+sim::Buffer open_checkpoint(CheckpointKind kind, sim::Buffer sealed);
+
+// Whole-buffer file round-trip (binary). Throws std::runtime_error on IO
+// failure.
+void write_checkpoint_file(const std::string& path, const sim::Buffer& data);
+sim::Buffer read_checkpoint_file(const std::string& path);
+
+// Serial engine state. Resume by constructing SerialMd with `particles` and
+// SerialMdConfig::initial_step = `step`; restore the RNG stream (when
+// captured) for workloads that keep drawing random numbers mid-run.
+struct SerialCheckpoint {
+  std::int64_t step = 0;
+  Box box;
+  ParticleVector particles;
+  bool has_rng = false;
+  std::array<std::uint64_t, 4> rng_state{};
+};
+
+sim::Buffer pack_serial_checkpoint(const SerialCheckpoint& state);
+SerialCheckpoint unpack_serial_checkpoint(sim::Buffer sealed);
+
+}  // namespace pcmd::md

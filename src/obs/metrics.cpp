@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include "sim/comm.hpp"
+#include "sim/fault.hpp"
 
 #include <cstdio>
 #include <fstream>
@@ -19,6 +20,13 @@ MetricsRecorder::Snapshot MetricsRecorder::total() const {
     snapshot.collective += c.collective_seconds;
     snapshot.messages += c.messages_sent;
     snapshot.bytes += c.bytes_sent;
+    snapshot.recv_timeouts += c.recv_timeouts;
+  }
+  if (const sim::FaultInjector* injector = engine_->fault_injector()) {
+    const sim::FaultCounters fc = injector->counters();
+    snapshot.faults_dropped = fc.messages_dropped;
+    snapshot.faults_corrupted = fc.messages_corrupted;
+    snapshot.faults_delayed = fc.messages_delayed;
   }
   return snapshot;
 }
@@ -39,6 +47,11 @@ const StepMetrics& MetricsRecorder::record(const StepInput& input) {
   row.potential_energy = input.potential_energy;
   row.kinetic_energy = input.kinetic_energy;
   row.temperature = input.temperature;
+  row.retransmissions = input.retransmissions;
+  row.recv_timeouts = now.recv_timeouts - last_.recv_timeouts;
+  row.faults_dropped = now.faults_dropped - last_.faults_dropped;
+  row.faults_corrupted = now.faults_corrupted - last_.faults_corrupted;
+  row.faults_delayed = now.faults_delayed - last_.faults_delayed;
   last_ = now;
   rows_.push_back(row);
   return rows_.back();
@@ -47,7 +60,8 @@ const StepMetrics& MetricsRecorder::record(const StepInput& input) {
 std::string csv_header() {
   return "step,t_step,force_max,force_avg,force_min,wait_seconds,"
          "collective_seconds,messages,bytes,transfers,potential_energy,"
-         "kinetic_energy,temperature";
+         "kinetic_energy,temperature,retransmissions,recv_timeouts,"
+         "faults_dropped,faults_corrupted,faults_delayed";
 }
 
 namespace {
@@ -67,7 +81,9 @@ void write_csv(std::ostream& os, std::span<const StepMetrics> rows) {
        << num(r.wait_seconds) << ',' << num(r.collective_seconds) << ','
        << r.messages << ',' << r.bytes << ',' << r.transfers << ','
        << num(r.potential_energy) << ',' << num(r.kinetic_energy) << ','
-       << num(r.temperature) << '\n';
+       << num(r.temperature) << ',' << r.retransmissions << ','
+       << r.recv_timeouts << ',' << r.faults_dropped << ','
+       << r.faults_corrupted << ',' << r.faults_delayed << '\n';
   }
 }
 

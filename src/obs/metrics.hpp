@@ -40,6 +40,12 @@ struct StepMetrics {
   double potential_energy = 0.0;
   double kinetic_energy = 0.0;
   double temperature = 0.0;
+  // Fault-tolerance accounting for this step (all zero on healthy runs):
+  std::uint64_t retransmissions = 0;    // reliable-channel retries (caller)
+  std::uint64_t recv_timeouts = 0;      // expired recv deadlines (engine delta)
+  std::uint64_t faults_dropped = 0;     // injector: messages dropped
+  std::uint64_t faults_corrupted = 0;   // injector: messages corrupted
+  std::uint64_t faults_delayed = 0;     // injector: messages delayed
 };
 
 class MetricsRecorder {
@@ -55,6 +61,9 @@ class MetricsRecorder {
     double potential_energy = 0.0;
     double kinetic_energy = 0.0;
     double temperature = 0.0;
+    // Per-step reliable-channel retries; the channels live in the MD engine,
+    // so the caller forwards them (e.g. ParallelStepStats::retransmissions).
+    std::uint64_t retransmissions = 0;
   };
 
   // Snapshots the engine's counters as the step-0 baseline; the engine must
@@ -73,6 +82,11 @@ class MetricsRecorder {
     double collective = 0.0;
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t recv_timeouts = 0;
+    // From the engine's fault injector (zero when none is attached):
+    std::uint64_t faults_dropped = 0;
+    std::uint64_t faults_corrupted = 0;
+    std::uint64_t faults_delayed = 0;
   };
   Snapshot total() const;
 

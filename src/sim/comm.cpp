@@ -1,6 +1,7 @@
 #include "sim/comm.hpp"
 
 #include "sim/checker.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace_sink.hpp"
 
 #include <algorithm>
@@ -38,22 +39,43 @@ void Comm::advance(double seconds) {
   }
   auto& state = *engine_->states_[rank_];
   const double start = state.clock;
-  state.clock += seconds;
-  state.counters.compute_seconds += seconds;
+  double elapsed = seconds;
+  if (auto* faults = engine_->faults_) {
+    // A stalled rank really is computing for longer, so the stretch lands in
+    // the clock AND compute_seconds — that is what lets the DLB see it.
+    const double extra = faults->stall_extra(rank_, start, seconds);
+    if (extra > 0.0) {
+      elapsed += extra;
+      faults->count_stall(extra);
+    }
+  }
+  state.clock += elapsed;
+  state.counters.compute_seconds += elapsed;
   PCMD_CHECKER_HOOK(engine_, on_clock(rank_, state.clock));
-  if (auto* sink = engine_->sink_) sink->on_compute(rank_, start, seconds);
+  if (auto* sink = engine_->sink_) sink->on_compute(rank_, start, elapsed);
 }
 
 double Comm::clock() const { return engine_->states_[rank_]->clock; }
 
 void Comm::send(int dst, int tag, Buffer payload) {
-  engine_->do_send(rank_, dst, tag, std::move(payload));
+  (void)engine_->do_send(rank_, dst, tag, std::move(payload), 0, 0.0);
+}
+
+Comm::SendOutcome Comm::send_attempt(int dst, int tag, Buffer payload,
+                                     std::uint32_t attempt,
+                                     double extra_delay) {
+  return engine_->do_send(rank_, dst, tag, std::move(payload), attempt,
+                          extra_delay);
 }
 
 Buffer Comm::recv(int src, int tag) { return engine_->do_recv(rank_, src, tag); }
 
 std::optional<Buffer> Comm::try_recv(int src, int tag) {
   return engine_->do_try_recv(rank_, src, tag);
+}
+
+std::optional<Buffer> Comm::recv_deadline(int src, int tag, double timeout) {
+  return engine_->do_recv_deadline(rank_, src, tag, timeout);
 }
 
 bool Comm::has_message(int src, int tag) const {
@@ -89,6 +111,7 @@ Engine::Engine(int ranks, MachineModel model)
   for (int r = 0; r < ranks_; ++r) {
     states_.push_back(std::make_unique<RankState>());
   }
+  alive_.assign(static_cast<std::size_t>(ranks_), 1);
 }
 
 Engine::~Engine() = default;
@@ -127,11 +150,31 @@ void Engine::set_trace_sink(TraceSink* sink) {
   if (sink_) sink_->on_attach(ranks_);
 }
 
-void Engine::notify_phase_begin() {
-  PCMD_CHECKER_HOOK(this, on_phase_begin(phase_));
+void Engine::set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+int Engine::alive_count() const {
+  int n = 0;
+  for (const char a : alive_) n += a != 0;
+  return n;
 }
 
-void Engine::do_send(int src, int dst, int tag, Buffer payload) {
+void Engine::notify_phase_begin() {
+  PCMD_CHECKER_HOOK(this, on_phase_begin(phase_));
+  if (faults_ != nullptr) {
+    // Crashes land only here — between phases, on the driving thread — so
+    // phase bodies see a consistent aliveness view and both engines agree
+    // on exactly which phase a rank died before.
+    for (int r = 0; r < ranks_; ++r) {
+      if (alive_[static_cast<std::size_t>(r)] != 0 &&
+          faults_->crashed(r, states_[static_cast<std::size_t>(r)]->clock)) {
+        alive_[static_cast<std::size_t>(r)] = 0;
+      }
+    }
+  }
+}
+
+Comm::SendOutcome Engine::do_send(int src, int dst, int tag, Buffer payload,
+                                  std::uint32_t attempt, double extra_delay) {
   if (dst < 0 || dst >= ranks_) {
     throw std::out_of_range("Comm::send: destination rank out of range");
   }
@@ -139,14 +182,25 @@ void Engine::do_send(int src, int dst, int tag, Buffer payload) {
   const auto bytes = static_cast<std::uint64_t>(payload.size());
   const int hops = hop_model_.hops(src, dst);
 
+  FaultInjector::SendFault fault;
+  if (faults_ != nullptr) {
+    fault = faults_->send_fault(src, dst, tag, phase_, attempt);
+  }
+
   Message msg;
   msg.src = src;
   msg.dst = dst;
   msg.tag = tag;
   msg.phase = phase_;
-  msg.arrival = sender.clock + model_.message_time(bytes, hops);
+  msg.arrival = sender.clock + extra_delay + fault.extra_delay +
+                model_.message_time(bytes, hops) * fault.link_factor;
   msg.payload = std::move(payload);
 
+  Comm::SendOutcome outcome;
+  outcome.arrival = msg.arrival;
+
+  // The attempt is charged and traced whether or not the network then eats
+  // it — the sender did the work either way.
   sender.counters.messages_sent += 1;
   sender.counters.bytes_sent += bytes;
   PCMD_CHECKER_HOOK(this, on_send(src, dst, tag, phase_,
@@ -155,7 +209,20 @@ void Engine::do_send(int src, int dst, int tag, Buffer payload) {
     sink->on_send(src, dst, tag, static_cast<std::size_t>(bytes),
                   sender.clock);
   }
+
+  if (fault.extra_delay > 0.0) faults_->count_delay();
+  if (fault.drop) {
+    faults_->count_drop();
+    outcome.dropped = true;
+    return outcome;
+  }
+  if (fault.corrupt && !msg.payload.empty()) {
+    msg.payload[fault.corrupt_byte % msg.payload.size()] ^= fault.corrupt_mask;
+    faults_->count_corrupt();
+    outcome.corrupted = true;
+  }
   states_[dst]->mailbox.push(std::move(msg));
+  return outcome;
 }
 
 Buffer Engine::do_recv(int rank, int src, int tag) {
@@ -189,6 +256,23 @@ std::optional<Buffer> Engine::do_try_recv(int rank, int src, int tag) {
     sink->on_recv(rank, src, tag, msg->payload.size(), state.clock, wait);
   }
   return std::move(msg->payload);
+}
+
+std::optional<Buffer> Engine::do_recv_deadline(int rank, int src, int tag,
+                                               double timeout) {
+  if (timeout < 0.0) {
+    throw std::invalid_argument("Comm::recv_deadline: negative timeout");
+  }
+  auto msg = do_try_recv(rank, src, tag);
+  if (msg) return msg;
+  // No message is visible, and under BSP visibility none can appear later:
+  // model having waited out the full deadline.
+  auto& state = *states_[rank];
+  state.clock += timeout;
+  state.counters.comm_wait_seconds += timeout;
+  state.counters.recv_timeouts += 1;
+  PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
+  return std::nullopt;
 }
 
 void Engine::do_collective_begin(int rank, ReduceOp op,
@@ -228,22 +312,44 @@ std::vector<double> Engine::do_collective_end(int rank) {
   std::lock_guard lock(collective_mutex_);
   auto& state = *states_[rank];
   const std::size_t slot_index = state.end_seq;
-  if (slot_index >= collectives_.size() ||
-      collectives_[slot_index].contributions < ranks_ ||
-      collectives_[slot_index].last_begin_phase >= phase_) {
+  // Completeness is judged against the ranks still alive: a collective only
+  // blocks on participants that can still show up. A rank that contributed
+  // and then crashed is kept in the combine — its value is already in flight.
+  bool complete = slot_index < collectives_.size() &&
+                  collectives_[slot_index].last_begin_phase < phase_ &&
+                  collectives_[slot_index].contributions > 0;
+  if (complete) {
+    const auto& present = collectives_[slot_index].present;
+    for (int r = 0; r < ranks_; ++r) {
+      if (alive_[static_cast<std::size_t>(r)] != 0 &&
+          !present[static_cast<std::size_t>(r)]) {
+        complete = false;
+        break;
+      }
+    }
+  }
+  if (!complete) {
     throw ProtocolError(
-        "collective_end: not all ranks have called collective_begin in an "
-        "earlier phase (begin and end must be in different phases)");
+        "collective_end: not all (live) ranks have called collective_begin "
+        "in an earlier phase (begin and end must be in different phases)");
   }
   state.end_seq++;
   auto& slot = collectives_[slot_index];
   if (!slot.have_combined) {
-    // Combine in rank order so rounding never depends on scheduling.
+    // Combine in rank order so rounding never depends on scheduling; skip
+    // ranks that never contributed (crashed before this collective).
     slot.combined.assign(slot.width, 0.0);
     for (std::size_t i = 0; i < slot.width; ++i) {
-      double acc = slot.per_rank[i];  // rank 0
-      for (int r = 1; r < ranks_; ++r) {
+      double acc = 0.0;
+      bool first = true;
+      for (int r = 0; r < ranks_; ++r) {
+        if (!slot.present[static_cast<std::size_t>(r)]) continue;
         const double v = slot.per_rank[slot.width * r + i];
+        if (first) {
+          acc = v;
+          first = false;
+          continue;
+        }
         switch (slot.op) {
           case ReduceOp::kSum:
             acc += v;

@@ -33,6 +33,7 @@
 
 namespace pcmd::sim {
 
+class FaultInjector;
 class ProtocolChecker;
 class TraceSink;
 
@@ -48,6 +49,7 @@ struct RankCounters {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t recv_timeouts = 0;  // recv_deadline calls that timed out
 };
 
 class Engine;
@@ -67,15 +69,51 @@ class Comm {
   double clock() const;
 
   // Asynchronous point-to-point send; the payload is charged to the sender's
-  // counters and arrives at `clock() + message_time(bytes, hops)`.
+  // counters and arrives at `clock() + message_time(bytes, hops)`. When a
+  // FaultInjector is attached the message may be dropped, corrupted,
+  // delayed or slowed per the fault plan.
   void send(int dst, int tag, Buffer payload);
 
+  // What the fault layer did to one transmission attempt. In a real machine
+  // the sender learns this through the ack/timeout protocol; the virtual
+  // machine hands it back directly so the reliable channel can charge the
+  // equivalent virtual backoff time without modelling ack messages.
+  struct SendOutcome {
+    bool dropped = false;    // never entered the destination mailbox
+    bool corrupted = false;  // delivered, but with a flipped payload byte
+    double arrival = 0.0;    // virtual arrival time (meaningless if dropped)
+    bool delivered_intact() const { return !dropped && !corrupted; }
+  };
+
+  // Send as one numbered attempt of a reliable transmission: the fault
+  // decision is keyed on `attempt` (so a retry can succeed where the first
+  // copy failed) and the message leaves `extra_delay` virtual seconds after
+  // now (the retransmission backoff). Used by sim::ReliableChannel; plain
+  // send(dst, tag, payload) is attempt 0 with no delay.
+  SendOutcome send_attempt(int dst, int tag, Buffer payload,
+                           std::uint32_t attempt, double extra_delay = 0.0);
+
   // Receives the message sent by `src` with `tag` in an earlier phase.
-  // Throws ProtocolError if no such message exists.
+  //
+  // recv NEVER blocks, on either engine: a message that was never sent (or
+  // was sent in the current phase) throws ProtocolError immediately, with
+  // rank/phase provenance, whether or not a ProtocolChecker is attached.
+  // This replaces the deadlock a real MPI rank would sit in — use
+  // recv_deadline when "no message" is an expected outcome (a crashed
+  // peer) rather than a protocol bug.
   Buffer recv(int src, int tag);
 
   // Non-throwing variant.
   std::optional<Buffer> try_recv(int src, int tag);
+
+  // Receive with a virtual-time deadline: delivers like recv when a message
+  // is visible; otherwise models waiting `timeout` seconds for a message
+  // that never came — the clock advances by `timeout`, the rank's
+  // recv_timeouts counter increments, and nullopt is returned. This is the
+  // crash-detection primitive: under BSP visibility a message absent now is
+  // absent forever, so the timeout maps the "is the peer dead?" question
+  // into virtual time deterministically.
+  std::optional<Buffer> recv_deadline(int src, int tag, double timeout);
 
   // True if recv(src, tag) would succeed.
   bool has_message(int src, int tag) const;
@@ -109,6 +147,14 @@ class Comm {
 class ProtocolError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+};
+
+// Thrown when a payload fails its integrity check — the bytes arrived but
+// were corrupted in flight. Distinct from the truncation/shape errors plain
+// ProtocolError reports, so callers can tell "bad link" from "bad code".
+class ChecksumError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
 };
 
 // Engine: owns rank state (clocks, mailboxes, collectives) and executes
@@ -155,6 +201,24 @@ class Engine {
   void set_trace_sink(TraceSink* sink);
   TraceSink* trace_sink() const { return sink_; }
 
+  // Attaches a fault injector (sim/fault.hpp) applying its FaultPlan to
+  // every send/advance; nullptr detaches. Attach before the first phase.
+  // The injector's lifetime is the caller's problem. Note the strict
+  // ProtocolChecker assumes lossless delivery — do not attach both a
+  // checker and a lossy fault plan.
+  void set_fault_injector(FaultInjector* faults);
+  FaultInjector* fault_injector() const { return faults_; }
+
+  // Crash status. A crash scheduled at virtual time T takes effect at the
+  // first phase boundary where the rank's clock has reached T: the rank's
+  // phase body is simply never run again (its clock freezes, messages to it
+  // rot unread, messages from it stop). Aliveness is recomputed only in
+  // notify_phase_begin — on the driving thread, between phases — so phase
+  // bodies may read it without synchronisation and every rank observes the
+  // same view for a whole phase.
+  bool alive(int rank) const { return alive_[static_cast<std::size_t>(rank)] != 0; }
+  int alive_count() const;
+
  protected:
   // Subclasses call this at the top of run_phase, after ++phase_.
   void notify_phase_begin();
@@ -186,9 +250,12 @@ class Engine {
     std::size_t end_seq = 0;    // collectives completed by this rank
   };
 
-  void do_send(int src, int dst, int tag, Buffer payload);
+  Comm::SendOutcome do_send(int src, int dst, int tag, Buffer payload,
+                            std::uint32_t attempt, double extra_delay);
   Buffer do_recv(int rank, int src, int tag);
   std::optional<Buffer> do_try_recv(int rank, int src, int tag);
+  std::optional<Buffer> do_recv_deadline(int rank, int src, int tag,
+                                         double timeout);
   void do_collective_begin(int rank, ReduceOp op,
                            std::span<const double> values);
   std::vector<double> do_collective_end(int rank);
@@ -198,6 +265,10 @@ class Engine {
   HopModel hop_model_;
   ProtocolChecker* checker_ = nullptr;
   TraceSink* sink_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  // 1 = alive. Written only between phases (notify_phase_begin); read freely
+  // by phase bodies. Once 0, stays 0.
+  std::vector<char> alive_;
   std::vector<std::unique_ptr<RankState>> states_;
   std::vector<CollectiveSlot> collectives_;
   mutable std::mutex collective_mutex_;

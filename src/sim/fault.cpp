@@ -1,0 +1,252 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcmd::sim {
+
+namespace {
+
+// SplitMix64 finalizer — the per-message decisions hash through this so a
+// message's fate depends only on its identity, never on execution order.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_message(std::uint64_t seed, int src, int dst, int tag,
+                           int phase, std::uint32_t attempt,
+                           std::uint64_t salt) {
+  std::uint64_t h = mix(seed ^ (salt * 0x9e3779b97f4a7c15ull));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(phase)));
+  h = mix(h ^ attempt);
+  return h;
+}
+
+// 53 high bits -> double in [0, 1), same construction as util/rng.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double parse_number(const std::string& token, const std::string& context) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan::parse: bad number '" + token +
+                                "' in '" + context + "'");
+  }
+}
+
+int parse_int(const std::string& token, const std::string& context) {
+  const double value = parse_number(token, context);
+  const int i = static_cast<int>(value);
+  if (static_cast<double>(i) != value) {
+    throw std::invalid_argument("FaultPlan::parse: expected integer '" +
+                                token + "' in '" + context + "'");
+  }
+  return i;
+}
+
+// Splits "a<sep>b" exactly once; throws when sep is absent.
+std::pair<std::string, std::string> split_once(const std::string& text,
+                                               char sep,
+                                               const std::string& context) {
+  const auto pos = text.find(sep);
+  if (pos == std::string::npos) {
+    throw std::invalid_argument("FaultPlan::parse: expected '" +
+                                std::string(1, sep) + "' in '" + context +
+                                "'");
+  }
+  return {text.substr(0, pos), text.substr(pos + 1)};
+}
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  return drop_rate == 0.0 && corrupt_rate == 0.0 && delay_rate == 0.0 &&
+         degraded_links.empty() && stalls.empty() && crashes.empty();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const auto [key, value] = split_once(item, '=', item);
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_number(value, item));
+    } else if (key == "drop") {
+      plan.drop_rate = parse_number(value, item);
+    } else if (key == "corrupt") {
+      plan.corrupt_rate = parse_number(value, item);
+    } else if (key == "delay") {
+      const auto [rate, seconds] = split_once(value, ':', item);
+      plan.delay_rate = parse_number(rate, item);
+      plan.delay_seconds = parse_number(seconds, item);
+    } else if (key == "degrade") {
+      const auto [links, factor] = split_once(value, 'x', item);
+      const auto [a, b] = split_once(links, '-', item);
+      plan.degraded_links.push_back(
+          {parse_int(a, item), parse_int(b, item), parse_number(factor, item)});
+    } else if (key == "stall") {
+      const auto [rank, rest] = split_once(value, '@', item);
+      const auto [window, factor] = split_once(rest, 'x', item);
+      const auto [from, until] = split_once(window, '-', item);
+      plan.stalls.push_back({parse_int(rank, item), parse_number(from, item),
+                             parse_number(until, item),
+                             parse_number(factor, item)});
+    } else if (key == "crash") {
+      const auto [rank, at] = split_once(value, '@', item);
+      plan.crashes.push_back({parse_int(rank, item), parse_number(at, item)});
+    } else {
+      throw std::invalid_argument("FaultPlan::parse: unknown key '" + key +
+                                  "' (expected seed/drop/corrupt/delay/"
+                                  "degrade/stall/crash)");
+    }
+  }
+  for (const double rate :
+       {plan.drop_rate, plan.corrupt_rate, plan.delay_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument(
+          "FaultPlan::parse: fault rates must lie in [0, 1]");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (drop_rate > 0.0) os << ",drop=" << num(drop_rate);
+  if (corrupt_rate > 0.0) os << ",corrupt=" << num(corrupt_rate);
+  if (delay_rate > 0.0) {
+    os << ",delay=" << num(delay_rate) << ':' << num(delay_seconds);
+  }
+  for (const auto& d : degraded_links) {
+    os << ",degrade=" << d.rank_a << '-' << d.rank_b << 'x' << num(d.factor);
+  }
+  for (const auto& s : stalls) {
+    os << ",stall=" << s.rank << '@' << num(s.from) << '-' << num(s.until)
+       << 'x' << num(s.factor);
+  }
+  for (const auto& c : crashes) {
+    os << ",crash=" << c.rank << '@' << num(c.at);
+  }
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+FaultInjector::SendFault FaultInjector::send_fault(int src, int dst, int tag,
+                                                   int phase,
+                                                   std::uint32_t attempt)
+    const {
+  SendFault fault;
+  if (plan_.drop_rate > 0.0 &&
+      to_unit(hash_message(plan_.seed, src, dst, tag, phase, attempt, 1)) <
+          plan_.drop_rate) {
+    fault.drop = true;
+  }
+  if (plan_.corrupt_rate > 0.0) {
+    const std::uint64_t h =
+        hash_message(plan_.seed, src, dst, tag, phase, attempt, 2);
+    if (to_unit(h) < plan_.corrupt_rate) {
+      fault.corrupt = true;
+      const std::uint64_t h2 =
+          hash_message(plan_.seed, src, dst, tag, phase, attempt, 3);
+      fault.corrupt_byte = static_cast<std::size_t>(h2 >> 8);
+      fault.corrupt_mask = static_cast<std::uint8_t>(h2 & 0xff);
+      if (fault.corrupt_mask == 0) fault.corrupt_mask = 0x40;
+    }
+  }
+  if (plan_.delay_rate > 0.0 &&
+      to_unit(hash_message(plan_.seed, src, dst, tag, phase, attempt, 4)) <
+          plan_.delay_rate) {
+    fault.extra_delay = plan_.delay_seconds;
+  }
+  for (const auto& d : plan_.degraded_links) {
+    const bool on_link =
+        d.rank_b < 0 ? (src == d.rank_a || dst == d.rank_a)
+                     : ((src == d.rank_a && dst == d.rank_b) ||
+                        (src == d.rank_b && dst == d.rank_a));
+    if (on_link) fault.link_factor *= d.factor;
+  }
+  return fault;
+}
+
+double FaultInjector::stall_extra(int rank, double clock,
+                                  double seconds) const {
+  double extra = 0.0;
+  for (const auto& s : plan_.stalls) {
+    if (s.rank != rank || s.factor <= 1.0) continue;
+    // Overlap of [clock, clock + seconds) with the stall window, stretched
+    // by (factor - 1).
+    const double lo = std::max(clock, s.from);
+    const double hi = std::min(clock + seconds, s.until);
+    if (hi > lo) extra += (hi - lo) * (s.factor - 1.0);
+  }
+  return extra;
+}
+
+std::optional<double> FaultInjector::crash_time(int rank) const {
+  std::optional<double> earliest;
+  for (const auto& c : plan_.crashes) {
+    if (c.rank != rank) continue;
+    if (!earliest || c.at < *earliest) earliest = c.at;
+  }
+  return earliest;
+}
+
+bool FaultInjector::crashed(int rank, double clock) const {
+  const auto at = crash_time(rank);
+  return at.has_value() && clock >= *at;
+}
+
+void FaultInjector::count_drop() {
+  std::lock_guard lock(mutex_);
+  ++counters_.messages_dropped;
+}
+
+void FaultInjector::count_corrupt() {
+  std::lock_guard lock(mutex_);
+  ++counters_.messages_corrupted;
+}
+
+void FaultInjector::count_delay() {
+  std::lock_guard lock(mutex_);
+  ++counters_.messages_delayed;
+}
+
+void FaultInjector::count_stall(double seconds) {
+  std::lock_guard lock(mutex_);
+  ++counters_.stalled_advances;
+  counters_.stall_seconds += seconds;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+void FaultInjector::reset_counters() {
+  std::lock_guard lock(mutex_);
+  counters_ = FaultCounters{};
+}
+
+}  // namespace pcmd::sim

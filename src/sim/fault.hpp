@@ -1,0 +1,143 @@
+// Deterministic fault injection for the virtual parallel machine.
+//
+// A FaultPlan is a *seeded schedule* of faults; a FaultInjector attached to
+// an Engine (Engine::set_fault_injector) applies it to every modelled
+// communication and compute event. Every per-message decision is a pure
+// function of (plan seed, src, dst, tag, phase, attempt) and every rank
+// fault is keyed on virtual time, so an injected run is bitwise identical
+// on SeqEngine and ThreadEngine and across repeated runs — chaos you can
+// put in a regression test.
+//
+// Fault taxonomy (the Cray T3E analogue in parentheses):
+//   * message drop        — a link swallows a packet (dropped flit/CRC-fail
+//                           discard in the torus router);
+//   * payload corruption  — one byte of the payload is XOR-flipped in
+//                           flight (undetected link bit error; caught by the
+//                           wire checksums this PR adds);
+//   * delivery delay      — a message takes an extra fixed latency (adaptive
+//                           re-route around a hot/failed link);
+//   * link degradation    — all traffic between two ranks pays a bandwidth/
+//                           latency multiplier (a flaky link running at
+//                           reduced width);
+//   * transient stall     — a rank's compute is slowed by a factor inside a
+//                           virtual-time window (OS jitter, memory
+//                           throttling, a co-scheduled job);
+//   * permanent crash     — a rank stops executing at a chosen virtual time
+//                           and never returns (dead PE). Takes effect at the
+//                           next phase boundary; see Engine::alive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcmd::sim {
+
+// The declarative fault schedule. Default-constructed = no faults.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-message-attempt fault rates in [0, 1].
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double delay_rate = 0.0;
+  double delay_seconds = 0.0;  // extra latency when a delay fires
+
+  // Link degradation: message_time is multiplied by `factor` for traffic
+  // between the two ranks (both directions). rank_b == -1 degrades every
+  // link touching rank_a.
+  struct Degrade {
+    int rank_a = -1;
+    int rank_b = -1;
+    double factor = 1.0;
+  };
+  std::vector<Degrade> degraded_links;
+
+  // Transient stall: compute charged to `rank` while its clock is inside
+  // [from, until) takes `factor` times as long.
+  struct Stall {
+    int rank = -1;
+    double from = 0.0;
+    double until = 0.0;  // use a large value for "until the end of the run"
+    double factor = 1.0;
+  };
+  std::vector<Stall> stalls;
+
+  // Permanent crash of `rank` at virtual time `at`.
+  struct Crash {
+    int rank = -1;
+    double at = 0.0;
+  };
+  std::vector<Crash> crashes;
+
+  bool empty() const;
+  // True when the plan contains no permanent crashes — the regime where the
+  // reliable channel must mask every fault bit-exactly.
+  bool transient_only() const { return crashes.empty(); }
+
+  // Compact textual form, round-tripping through parse():
+  //   "seed=7,drop=0.05,corrupt=0.01,delay=0.1:2e-4,
+  //    degrade=3-4x8,stall=2@0.1-0.5x4,crash=5@0.25"
+  // (drop/corrupt are rates; delay is rate:seconds; degrade is a-bxfactor;
+  // stall is rank@from-untilxfactor; crash is rank@time). Throws
+  // std::invalid_argument with the offending token on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+// Running totals of injected faults, summed over all ranks and links.
+// Order-independent sums, so they are identical across engines.
+struct FaultCounters {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_corrupted = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t stalled_advances = 0;
+  double stall_seconds = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Decision for one transmission attempt of one message. Pure in the
+  // message identity; calling it does not change future decisions.
+  struct SendFault {
+    bool drop = false;
+    bool corrupt = false;
+    std::size_t corrupt_byte = 0;   // index into the payload (mod its size)
+    std::uint8_t corrupt_mask = 0;  // XOR mask, never 0 when corrupt
+    double extra_delay = 0.0;
+    double link_factor = 1.0;  // multiplier on message_time
+  };
+  SendFault send_fault(int src, int dst, int tag, int phase,
+                       std::uint32_t attempt) const;
+
+  // Extra virtual seconds a compute interval [clock, clock + seconds) on
+  // `rank` is stretched by the active stall windows.
+  double stall_extra(int rank, double clock, double seconds) const;
+
+  // Earliest crash time scheduled for `rank`, if any.
+  std::optional<double> crash_time(int rank) const;
+  // True when `rank` has crashed by virtual time `clock`.
+  bool crashed(int rank, double clock) const;
+
+  // ---- accounting (thread-safe; engines call these as faults fire) ----
+  void count_drop();
+  void count_corrupt();
+  void count_delay();
+  void count_stall(double seconds);
+  FaultCounters counters() const;
+  void reset_counters();
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  FaultCounters counters_;
+};
+
+}  // namespace pcmd::sim

@@ -1,0 +1,127 @@
+#include "sim/reliable.hpp"
+
+#include "util/checksum.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace pcmd::sim {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x52454C41u;  // "RELA"
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void write_u32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+}  // namespace
+
+// Frame layout: [magic][seq][attempt][crc] then the payload; crc covers
+// seq, attempt and payload, so a single flipped byte anywhere in the frame
+// fails either the magic or the crc check.
+Buffer ReliableChannel::frame(std::uint32_t seq, std::uint32_t attempt,
+                              const Buffer& payload) const {
+  Buffer out(kFrameHeaderBytes + payload.size());
+  write_u32(out.data() + 0, kFrameMagic);
+  write_u32(out.data() + 4, seq);
+  write_u32(out.data() + 8, attempt);
+  std::uint32_t crc = pcmd::crc32(out.data() + 4, 8);
+  crc = pcmd::crc32(payload.data(), payload.size(), crc);
+  write_u32(out.data() + 12, crc);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+std::optional<ReliableChannel::ParsedFrame> ReliableChannel::parse(
+    Buffer raw) const {
+  if (raw.size() < kFrameHeaderBytes) return std::nullopt;
+  if (read_u32(raw.data()) != kFrameMagic) return std::nullopt;
+  std::uint32_t crc = pcmd::crc32(raw.data() + 4, 8);
+  crc = pcmd::crc32(raw.data() + kFrameHeaderBytes,
+                    raw.size() - kFrameHeaderBytes, crc);
+  if (crc != read_u32(raw.data() + 12)) return std::nullopt;
+  ParsedFrame out;
+  out.seq = read_u32(raw.data() + 4);
+  out.payload.assign(raw.begin() + kFrameHeaderBytes, raw.end());
+  return out;
+}
+
+void ReliableChannel::send(Comm& comm, int dst, int tag,
+                           const Buffer& payload) {
+  const std::uint32_t seq = send_seq_[{dst, tag}]++;
+  counters_.sends += 1;
+  double backoff = 0.0;
+  double step = policy_.base_backoff;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) counters_.retransmissions += 1;
+    const auto outcome = comm.send_attempt(
+        dst, tag, frame(seq, static_cast<std::uint32_t>(attempt), payload),
+        static_cast<std::uint32_t>(attempt), backoff);
+    if (outcome.delivered_intact()) return;
+    backoff += step;
+    step *= policy_.backoff_factor;
+  }
+  throw ProtocolError("ReliableChannel::send: message to rank " +
+                      std::to_string(dst) + " tag " + std::to_string(tag) +
+                      " seq " + std::to_string(seq) + " lost after " +
+                      std::to_string(policy_.max_attempts) + " attempts");
+}
+
+Buffer ReliableChannel::recv(Comm& comm, int src, int tag) {
+  std::uint32_t& expected = recv_seq_[{src, tag}];
+  for (;;) {
+    auto parsed = parse(comm.recv(src, tag));
+    if (!parsed) {
+      counters_.corrupt_discarded += 1;
+      continue;
+    }
+    if (parsed->seq < expected) continue;  // stale duplicate
+    if (parsed->seq > expected) {
+      throw ProtocolError("ReliableChannel::recv: sequence gap from rank " +
+                          std::to_string(src) + " tag " + std::to_string(tag) +
+                          " (expected " + std::to_string(expected) + ", got " +
+                          std::to_string(parsed->seq) + ")");
+    }
+    expected += 1;
+    return std::move(parsed->payload);
+  }
+}
+
+std::optional<Buffer> ReliableChannel::recv_deadline(Comm& comm, int src,
+                                                     int tag, double timeout) {
+  std::uint32_t& expected = recv_seq_[{src, tag}];
+  for (;;) {
+    auto raw = comm.recv_deadline(src, tag, timeout);
+    if (!raw) {
+      counters_.recv_timeouts += 1;
+      return std::nullopt;
+    }
+    auto parsed = parse(std::move(*raw));
+    if (!parsed) {
+      counters_.corrupt_discarded += 1;
+      continue;
+    }
+    if (parsed->seq < expected) continue;
+    if (parsed->seq > expected) {
+      throw ProtocolError(
+          "ReliableChannel::recv_deadline: sequence gap from rank " +
+          std::to_string(src) + " tag " + std::to_string(tag) + " (expected " +
+          std::to_string(expected) + ", got " + std::to_string(parsed->seq) +
+          ")");
+    }
+    expected += 1;
+    return std::move(parsed->payload);
+  }
+}
+
+}  // namespace pcmd::sim

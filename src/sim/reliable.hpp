@@ -1,0 +1,95 @@
+// Reliable delivery over the lossy virtual network.
+//
+// ReliableChannel turns Comm's raw (droppable, corruptible) point-to-point
+// sends into an in-order, integrity-checked stream, modelling the ARQ
+// protocol a real message layer runs over an unreliable link:
+//
+//   * every logical message is framed with a sequence number (per
+//     destination+tag stream) and a CRC32 over the frame body;
+//   * the sender retransmits until a copy is delivered intact, charging an
+//     exponential virtual-time backoff to each retry's arrival (the sender's
+//     knowledge of delivery models the ack protocol — see
+//     Comm::send_attempt);
+//   * the receiver CRC-checks every arriving copy, discards corrupt or stale
+//     duplicates, and delivers exactly the expected sequence number.
+//
+// Determinism: fault decisions are keyed on (src, dst, tag, phase, attempt),
+// so the attempt sequence — and therefore every counter and every virtual
+// timestamp — is a pure function of the fault plan, identical on SeqEngine
+// and ThreadEngine. Channel state is per-rank and only touched by that
+// rank's phase body, so no synchronisation is needed.
+#pragma once
+
+#include "sim/comm.hpp"
+#include "sim/message.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace pcmd::sim {
+
+struct ReliablePolicy {
+  int max_attempts = 10;        // give up (throw) after this many copies
+  double base_backoff = 5e-5;   // virtual seconds before the first retry
+  double backoff_factor = 2.0;  // multiplier per subsequent retry
+};
+
+// Per-channel accounting. Order-independent totals: identical across
+// engines for the same fault plan.
+struct ChannelCounters {
+  std::uint64_t sends = 0;             // logical messages sent
+  std::uint64_t retransmissions = 0;   // extra attempts beyond the first
+  std::uint64_t corrupt_discarded = 0; // frames dropped by CRC/magic check
+  std::uint64_t recv_timeouts = 0;     // recv_deadline deadlines that expired
+};
+
+class ReliableChannel {
+ public:
+  explicit ReliableChannel(ReliablePolicy policy = {}) : policy_(policy) {}
+
+  const ReliablePolicy& policy() const { return policy_; }
+  const ChannelCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = ChannelCounters{}; }
+
+  // Sends `payload` so that it will be delivered intact, retrying dropped or
+  // corrupted copies with exponential virtual-time backoff. Throws
+  // ProtocolError if max_attempts copies all fail (a link past the fault
+  // model's design point).
+  void send(Comm& comm, int dst, int tag, const Buffer& payload);
+
+  // Receives the next in-sequence payload from (src, tag), draining corrupt
+  // or duplicate copies. Throws ProtocolError on protocol violations (no
+  // frame visible, or a sequence gap meaning a message was lost for good).
+  Buffer recv(Comm& comm, int src, int tag);
+
+  // recv with a virtual-time deadline: nullopt if no intact in-sequence
+  // frame is visible (the peer is silent — crashed or never sent), with the
+  // clock advanced by `timeout`. The stream position is unchanged on
+  // timeout, so a later recv still expects the same sequence number.
+  std::optional<Buffer> recv_deadline(Comm& comm, int src, int tag,
+                                      double timeout);
+
+  // Frame header size, for tests sizing payloads.
+  static constexpr std::size_t kFrameHeaderBytes = 16;
+
+ private:
+  using StreamKey = std::pair<int, int>;  // (peer rank, tag)
+
+  Buffer frame(std::uint32_t seq, std::uint32_t attempt,
+               const Buffer& payload) const;
+  // Parses + integrity-checks a frame; nullopt when corrupt.
+  struct ParsedFrame {
+    std::uint32_t seq = 0;
+    Buffer payload;
+  };
+  std::optional<ParsedFrame> parse(Buffer raw) const;
+
+  ReliablePolicy policy_;
+  ChannelCounters counters_;
+  std::map<StreamKey, std::uint32_t> send_seq_;
+  std::map<StreamKey, std::uint32_t> recv_seq_;
+};
+
+}  // namespace pcmd::sim

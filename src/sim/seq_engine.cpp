@@ -9,6 +9,7 @@ void SeqEngine::run_phase(const std::function<void(Comm&)>& body) {
   ++phase_;
   notify_phase_begin();
   for (int r = 0; r < size(); ++r) {
+    if (!alive(r)) continue;  // crashed ranks never run again
     Comm comm(this, r);
     body(comm);
   }

@@ -61,8 +61,12 @@ struct ThreadEngine::Pool {
         my_body = body;
       }
       try {
-        Comm comm(engine, rank);
-        (*my_body)(comm);
+        // Aliveness only changes between phases, so this read is stable for
+        // the whole dispatch. Crashed ranks never run again.
+        if (engine->alive(rank)) {
+          Comm comm(engine, rank);
+          (*my_body)(comm);
+        }
       } catch (...) {
         std::lock_guard lock(mutex);
         if (!error) error = std::current_exception();

@@ -126,6 +126,11 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
   if (config.trace) {
     engine.set_trace_sink(config.trace);
   }
+  std::optional<sim::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector.emplace(config.faults);
+    engine.set_fault_injector(&*injector);
+  }
   ddm::ParallelMdConfig pmd_config;
   pmd_config.pe_side = config.spec.pe_side();
   pmd_config.m = config.spec.m;
@@ -136,6 +141,7 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
   pmd_config.dlb_enabled = config.dlb_enabled;
   pmd_config.dlb = config.dlb;
   pmd_config.trace = config.trace;
+  pmd_config.fault_tolerance = config.fault_tolerance;
 
   ddm::ParallelMd pmd(engine, config.spec.box(), initial, pmd_config);
   // Baseline the counter deltas after the constructor's initial force
@@ -166,11 +172,23 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
     input.potential_energy = stats.potential_energy;
     input.kinetic_energy = stats.kinetic_energy;
     input.temperature = stats.temperature;
+    input.retransmissions = stats.retransmissions;
     recorder.record(input);
+    result.retransmissions_total += stats.retransmissions;
+    result.recv_timeouts_total += stats.recv_timeouts;
+
+    if (config.checkpoint_every > 0 &&
+        (i + 1) % config.checkpoint_every == 0) {
+      result.last_checkpoint = pmd.checkpoint();
+      ++result.checkpoints_taken;
+    }
   }
   result.metrics = recorder.rows();
   if (config.trace) {
     engine.set_trace_sink(nullptr);
+  }
+  if (injector) {
+    engine.set_fault_injector(nullptr);
   }
   return result;
 }

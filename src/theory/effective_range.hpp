@@ -8,6 +8,7 @@
 #include "core/dlb_protocol.hpp"
 #include "ddm/parallel_md.hpp"
 #include "obs/metrics.hpp"
+#include "sim/fault.hpp"
 #include "theory/boundary.hpp"
 #include "theory/concentration.hpp"
 #include "theory/synthetic_balance.hpp"
@@ -94,6 +95,15 @@ struct MdTrajectoryConfig {
   // to the MD engine for sub-step spans, so the run produces a full span +
   // message trace. Not owned; must outlive the call.
   obs::TraceCollector* trace = nullptr;
+  // Fault injection: a non-empty plan attaches a sim::FaultInjector for the
+  // whole run (parse with sim::FaultPlan::parse, e.g. "seed=7,drop=0.05").
+  sim::FaultPlan faults;
+  // Reliable delivery / crash recovery, forwarded to the MD engine.
+  ddm::FaultToleranceConfig fault_tolerance;
+  // > 0: serialize a full checkpoint every N steps (the cost shows up in
+  // the virtual clocks only through what the run does with it; the last
+  // snapshot and total count are reported in the result).
+  int checkpoint_every = 0;
 };
 
 struct MdTrajectoryResult {
@@ -108,6 +118,11 @@ struct MdTrajectoryResult {
   int transfers_total = 0;
   std::int64_t particles = 0;
   int total_cells = 0;
+  // Fault-tolerance accounting over the whole run:
+  std::uint64_t retransmissions_total = 0;
+  std::uint64_t recv_timeouts_total = 0;
+  int checkpoints_taken = 0;
+  sim::Buffer last_checkpoint;  // empty unless checkpoint_every > 0
 };
 
 MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config);

@@ -1,0 +1,19 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) over byte ranges. Used as the
+// wire checksum of the fault-tolerance layer: a single flipped byte anywhere
+// in a frame is guaranteed to change the CRC, so injected payload corruption
+// is always detectable at the receiver.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pcmd {
+
+// CRC of `size` bytes starting at `data`; crc32(nullptr, 0) == 0.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+// Incremental variant: feed the previous return value back as `seed` to
+// checksum scattered ranges as one logical stream.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed);
+
+}  // namespace pcmd

@@ -87,4 +87,13 @@ Rng Rng::split() {
   return child;
 }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state[i];
+  have_cached_normal_ = false;
+}
+
 }  // namespace pcmd

@@ -9,6 +9,7 @@
 
 #include "util/vec3.hpp"
 
+#include <array>
 #include <cstdint>
 
 namespace pcmd {
@@ -56,6 +57,13 @@ class Rng {
   // Creates an independent child stream; deterministic given this stream's
   // state. Used to hand each virtual PE its own stream.
   Rng split();
+
+  // Raw xoshiro state, for checkpoint/restart. Restoring a saved state
+  // resumes the stream exactly where it was captured. The cached Box-Muller
+  // variate is intentionally not part of the state: restoring discards it,
+  // so capture at a point where fresh normals are acceptable.
+  std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

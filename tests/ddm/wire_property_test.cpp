@@ -162,6 +162,41 @@ TEST(WireProperty, CorruptedCountThrowsInsteadOfAllocating) {
   }
 }
 
+TEST(WireProperty, EverySingleByteFlipIsDetectedAsCorruption) {
+  // Corruption must be a *distinct* error from truncation: flipping any one
+  // byte of a sealed message — header or payload — trips the CRC32 (or the
+  // magic) and throws sim::ChecksumError, never a silent wrong answer and
+  // never a plain out-of-range.
+  pcmd::Rng rng(31);
+  const auto sealed = pack_particles(random_particles(rng, 3));
+  for (std::size_t byte = 0; byte < sealed.size(); ++byte) {
+    for (const std::uint8_t mask : {0x01, 0x80, 0xff}) {
+      auto corrupted = sealed;
+      corrupted[byte] ^= mask;
+      EXPECT_THROW(unpack_particles(std::move(corrupted)), sim::ChecksumError)
+          << "byte " << byte << " mask " << int(mask);
+    }
+  }
+
+  const auto halo = pack_halo(random_halo(rng, 4));
+  for (std::size_t byte = 0; byte < halo.size(); ++byte) {
+    auto corrupted = halo;
+    corrupted[byte] ^= 0x40;
+    EXPECT_THROW(unpack_halo(std::move(corrupted)), sim::ChecksumError)
+        << "byte " << byte;
+  }
+}
+
+TEST(WireProperty, ChecksumErrorIsAProtocolError) {
+  // Callers that only care about "bad message" may catch ProtocolError;
+  // callers distinguishing "bad link" from "bad code" catch ChecksumError
+  // first. The type hierarchy must support both.
+  pcmd::Rng rng(37);
+  auto corrupted = pack_particles(random_particles(rng, 2));
+  corrupted[corrupted.size() - 1] ^= 0x10;
+  EXPECT_THROW(unpack_particles(std::move(corrupted)), sim::ProtocolError);
+}
+
 TEST(WireProperty, RandomGarbageNeverCrashes) {
   pcmd::Rng rng(29);
   for (int trial = 0; trial < 500; ++trial) {

@@ -365,7 +365,8 @@ TEST(MetricsCsv, HeaderMatchesSchema) {
   EXPECT_EQ(csv_header(),
             "step,t_step,force_max,force_avg,force_min,wait_seconds,"
             "collective_seconds,messages,bytes,transfers,potential_energy,"
-            "kinetic_energy,temperature");
+            "kinetic_energy,temperature,retransmissions,recv_timeouts,"
+            "faults_dropped,faults_corrupted,faults_delayed");
 
   std::ostringstream os;
   write_csv(os, {});

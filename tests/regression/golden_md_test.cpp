@@ -49,8 +49,10 @@ GoldenSummary summarize(const MdTrajectoryResult& result) {
 // Committed goldens for golden_config() (9 PEs, m=2, rho*=0.384, seed 7,
 // 60 steps, DLB on). Tolerance is relative 1e-6: the run itself is
 // deterministic, the slack only absorbs benign compiler/libm variation.
+// The makespan includes wire framing: the 8-byte checksum header on every
+// ddm message is part of the modelled transfer cost.
 constexpr double kGoldenTotalEnergy = -1549.2539981889756;
-constexpr double kGoldenMakespan = 2.4124042266666623;
+constexpr double kGoldenMakespan = 2.4124106266666625;
 constexpr double kGoldenMeanSpread = 0.0071342249999999958;
 constexpr double kRelTol = 1.0e-6;
 

@@ -1,0 +1,468 @@
+// Chaos battery: MD-level fault injection end to end. Asserts the three
+// contracts of the fault-tolerance layer:
+//   (a) injected runs stay bitwise identical between SeqEngine and
+//       ThreadEngine (fault decisions are pure functions of the message
+//       key, never of execution order);
+//   (b) the reliable channel masks every transient fault — the physics of a
+//       faulty run equals the fault-free golden bitwise;
+//   (c) checkpoint -> kill -> restart equals the uninterrupted run bitwise,
+//       and a permanent crash degrades gracefully (survivors adopt the dead
+//       rank's permanent cells and keep stepping).
+#include "ddm/parallel_md.hpp"
+#include "ddm/slab_md.hpp"
+#include "md/checkpoint.hpp"
+#include "md/serial_md.hpp"
+#include "sim/fault.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pcmd::ddm {
+namespace {
+
+Box chaos_box() { return Box::cubic(15.0); }
+
+ParallelMdConfig chaos_config(bool dlb = false) {
+  ParallelMdConfig config;
+  config.pe_side = 3;
+  config.m = 2;
+  config.cutoff = 2.5;
+  config.dt = 0.004;
+  config.rescale_temperature = 0.722;  // thermostat: schedule must survive
+  config.rescale_interval = 10;        // restarts (fires inside short runs)
+  config.dlb_enabled = dlb;
+  return config;
+}
+
+md::ParticleVector chaos_gas(int n = 300, std::uint64_t seed = 11) {
+  pcmd::Rng rng(seed);
+  workload::GasConfig gas;
+  gas.temperature = 0.722;
+  return workload::random_gas(n, chaos_box(), gas, rng);
+}
+
+// One injected run: returns the final particle state plus the per-step
+// stats, so callers can compare physics and counters independently.
+struct RunResult {
+  md::ParticleVector particles;
+  std::vector<ParallelStepStats> stats;
+  sim::FaultCounters faults;
+};
+
+RunResult run_injected(sim::Engine& engine, const sim::FaultPlan& plan,
+                       int steps, bool dlb) {
+  std::optional<sim::FaultInjector> injector;
+  if (!plan.empty()) {
+    injector.emplace(plan);
+    engine.set_fault_injector(&*injector);
+  }
+  ParallelMdConfig config = chaos_config(dlb);
+  config.fault_tolerance.reliable = !plan.empty();
+  ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+  RunResult result;
+  for (int i = 0; i < steps; ++i) result.stats.push_back(md.step());
+  result.particles = md.gather_particles();
+  if (injector) result.faults = injector->counters();
+  engine.set_fault_injector(nullptr);
+  return result;
+}
+
+void expect_particles_bitwise(const md::ParticleVector& a,
+                              const md::ParticleVector& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id, b[i].id) << what << " particle " << i;
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_EQ(a[i].position[c], b[i].position[c])
+          << what << " particle " << i << " component " << c;
+      ASSERT_EQ(a[i].velocity[c], b[i].velocity[c])
+          << what << " particle " << i << " component " << c;
+    }
+  }
+}
+
+// The fault plans the battery sweeps: every transient fault type alone,
+// then combined, at two seeds.
+const char* const kTransientPlans[] = {
+    "seed=1,drop=0.08",
+    "seed=1,corrupt=0.08",
+    "seed=1,delay=0.15:2e-4",
+    "seed=1,degrade=1-4x6",
+    "seed=1,stall=2@0.001-0.05x3",
+    "seed=1,drop=0.05,corrupt=0.05,delay=0.1:1e-4",
+    "seed=9,drop=0.05,corrupt=0.05,delay=0.1:1e-4",
+};
+
+TEST(Chaos, SeqAndThreadEnginesAgreeBitwiseUnderInjection) {
+  constexpr int kSteps = 12;
+  for (const char* spec : kTransientPlans) {
+    SCOPED_TRACE(spec);
+    const auto plan = sim::FaultPlan::parse(spec);
+
+    sim::SeqEngine seq(9);
+    const RunResult a = run_injected(seq, plan, kSteps, /*dlb=*/true);
+    sim::ThreadEngine thread(9);
+    const RunResult b = run_injected(thread, plan, kSteps, /*dlb=*/true);
+
+    expect_particles_bitwise(a.particles, b.particles, spec);
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (std::size_t i = 0; i < a.stats.size(); ++i) {
+      // Physics and integer fault counters must agree exactly. (Float time
+      // aggregates like stall_seconds are mutex-order sums on ThreadEngine
+      // and are deliberately not compared.)
+      EXPECT_EQ(a.stats[i].potential_energy, b.stats[i].potential_energy)
+          << "step " << i;
+      EXPECT_EQ(a.stats[i].kinetic_energy, b.stats[i].kinetic_energy);
+      EXPECT_EQ(a.stats[i].transfers, b.stats[i].transfers);
+      EXPECT_EQ(a.stats[i].retransmissions, b.stats[i].retransmissions)
+          << "retry schedule diverged between engines at step " << i;
+      EXPECT_EQ(a.stats[i].corrupt_discarded, b.stats[i].corrupt_discarded);
+      EXPECT_EQ(a.stats[i].recv_timeouts, b.stats[i].recv_timeouts);
+    }
+    EXPECT_EQ(a.faults.messages_dropped, b.faults.messages_dropped);
+    EXPECT_EQ(a.faults.messages_corrupted, b.faults.messages_corrupted);
+    EXPECT_EQ(a.faults.messages_delayed, b.faults.messages_delayed);
+    EXPECT_EQ(a.faults.stalled_advances, b.faults.stalled_advances);
+  }
+}
+
+TEST(Chaos, ReliableChannelMasksEveryTransientFaultType) {
+  constexpr int kSteps = 15;
+  sim::SeqEngine golden_engine(9);
+  const RunResult golden =
+      run_injected(golden_engine, sim::FaultPlan{}, kSteps, /*dlb=*/true);
+
+  for (const char* spec : kTransientPlans) {
+    SCOPED_TRACE(spec);
+    const auto plan = sim::FaultPlan::parse(spec);
+    ASSERT_TRUE(plan.transient_only());
+    sim::SeqEngine engine(9);
+    const RunResult faulty = run_injected(engine, plan, kSteps, /*dlb=*/true);
+
+    // The faults genuinely fired: either a counter moved, or — for pure
+    // link degradation, which has no counter — the virtual clock ran
+    // measurably longer than the fault-free golden.
+    const auto& fc = faulty.faults;
+    if (plan.degraded_links.empty()) {
+      EXPECT_GT(fc.messages_dropped + fc.messages_corrupted +
+                    fc.messages_delayed + fc.stalled_advances,
+                0u)
+          << "plan injected nothing — the test is vacuous";
+    } else {
+      EXPECT_GT(engine.makespan(), golden_engine.makespan())
+          << "degraded links did not slow the machine — the test is vacuous";
+    }
+
+    // ...and the physics never noticed: positions, velocities and energies
+    // equal the fault-free golden bitwise. Only clocks and counters moved.
+    expect_particles_bitwise(golden.particles, faulty.particles, spec);
+    for (std::size_t i = 0; i < golden.stats.size(); ++i) {
+      EXPECT_EQ(golden.stats[i].potential_energy,
+                faulty.stats[i].potential_energy)
+          << "step " << i;
+      EXPECT_EQ(golden.stats[i].kinetic_energy, faulty.stats[i].kinetic_energy);
+      EXPECT_EQ(golden.stats[i].temperature, faulty.stats[i].temperature);
+      EXPECT_EQ(golden.stats[i].total_particles,
+                faulty.stats[i].total_particles);
+    }
+    if (plan.drop_rate > 0.0) {
+      EXPECT_GT(fc.messages_dropped, 0u);
+    }
+    if (plan.corrupt_rate > 0.0) {
+      EXPECT_GT(fc.messages_corrupted, 0u);
+    }
+  }
+}
+
+TEST(Chaos, RetryCountersAreDeterministicAcrossIdenticalRuns) {
+  // Two identical injected runs must agree on every integer counter — this
+  // is the assertion the CI chaos job repeats under TSan.
+  const auto plan =
+      sim::FaultPlan::parse("seed=5,drop=0.06,corrupt=0.06,delay=0.1:1e-4");
+  auto totals = [&](sim::Engine& engine) {
+    const RunResult r = run_injected(engine, plan, 10, /*dlb=*/true);
+    std::uint64_t retransmissions = 0, corrupt = 0, timeouts = 0;
+    for (const auto& s : r.stats) {
+      retransmissions += s.retransmissions;
+      corrupt += s.corrupt_discarded;
+      timeouts += s.recv_timeouts;
+    }
+    return std::tuple(retransmissions, corrupt, timeouts,
+                      r.faults.messages_dropped, r.faults.messages_corrupted);
+  };
+  sim::ThreadEngine first(9);
+  sim::ThreadEngine second(9);
+  const auto a = totals(first);
+  const auto b = totals(second);
+  EXPECT_EQ(a, b);
+  // Stable marker line for the CI chaos job: it runs this binary twice and
+  // diffs these lines across the two processes.
+  const auto [retransmissions, corrupt, timeouts, dropped, corrupted] = a;
+  std::printf("CHAOS-COUNTERS retransmissions=%llu corrupt_discarded=%llu "
+              "recv_timeouts=%llu dropped=%llu corrupted=%llu\n",
+              static_cast<unsigned long long>(retransmissions),
+              static_cast<unsigned long long>(corrupt),
+              static_cast<unsigned long long>(timeouts),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(corrupted));
+}
+
+TEST(Chaos, CheckpointKillRestartIsBitwiseIdentical) {
+  constexpr int kTotalSteps = 30;
+  constexpr int kKillAfter = 12;  // thermostat fires at 10, 20: the restart
+                                  // boundary sits between two rescales
+
+  // Uninterrupted reference, DLB on.
+  sim::SeqEngine ref_engine(9);
+  ParallelMd reference(ref_engine, chaos_box(), chaos_gas(),
+                       chaos_config(/*dlb=*/true));
+  std::vector<ParallelStepStats> ref_stats;
+  for (int i = 0; i < kTotalSteps; ++i) ref_stats.push_back(reference.step());
+
+  // Same run, killed at kKillAfter and restarted from the checkpoint in a
+  // brand-new engine (the "machine" that replaces the crashed one).
+  sim::Buffer snapshot;
+  {
+    sim::SeqEngine engine(9);
+    ParallelMd md(engine, chaos_box(), chaos_gas(), chaos_config(true));
+    for (int i = 0; i < kKillAfter; ++i) md.step();
+    snapshot = md.checkpoint();
+  }  // original machine gone
+
+  sim::SeqEngine resumed_engine(9);
+  ParallelMd resumed(resumed_engine, snapshot, chaos_config(true));
+  EXPECT_EQ(resumed.step_count(), kKillAfter);
+  for (int i = kKillAfter; i < kTotalSteps; ++i) {
+    const auto stats = resumed.step();
+    EXPECT_EQ(stats.potential_energy, ref_stats[i].potential_energy)
+        << "diverged at step " << i;
+    EXPECT_EQ(stats.kinetic_energy, ref_stats[i].kinetic_energy);
+    EXPECT_EQ(stats.temperature, ref_stats[i].temperature);
+    EXPECT_EQ(stats.transfers, ref_stats[i].transfers);
+  }
+  expect_particles_bitwise(reference.gather_particles(),
+                           resumed.gather_particles(), "after restart");
+  EXPECT_TRUE(resumed.check_ownership().ok);
+}
+
+TEST(Chaos, CheckpointSurvivesFaultInjectionAcrossTheBoundary) {
+  // Checkpoint/restart composes with fault injection: the same plan drives
+  // both halves, and the restarted run still matches the uninterrupted one.
+  const auto plan = sim::FaultPlan::parse("seed=3,drop=0.05,corrupt=0.05");
+  constexpr int kTotalSteps = 20;
+  constexpr int kKillAfter = 8;
+
+  sim::SeqEngine ref_engine(9);
+  const RunResult reference =
+      run_injected(ref_engine, plan, kTotalSteps, /*dlb=*/true);
+
+  sim::Buffer snapshot;
+  {
+    sim::SeqEngine engine(9);
+    sim::FaultInjector injector(plan);
+    engine.set_fault_injector(&injector);
+    ParallelMdConfig config = chaos_config(true);
+    config.fault_tolerance.reliable = true;
+    ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+    for (int i = 0; i < kKillAfter; ++i) md.step();
+    snapshot = md.checkpoint();
+    engine.set_fault_injector(nullptr);
+  }
+
+  sim::SeqEngine engine(9);
+  sim::FaultInjector injector(plan);
+  engine.set_fault_injector(&injector);
+  ParallelMdConfig config = chaos_config(true);
+  config.fault_tolerance.reliable = true;
+  ParallelMd resumed(engine, snapshot, config);
+  for (int i = kKillAfter; i < kTotalSteps; ++i) resumed.step();
+  expect_particles_bitwise(reference.particles, resumed.gather_particles(),
+                           "faulty restart");
+  engine.set_fault_injector(nullptr);
+}
+
+TEST(Chaos, CheckpointRejectsCorruptionAndWrongEngine) {
+  sim::SeqEngine engine(9);
+  ParallelMd md(engine, chaos_box(), chaos_gas(100), chaos_config());
+  md.step();
+  const sim::Buffer good = md.checkpoint();
+
+  // Any flipped byte fails the envelope CRC before a field is read.
+  for (const std::size_t at : {std::size_t{0}, good.size() / 2,
+                               good.size() - 1}) {
+    sim::Buffer bad = good;
+    bad[at] ^= 0x20;
+    sim::SeqEngine fresh(9);
+    EXPECT_THROW(ParallelMd(fresh, bad, chaos_config()), std::runtime_error)
+        << "byte " << at;
+  }
+  // Truncation fails loudly too.
+  {
+    sim::Buffer bad(good.begin(), good.begin() + 10);
+    sim::SeqEngine fresh(9);
+    EXPECT_THROW(ParallelMd(fresh, bad, chaos_config()), std::runtime_error);
+  }
+  // A parallel checkpoint cannot resurrect a slab engine (kind mismatch).
+  {
+    sim::SeqEngine fresh(4);
+    SlabMdConfig slab;
+    slab.pe_count = 4;
+    slab.cells_per_axis = 6;
+    EXPECT_THROW(SlabMd(fresh, good, slab), std::runtime_error);
+  }
+  // A mismatched decomposition is rejected before any state is restored.
+  {
+    sim::SeqEngine fresh(9);
+    ParallelMdConfig wrong = chaos_config();
+    wrong.m = 4;
+    EXPECT_THROW(ParallelMd(fresh, good, wrong), std::runtime_error);
+  }
+}
+
+TEST(Chaos, SlabCheckpointKillRestartIsBitwiseIdentical) {
+  SlabMdConfig config;
+  config.pe_count = 4;
+  config.cells_per_axis = 6;
+  config.cutoff = 2.5;
+  config.dt = 0.004;
+  config.rescale_temperature = 0.722;
+  config.rescale_interval = 10;
+  config.shift_enabled = true;
+  constexpr int kTotalSteps = 24;
+  constexpr int kKillAfter = 9;
+
+  sim::SeqEngine ref_engine(4);
+  SlabMd reference(ref_engine, chaos_box(), chaos_gas(250, 5), config);
+  std::vector<SlabStepStats> ref_stats;
+  for (int i = 0; i < kTotalSteps; ++i) ref_stats.push_back(reference.step());
+
+  sim::Buffer snapshot;
+  {
+    sim::SeqEngine engine(4);
+    SlabMd md(engine, chaos_box(), chaos_gas(250, 5), config);
+    for (int i = 0; i < kKillAfter; ++i) md.step();
+    snapshot = md.checkpoint();
+  }
+
+  sim::SeqEngine resumed_engine(4);
+  SlabMd resumed(resumed_engine, snapshot, config);
+  EXPECT_EQ(resumed.step_count(), kKillAfter);
+  for (int i = kKillAfter; i < kTotalSteps; ++i) {
+    const auto stats = resumed.step();
+    EXPECT_EQ(stats.potential_energy, ref_stats[i].potential_energy)
+        << "diverged at step " << i;
+    EXPECT_EQ(stats.kinetic_energy, ref_stats[i].kinetic_energy);
+    EXPECT_EQ(stats.shifts, ref_stats[i].shifts);
+  }
+  expect_particles_bitwise(reference.gather_particles(),
+                           resumed.gather_particles(), "slab restart");
+  EXPECT_TRUE(resumed.check_partition());
+}
+
+TEST(Chaos, SerialCheckpointRoundTripsAndResumesBitwise) {
+  md::SerialMdConfig config;
+  config.dt = 0.004;
+  config.rescale_temperature = 0.722;
+  config.rescale_interval = 10;
+  const auto initial = chaos_gas(200, 17);
+
+  md::SerialMd reference(chaos_box(), initial, config);
+  std::vector<md::StepStats> ref_stats;
+  for (int i = 0; i < 25; ++i) ref_stats.push_back(reference.step());
+
+  md::SerialMd first_half(chaos_box(), initial, config);
+  for (int i = 0; i < 12; ++i) first_half.step();
+
+  md::SerialCheckpoint state;
+  state.step = first_half.step_count();
+  state.box = first_half.box();
+  state.particles = first_half.particles();
+  const sim::Buffer sealed = md::pack_serial_checkpoint(state);
+  const md::SerialCheckpoint restored = md::unpack_serial_checkpoint(sealed);
+  EXPECT_EQ(restored.step, 12);
+  EXPECT_FALSE(restored.has_rng);
+  expect_particles_bitwise(state.particles, restored.particles,
+                           "serial pack round-trip");
+
+  md::SerialMdConfig resume_config = config;
+  resume_config.initial_step = restored.step;
+  md::SerialMd resumed(restored.box, restored.particles, resume_config);
+  for (int i = 12; i < 25; ++i) {
+    const auto stats = resumed.step();
+    EXPECT_EQ(stats.potential_energy, ref_stats[i].potential_energy)
+        << "diverged at step " << i;
+    EXPECT_EQ(stats.kinetic_energy, ref_stats[i].kinetic_energy);
+  }
+  expect_particles_bitwise(reference.particles(), resumed.particles(),
+                           "serial resume");
+}
+
+TEST(Chaos, PermanentCrashDegradesGracefully) {
+  // Rank 4 (the centre of the 3x3 torus — a neighbour of everyone) dies
+  // mid-run. Survivors must detect the silence, adopt its permanent cells
+  // and keep stepping; its particles are lost (documented degradation), but
+  // the survivor count and ownership stay consistent forever after.
+  sim::FaultInjector injector(sim::FaultPlan::parse("crash=4@0.02"));
+  sim::SeqEngine engine(9);
+  engine.set_fault_injector(&injector);
+
+  ParallelMdConfig config = chaos_config(/*dlb=*/true);
+  config.fault_tolerance.reliable = true;
+  config.fault_tolerance.recovery = true;
+  ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+
+  std::int64_t particles_before = 0;
+  std::int64_t particles_after = -1;
+  bool crash_seen = false;
+  for (int i = 0; i < 40; ++i) {
+    const auto stats = md.step();
+    ASSERT_TRUE(std::isfinite(stats.potential_energy)) << "step " << i;
+    if (stats.live_ranks == 9) {
+      ASSERT_FALSE(crash_seen) << "a dead rank cannot come back";
+      particles_before = stats.total_particles;
+    } else {
+      ASSERT_EQ(stats.live_ranks, 8);
+      if (!crash_seen) {
+        // Detection step: the dead rank's final contribution may still be
+        // in flight, so the loss can land here or one step later. From the
+        // step after this one the survivor population must be closed.
+        crash_seen = true;
+      } else if (particles_after < 0) {
+        particles_after = stats.total_particles;
+        EXPECT_LT(particles_after, particles_before)
+            << "the dead rank's particles are lost by design";
+      } else {
+        EXPECT_EQ(stats.total_particles, particles_after)
+            << "survivors lost particles after the recovery at step " << i;
+      }
+    }
+  }
+  ASSERT_TRUE(crash_seen) << "rank 4 never crashed — crash time too late?";
+  ASSERT_GE(particles_after, 0) << "run ended before recovery settled";
+  EXPECT_FALSE(engine.alive(4));
+  EXPECT_EQ(engine.alive_count(), 8);
+
+  // Every live rank's ownership view has walked rank 4's columns to a
+  // survivor, and the global view is consistent.
+  const auto report = md.check_ownership();
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+  for (int r = 0; r < 9; ++r) {
+    if (r == 4) continue;
+    EXPECT_TRUE(md.column_map_view(r).columns_of(4).empty())
+        << "rank " << r << " still thinks rank 4 owns columns";
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::ddm
