@@ -9,6 +9,7 @@
 //   ./scaling_study [--steps 100] [--density 0.256] [--m 2]
 //                   [--trace out/scaling]
 //                   [--faults seed=7,drop=0.05] [--checkpoint-every 50]
+//                   [--buddy-every 10] [--spares 1]
 //                   [--degrade rank=4,at=0.05] [--degrade-factor 6]
 //
 // --trace PATH writes one Chrome trace-event JSON (PATH.p9.json, PATH.p16.json,
@@ -17,6 +18,12 @@
 // --faults PLAN injects deterministic message faults into the sweep and
 // routes all traffic through the reliable channel (physics unchanged).
 // --checkpoint-every N serializes a full checkpoint every N steps.
+//
+// --buddy-every N turns on the self-healing recovery layer: every N steps
+// each rank ships its permanent-cell state to its torus-neighbour buddy, so
+// crashes in --faults plans are survived losslessly (rollback + replay).
+// --spares S adds S idle spare ranks that take over dead ranks' roles.
+// Recovery totals are printed per grid size as RECOVERY-COUNTERS lines.
 //
 // --degrade rank=K,at=T switches to a dedicated mode: a 3x3 DLB-DDM run in
 // which rank K's compute slows down by --degrade-factor (default 6x) from
@@ -33,12 +40,61 @@
 #include "util/table.hpp"
 #include "workload/paper_system.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
 
 namespace {
+
+// Strict parse of the --degrade spec "rank=K,at=T". Unlike sscanf, this
+// rejects trailing garbage and names the offending token so typos like
+// "rank=4,at=0.05x" or "ranks=4" fail loudly instead of running a wrong
+// experiment.
+void parse_degrade_spec(const std::string& spec_text, int& slow_rank,
+                        double& at) {
+  const auto bad = [&](const std::string& token) {
+    throw std::invalid_argument(
+        "--degrade: bad token \"" + token + "\" in \"" + spec_text +
+        "\" (expected rank=K,at=T — e.g. rank=4,at=0.05)");
+  };
+  bool have_rank = false, have_at = false;
+  std::size_t pos = 0;
+  while (pos <= spec_text.size()) {
+    const std::size_t comma = spec_text.find(',', pos);
+    const std::string token = spec_text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) bad(token);
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    errno = 0;
+    char* end = nullptr;
+    if (key == "rank" && !have_rank) {
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) bad(token);
+      slow_rank = static_cast<int>(v);
+      have_rank = true;
+    } else if (key == "at" && !have_at) {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) bad(token);
+      at = v;
+      have_at = true;
+    } else {
+      bad(token);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (!have_rank || !have_at) {
+    throw std::invalid_argument("--degrade: missing " +
+                                std::string(have_rank ? "at=T" : "rank=K") +
+                                " in \"" + spec_text +
+                                "\" (expected rank=K,at=T)");
+  }
+}
 
 // The --degrade mode: DLB absorbing a permanently slowed rank.
 int run_degrade_mode(const std::string& spec_text, double factor, int m,
@@ -46,10 +102,7 @@ int run_degrade_mode(const std::string& spec_text, double factor, int m,
   using namespace pcmd;
   int slow_rank = -1;
   double at = 0.0;
-  if (std::sscanf(spec_text.c_str(), "rank=%d,at=%lf", &slow_rank, &at) != 2) {
-    throw std::invalid_argument("--degrade expects rank=K,at=T, got \"" +
-                                spec_text + "\"");
-  }
+  parse_degrade_spec(spec_text, slow_rank, at);
 
   workload::PaperSystemSpec spec;
   spec.pe_count = 9;
@@ -157,6 +210,9 @@ int main(int argc, char** argv) {
   if (!faults.empty()) injector.emplace(faults);
   const int checkpoint_every =
       static_cast<int>(cli.get_int("checkpoint-every", 0));
+  const int buddy_every = static_cast<int>(cli.get_int("buddy-every", 0));
+  const int spares = static_cast<int>(cli.get_int("spares", 0));
+  const bool healing = buddy_every > 0 || spares > 0;
 
   std::puts("== weak scaling: fixed density, growing PE grid ==");
   Table scaling({"PEs", "N", "cells", "time/step [s]", "efficiency",
@@ -170,7 +226,7 @@ int main(int argc, char** argv) {
     Rng rng(spec.seed);
     const auto initial = workload::make_paper_system(spec, rng);
 
-    sim::SeqEngine engine(spec.pe_count);
+    sim::SeqEngine engine(spec.pe_count + (healing ? spares : 0));
     if (injector) engine.set_fault_injector(&*injector);
     obs::TraceSession session(
         engine,
@@ -183,6 +239,13 @@ int main(int argc, char** argv) {
     config.dlb_enabled = true;
     config.trace = session.collector();
     config.fault_tolerance.reliable = !faults.empty();
+    if (healing) {
+      config.fault_tolerance.healing.enabled = true;
+      if (buddy_every > 0) {
+        config.fault_tolerance.healing.buddy_every = buddy_every;
+      }
+      config.fault_tolerance.healing.spares = spares;
+    }
     ddm::ParallelMd md(engine, spec.box(), initial, config);
     obs::MetricsRecorder recorder(engine);
 
@@ -202,6 +265,10 @@ int main(int argc, char** argv) {
       input.kinetic_energy = stats.kinetic_energy;
       input.temperature = stats.temperature;
       input.retransmissions = stats.retransmissions;
+      input.checkpoint_bytes = stats.checkpoint_bytes;
+      input.rollbacks = stats.rollbacks;
+      input.failovers = stats.failovers;
+      input.particles_recovered = stats.particles_recovered;
       recorder.record(input);
       if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) {
         last_checkpoint = md.checkpoint();
@@ -212,6 +279,22 @@ int main(int argc, char** argv) {
     if (checkpoints_taken > 0) {
       std::printf("p%d: %d checkpoints, last %zu bytes\n", spec.pe_count,
                   checkpoints_taken, last_checkpoint.size());
+    }
+    if (healing) {
+      const auto& rc = md.recovery_counters();
+      std::printf("RECOVERY-COUNTERS p%d: checkpoint_bytes=%llu "
+                  "generations=%llu rollbacks=%llu failovers=%llu "
+                  "roles_retired=%llu declared_dead=%llu "
+                  "particles_recovered=%llu epoch=%d\n",
+                  spec.pe_count,
+                  static_cast<unsigned long long>(rc.checkpoint_bytes),
+                  static_cast<unsigned long long>(rc.generations),
+                  static_cast<unsigned long long>(rc.rollbacks),
+                  static_cast<unsigned long long>(rc.failovers),
+                  static_cast<unsigned long long>(rc.roles_retired),
+                  static_cast<unsigned long long>(rc.declared_dead),
+                  static_cast<unsigned long long>(rc.particles_recovered),
+                  md.membership().epoch());
     }
     const double per_step = (engine.makespan() - before) / steps;
     const auto report = sim::machine_report(engine);

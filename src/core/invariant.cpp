@@ -8,13 +8,19 @@ namespace pcmd::core {
 
 void InvariantReport::fail(std::string message) {
   ok = false;
+  if (epoch > 0) {
+    std::ostringstream os;
+    os << "[epoch " << epoch << "] " << message;
+    message = os.str();
+  }
   violations.push_back(std::move(message));
 }
 
 InvariantReport check_invariants(const PillarLayout& layout,
                                  const ColumnMap& map,
-                                 const std::vector<char>* alive) {
+                                 const std::vector<char>* alive, int epoch) {
   InvariantReport report;
+  report.epoch = epoch;
   const auto& pe_torus = layout.pe_torus();
   const auto& col_torus = layout.column_torus();
 

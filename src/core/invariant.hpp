@@ -13,6 +13,7 @@ namespace pcmd::core {
 
 struct InvariantReport {
   bool ok = true;
+  int epoch = 0;  // membership epoch the check ran under (0 = static)
   std::vector<std::string> violations;
 
   void fail(std::string message);
@@ -32,8 +33,14 @@ struct InvariantReport {
 // exempt from the adjacency rule — but owning any column from a dead rank
 // while dead yourself is still a violation. nullptr = everyone alive, the
 // strict paper invariants.
+//
+// `epoch` (optional) is the membership epoch the ownership state belongs
+// to; when > 0 every violation message is prefixed with "[epoch E]" so a
+// failure after a spare-rank failover can be attributed to the correct
+// role→rank assignment generation.
 InvariantReport check_invariants(const PillarLayout& layout,
                                  const ColumnMap& map,
-                                 const std::vector<char>* alive = nullptr);
+                                 const std::vector<char>* alive = nullptr,
+                                 int epoch = 0);
 
 }  // namespace pcmd::core

@@ -2,6 +2,7 @@
 // square-pillar ParallelMd and the 1-D slab baseline SlabMd).
 #pragma once
 
+#include "ddm/recovery.hpp"
 #include "sim/reliable.hpp"
 
 namespace pcmd::ddm {
@@ -23,6 +24,12 @@ struct FaultToleranceConfig {
   // dead rank without global renumbering).
   bool recovery = false;
   double recv_timeout = 5e-4;  // virtual seconds before a peer is presumed dead
+
+  // Lossless self-healing (buddy checkpoints + spare failover + watchdog
+  // rollback; see ddm/recovery.hpp). Subsumes `recovery`: when
+  // healing.enabled, a crash is repaired from the buddy replica instead of
+  // losing the dead rank's particles. Implies `reliable` routing.
+  SelfHealingConfig healing;
 };
 
 }  // namespace pcmd::ddm

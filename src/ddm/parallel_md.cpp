@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -26,6 +27,24 @@ std::pair<int, int> decode_composite(double value) {
   const auto lo = static_cast<int>(std::llround(value - hi * kComposite));
   return {hi, lo};
 }
+
+// Engine rank count the configuration demands: the decomposition's P, plus
+// the spare pool when self-healing is on. Validated before Membership is
+// built so a bad count fails with engine-level provenance.
+int validated_rank_count(const sim::Engine& engine,
+                         const core::PillarLayout& layout,
+                         const ParallelMdConfig& config) {
+  const auto& healing = config.fault_tolerance.healing;
+  const int spares = healing.enabled ? std::max(healing.spares, 0) : 0;
+  if (engine.size() != layout.pe_count() + spares) {
+    throw std::invalid_argument(
+        healing.enabled
+            ? "ParallelMd: engine rank count must equal pe_side^2 + "
+              "healing.spares"
+            : "ParallelMd: engine rank count must equal pe_side^2");
+  }
+  return engine.size();
+}
 }  // namespace
 
 ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
@@ -39,11 +58,10 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
             layout_.cells_axis()),
       lj_(config.cutoff),
       integrator_(config.dt),
-      protocol_(layout_, config.dlb) {
-  if (engine.size() != layout_.pe_count()) {
-    throw std::invalid_argument(
-        "ParallelMd: engine rank count must equal pe_side^2");
-  }
+      protocol_(layout_, config.dlb),
+      membership_(layout_.pe_count(),
+                  validated_rank_count(engine, layout_, config)),
+      watchdog_(config.fault_tolerance.healing) {
   if (!grid_.covers_cutoff(config.cutoff)) {
     throw std::invalid_argument(
         "ParallelMd: cell edge smaller than the cut-off; box too small for "
@@ -81,11 +99,10 @@ ParallelMd::ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
             layout_.cells_axis(), layout_.cells_axis(), layout_.cells_axis()),
       lj_(config.cutoff),
       integrator_(config.dt),
-      protocol_(layout_, config.dlb) {
-  if (engine.size() != layout_.pe_count()) {
-    throw std::invalid_argument(
-        "ParallelMd: engine rank count must equal pe_side^2");
-  }
+      protocol_(layout_, config.dlb),
+      membership_(layout_.pe_count(),
+                  validated_rank_count(engine, layout_, config)),
+      watchdog_(config.fault_tolerance.healing) {
   if (config.rescale_temperature) {
     thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
@@ -140,11 +157,17 @@ ParallelMd::ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
 
 void ParallelMd::finish_construction(
     bool resume, const std::vector<double>& resume_last_busy) {
+  // Self-healing subsumes the lower fault-tolerance layers: buddy envelopes
+  // and restore traffic must survive a lossy link, so reliable routing is
+  // mandatory (crash detection reuses the recv_timeout machinery).
+  if (healing_enabled()) {
+    config_.fault_tolerance.reliable = true;
+  }
   // The strict checker presumes lossless, crash-free traffic; leave it off
   // when the run is deliberately faulty.
   auto* injector = engine_->fault_injector();
   const bool faulty = (injector != nullptr && !injector->plan().empty()) ||
-                      config_.fault_tolerance.recovery;
+                      config_.fault_tolerance.recovery || healing_enabled();
   if (config_.verify_invariants && !faulty) {
     sim::ProtocolChecker::Options options;
     // Every message of the six-phase step protocol must stay on the paper's
@@ -154,34 +177,63 @@ void ParallelMd::finish_construction(
     engine_->set_checker(checker_.get());
   }
   if (config_.trace) {
-    config_.trace->on_attach(layout_.pe_count());
+    // A promoted spare emits events from a physical rank >= pe_count, so the
+    // collector must be sized to the whole engine.
+    config_.trace->on_attach(engine_->size());
     spans_.drift = config_.trace->intern("drift");
     spans_.dlb = config_.trace->intern("dlb");
     spans_.migrate = config_.trace->intern("migrate");
     spans_.halo = config_.trace->intern("halo");
     spans_.force = config_.trace->intern("force");
+    spans_.buddy = config_.trace->intern("buddy");
+    spans_.rollback = config_.trace->intern("rollback");
+    spans_.failover = config_.trace->intern("failover");
     spans_.ctr_retransmissions = config_.trace->intern("retransmissions");
     spans_.ctr_recv_timeouts = config_.trace->intern("recv_timeouts");
     spans_.ctr_faults_injected = config_.trace->intern("faults_injected");
+    spans_.ctr_checkpoint_bytes = config_.trace->intern("checkpoint_bytes");
+    spans_.ctr_rollbacks = config_.trace->intern("rollbacks");
+    spans_.ctr_failovers = config_.trace->intern("failovers");
   }
   for (auto& rank : ranks_) {
     rank->peer_alive.assign(static_cast<std::size_t>(layout_.pe_count()), 1);
     rank->channel = sim::ReliableChannel(config_.fault_tolerance.policy);
   }
+  // Spares idle at the barriers until a failover promotes them.
+  for (int p = 0; p < engine_->size(); ++p) {
+    if (membership_.role_of(p) < 0) {
+      engine_->set_parked(p, true);
+    }
+  }
 
+  run_init_phases();
+  if (resume) {
+    for (int r = 0; r < layout_.pe_count(); ++r) {
+      ranks_[static_cast<std::size_t>(r)]->last_busy =
+          resume_last_busy[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+void ParallelMd::run_init_phases() {
   // Initial force computation so the first step's drift has f(t). On resume
-  // the forces recompute bitwise from the restored positions; the restored
-  // busy times then overwrite what this phase charged, because they — not
-  // the init cost — drive the next DLB decision.
+  // (checkpoint constructor or rollback) the forces recompute bitwise from
+  // the restored positions; the restored busy times then overwrite what this
+  // phase charged, because they — not the init cost — drive the next DLB
+  // decision.
   engine_->run_phase([this](sim::Comm& comm) {
-    send_halo(comm, *ranks_[comm.rank()], kTagInitHalo);
+    const int me = membership_.role_of(comm.rank());
+    if (me < 0) return;  // spare or roleless host: idle at the barrier
+    send_halo(comm, *ranks_[static_cast<std::size_t>(me)], me, kTagInitHalo);
   });
   engine_->run_phase([this](sim::Comm& comm) {
-    Rank& rank = *ranks_[comm.rank()];
-    absorb_halo(comm, rank, kTagInitHalo);
+    const int me = membership_.role_of(comm.rank());
+    if (me < 0) return;
+    Rank& rank = *ranks_[static_cast<std::size_t>(me)];
+    absorb_halo(comm, rank, me, kTagInitHalo);
     rank.bins.rebuild(grid_, rank.with_halo);
     std::vector<int> targets;
-    for (const int col : owned_columns(rank, comm.rank())) {
+    for (const int col : owned_columns(rank, me)) {
       const auto [cx, cy] = layout_.column_coord(col);
       for (int z = 0; z < grid_.nz(); ++z) {
         targets.push_back(grid_.flat_index({cx, cy, z}));
@@ -198,12 +250,6 @@ void ParallelMd::finish_construction(
     rank.owned.assign(rank.with_halo.begin(),
                       rank.with_halo.begin() + rank.owned.size());
   });
-  if (resume) {
-    for (int r = 0; r < layout_.pe_count(); ++r) {
-      ranks_[static_cast<std::size_t>(r)]->last_busy =
-          resume_last_busy[static_cast<std::size_t>(r)];
-    }
-  }
 }
 
 sim::Buffer ParallelMd::checkpoint() const {
@@ -249,9 +295,12 @@ void ParallelMd::verify_step_invariants() const {
     // columns await adoption. The strict per-step check would flag that
     // window as a bug; the settled state is asserted by the caller (and the
     // chaos battery) via check_ownership() once stepping is done.
-    if (config_.fault_tolerance.recovery &&
-        engine_->alive_count() < engine_->size()) {
-      return;
+    if (detect_enabled()) {
+      int live = 0;
+      for (int l = 0; l < layout_.pe_count(); ++l) {
+        if (role_live(l)) ++live;
+      }
+      if (live < layout_.pe_count()) return;
     }
     const core::InvariantReport report = check_ownership();
     if (!report.ok) {
@@ -290,37 +339,51 @@ double ParallelMd::advance_compute(sim::Comm& comm, Rank& rank,
 
 void ParallelMd::send_to(sim::Comm& comm, Rank& rank, int dst, int tag,
                          sim::Buffer payload) {
-  if (config_.fault_tolerance.recovery &&
-      rank.peer_alive[static_cast<std::size_t>(dst)] == 0) {
+  if (detect_enabled() && rank.peer_alive[static_cast<std::size_t>(dst)] == 0) {
     return;  // survivors do not talk to the dead
   }
+  const int host = membership_.physical_of(dst);
+  if (host < 0) return;  // retired role: nobody is listening
   if (config_.fault_tolerance.reliable) {
-    rank.channel.send(comm, dst, tag, payload);
+    rank.channel.send(comm, host, tag, payload);
   } else {
-    comm.send(dst, tag, std::move(payload));
+    comm.send(host, tag, std::move(payload));
   }
 }
 
 std::optional<sim::Buffer> ParallelMd::recv_from(sim::Comm& comm, Rank& rank,
                                                  int src, int tag) {
   const auto& ft = config_.fault_tolerance;
-  if (ft.recovery && rank.peer_alive[static_cast<std::size_t>(src)] == 0) {
+  if (detect_enabled() && rank.peer_alive[static_cast<std::size_t>(src)] == 0) {
     return std::nullopt;  // already known dead; nothing was sent to us
   }
-  if (!ft.recovery) {
-    if (ft.reliable) return rank.channel.recv(comm, src, tag);
-    return comm.recv(src, tag);
+  const int host = membership_.physical_of(src);
+  if (host < 0) {
+    // Retired role: permanently silent.
+    rank.peer_alive[static_cast<std::size_t>(src)] = 0;
+    return std::nullopt;
+  }
+  if (!detect_enabled()) {
+    if (ft.reliable) return rank.channel.recv(comm, host, tag);
+    return comm.recv(host, tag);
   }
   auto payload = ft.reliable
-                     ? rank.channel.recv_deadline(comm, src, tag,
+                     ? rank.channel.recv_deadline(comm, host, tag,
                                                   ft.recv_timeout)
-                     : comm.recv_deadline(src, tag, ft.recv_timeout);
-  if (!payload) on_peer_dead(rank, comm.rank(), src);
+                     : comm.recv_deadline(host, tag, ft.recv_timeout);
+  if (!payload) on_peer_dead(rank, membership_.role_of(comm.rank()), src);
   return payload;
 }
 
 void ParallelMd::on_peer_dead(Rank& rank, int me, int dead) {
   rank.peer_alive[static_cast<std::size_t>(dead)] = 0;
+  if (healing_enabled()) {
+    // The recovery driver repairs membership and ownership between phases;
+    // local adoption would only disturb the doomed attempt, which is about
+    // to be rolled back anyway.
+    (void)me;
+    return;
+  }
   // Re-adopt the dead rank's permanent cells: each column returns to its
   // home rank, or to the lowest live rank when the home rank is dead too.
   // Every survivor runs this rule on an identical view in the same phase
@@ -355,8 +418,7 @@ void ParallelMd::span_end(sim::Comm& comm, std::uint32_t name) const {
   }
 }
 
-void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int tag) {
-  const int me = comm.rank();
+void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
   const auto& col_torus = layout_.column_torus();
   const auto neighbors = layout_.pe_torus().neighbors8(me);
 
@@ -406,8 +468,7 @@ void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int tag) {
   }
 }
 
-void ParallelMd::absorb_halo(sim::Comm& comm, Rank& rank, int tag) {
-  const int me = comm.rank();
+void ParallelMd::absorb_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
   rank.with_halo = rank.owned;
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
     auto payload = recv_from(comm, rank, nb, tag);
@@ -421,8 +482,7 @@ void ParallelMd::absorb_halo(sim::Comm& comm, Rank& rank, int tag) {
   }
 }
 
-void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm) {
-  const int me = comm.rank();
+void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm, int me) {
   Rank& rank = *ranks_[me];
   rank.busy_accum = 0.0;
   rank.transfers_made = 0;
@@ -433,6 +493,21 @@ void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm) {
   integrator_.drift(rank.owned, box_);
   span_end(comm, spans_.drift);
 
+  // Silent data corruption: scramble one particle's velocity, keyed on the
+  // *physical* host and its clock so both engines corrupt exactly the same
+  // steps. Applied after the drift so the position stays in an owned column
+  // (the corruption surfaces through the physics, not a protocol error).
+  // Healing runs only — without a watchdog it would just falsify results.
+  if (healing_enabled()) {
+    if (auto* injector = engine_->fault_injector()) {
+      const double factor = injector->sdc_factor(comm.rank(), comm.clock());
+      if (factor != 1.0 && !rank.owned.empty()) {
+        rank.owned.front().velocity *= factor;
+        injector->count_sdc();
+      }
+    }
+  }
+
   std::vector<std::int32_t> columns;
   for (const int col : owned_columns(rank, me)) {
     columns.push_back(static_cast<std::int32_t>(col));
@@ -442,8 +517,7 @@ void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm) {
   }
 }
 
-void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
-  const int me = comm.rank();
+void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm, int me) {
   Rank& rank = *ranks_[me];
   const auto neighbors = layout_.pe_torus().neighbors8(me);
 
@@ -533,8 +607,7 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm) {
   span_end(comm, spans_.migrate);
 }
 
-void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
-  const int me = comm.rank();
+void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm, int me) {
   Rank& rank = *ranks_[me];
   const auto neighbors = layout_.pe_torus().neighbors8(me);
 
@@ -588,8 +661,7 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm) {
   span_end(comm, spans_.migrate);
 }
 
-void ParallelMd::phase_d_halo_send(sim::Comm& comm) {
-  const int me = comm.rank();
+void ParallelMd::phase_d_halo_send(sim::Comm& comm, int me) {
   Rank& rank = *ranks_[me];
   span_begin(comm, spans_.migrate);
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
@@ -606,15 +678,14 @@ void ParallelMd::phase_d_halo_send(sim::Comm& comm) {
   }
   span_end(comm, spans_.migrate);
   span_begin(comm, spans_.halo);
-  send_halo(comm, rank, kTagHalo);
+  send_halo(comm, rank, me, kTagHalo);
   span_end(comm, spans_.halo);
 }
 
-void ParallelMd::phase_e_forces(sim::Comm& comm) {
-  const int me = comm.rank();
+void ParallelMd::phase_e_forces(sim::Comm& comm, int me) {
   Rank& rank = *ranks_[me];
   span_begin(comm, spans_.halo);
-  absorb_halo(comm, rank, kTagHalo);
+  absorb_halo(comm, rank, me, kTagHalo);
   span_end(comm, spans_.halo);
   span_begin(comm, spans_.force);
   rank.bins.rebuild(grid_, rank.with_halo);
@@ -652,6 +723,9 @@ void ParallelMd::phase_e_forces(sim::Comm& comm) {
   const double ke = md::kinetic_energy(rank.owned);
   const double owned_cells = static_cast<double>(targets.size());
 
+  // Collectives fill the logical slot `me`, so the combine order — and the
+  // reduced values, bit for bit — are independent of which physical rank
+  // hosts each role (see Comm::collective_begin).
   const double sums[8] = {rank.local_pe,
                           ke,
                           static_cast<double>(rank.local_pairs),
@@ -660,19 +734,38 @@ void ParallelMd::phase_e_forces(sim::Comm& comm) {
                           static_cast<double>(rank.transfers_made),
                           rank.force_seconds,
                           rank.local_virial};
-  comm.collective_begin(sim::ReduceOp::kSum, sums);
-  const double maxes[3] = {rank.force_seconds,
-                           owned_cells * kComposite + empty,
-                           empty * kComposite + owned_cells};
-  comm.collective_begin(sim::ReduceOp::kMax, maxes);
+  comm.collective_begin(sim::ReduceOp::kSum, sums, me);
+  if (healing_enabled()) {
+    // Fourth slot: the velocity alarm. A role whose particles exceed the
+    // configured speed flags itself as role + 1 (0 = no alarm); the max
+    // identifies one suspect for the watchdog.
+    double alarm = 0.0;
+    const double limit = config_.fault_tolerance.healing.velocity_alarm;
+    for (const auto& p : rank.owned) {
+      if (std::abs(p.velocity.x) > limit || std::abs(p.velocity.y) > limit ||
+          std::abs(p.velocity.z) > limit) {
+        alarm = static_cast<double>(me + 1);
+        break;
+      }
+    }
+    const double maxes[4] = {rank.force_seconds,
+                             owned_cells * kComposite + empty,
+                             empty * kComposite + owned_cells, alarm};
+    comm.collective_begin(sim::ReduceOp::kMax, maxes, me);
+  } else {
+    const double maxes[3] = {rank.force_seconds,
+                             owned_cells * kComposite + empty,
+                             empty * kComposite + owned_cells};
+    comm.collective_begin(sim::ReduceOp::kMax, maxes, me);
+  }
   const double mins[1] = {rank.force_seconds};
-  comm.collective_begin(sim::ReduceOp::kMin, mins);
+  comm.collective_begin(sim::ReduceOp::kMin, mins, me);
 
   rank.last_busy = rank.busy_accum;
 }
 
-void ParallelMd::phase_f_finish(sim::Comm& comm) {
-  Rank& rank = *ranks_[comm.rank()];
+void ParallelMd::phase_f_finish(sim::Comm& comm, int me) {
+  Rank& rank = *ranks_[me];
   rank.sums = comm.collective_end();
   rank.maxes = comm.collective_end();
   rank.mins = comm.collective_end();
@@ -686,38 +779,52 @@ void ParallelMd::phase_f_finish(sim::Comm& comm) {
   }
 }
 
-ParallelStepStats ParallelMd::step() {
+ParallelStepStats ParallelMd::attempt_step() {
   const double makespan_before = engine_->makespan();
   const std::int64_t step_number = step_count_ + 1;
   dlb_active_this_step_ =
       config_.dlb_enabled && (step_number % config_.dlb.interval == 0);
 
-  engine_->run_phase([this](sim::Comm& c) { phase_a_drift_and_digest(c); });
-  engine_->run_phase([this](sim::Comm& c) { phase_b_decide_and_migrate(c); });
-  engine_->run_phase([this](sim::Comm& c) { phase_c_absorb_and_forward(c); });
-  engine_->run_phase([this](sim::Comm& c) { phase_d_halo_send(c); });
-  engine_->run_phase([this](sim::Comm& c) { phase_e_forces(c); });
-  engine_->run_phase([this](sim::Comm& c) { phase_f_finish(c); });
+  const auto role_phase = [this](void (ParallelMd::*body)(sim::Comm&, int)) {
+    engine_->run_phase([this, body](sim::Comm& comm) {
+      const int me = membership_.role_of(comm.rank());
+      if (me < 0) return;  // spare or roleless host: idle at the barrier
+      (this->*body)(comm, me);
+    });
+  };
+  role_phase(&ParallelMd::phase_a_drift_and_digest);
+  role_phase(&ParallelMd::phase_b_decide_and_migrate);
+  role_phase(&ParallelMd::phase_c_absorb_and_forward);
+  role_phase(&ParallelMd::phase_d_halo_send);
+  role_phase(&ParallelMd::phase_e_forces);
+  role_phase(&ParallelMd::phase_f_finish);
 
   ++step_count_;
   if (config_.verify_invariants) {
     verify_step_invariants();
   }
 
-  // Reduced results are read from the lowest rank that is still running —
-  // every live rank holds identical copies.
+  // Reduced results are read from the lowest role whose host is still
+  // running — every live role holds identical copies.
   int reporter = 0;
-  while (reporter < engine_->size() - 1 && !engine_->alive(reporter)) {
+  while (reporter < layout_.pe_count() - 1 && !role_live(reporter)) {
     ++reporter;
   }
   const Rank& r0 = *ranks_[static_cast<std::size_t>(reporter)];
   ParallelStepStats stats;
   stats.step = step_count_;
   stats.t_step = engine_->makespan() - makespan_before;
-  stats.live_ranks = engine_->alive_count();
+  int live_roles = 0;
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    if (role_live(l)) ++live_roles;
+  }
+  stats.live_ranks = live_roles;
+  stats.epoch = membership_.epoch();
 
-  std::uint64_t retransmissions = 0;
-  std::uint64_t corrupt_discarded = 0;
+  // Cumulative channel totals; the lost_* terms preserve the counts of
+  // channels reset by a failover, keeping the totals monotone.
+  std::uint64_t retransmissions = lost_retransmissions_;
+  std::uint64_t corrupt_discarded = lost_corrupt_discarded_;
   for (const auto& rank : ranks_) {
     const auto& cc = rank->channel.counters();
     retransmissions += cc.retransmissions;
@@ -734,47 +841,144 @@ ParallelStepStats ParallelMd::step() {
   prev_retransmissions_ = retransmissions;
   prev_corrupt_discarded_ = corrupt_discarded;
   prev_recv_timeouts_ = timeouts;
-  stats.potential_energy = r0.sums[0];
-  stats.kinetic_energy = r0.sums[1];
-  stats.pair_evaluations = static_cast<std::uint64_t>(r0.sums[2]);
-  stats.total_particles = static_cast<std::int64_t>(r0.sums[3]);
-  stats.empty_cells = static_cast<int>(r0.sums[4]);
-  stats.transfers = static_cast<int>(r0.sums[5]);
-  stats.force_max = r0.maxes[0];
-  stats.force_avg = 0.0;
-  stats.force_min = r0.mins[0];
-  stats.temperature =
-      md::temperature_from_ke(stats.kinetic_energy, stats.total_particles);
-  stats.virial = r0.sums[7];
-  stats.pressure = md::pressure(stats.temperature, stats.virial,
-                                stats.total_particles, box_.volume());
 
-  const auto [cells_a, empty_a] = decode_composite(r0.maxes[1]);
-  stats.max_domain_cells = cells_a;
-  stats.max_domain_empty = empty_a;
-  const auto [empty_b, cells_b] = decode_composite(r0.maxes[2]);
-  stats.max_empty_cells = empty_b;
-  stats.max_empty_domain_cells = cells_b;
+  last_suspect_ = -1;
+  if (r0.sums.size() >= 8 && r0.maxes.size() >= 3 && !r0.mins.empty()) {
+    stats.potential_energy = r0.sums[0];
+    stats.kinetic_energy = r0.sums[1];
+    stats.pair_evaluations = static_cast<std::uint64_t>(r0.sums[2]);
+    stats.total_particles = static_cast<std::int64_t>(r0.sums[3]);
+    stats.empty_cells = static_cast<int>(r0.sums[4]);
+    stats.transfers = static_cast<int>(r0.sums[5]);
+    stats.force_max = r0.maxes[0];
+    stats.force_min = r0.mins[0];
+    stats.temperature =
+        md::temperature_from_ke(stats.kinetic_energy, stats.total_particles);
+    stats.virial = r0.sums[7];
+    stats.pressure = md::pressure(stats.temperature, stats.virial,
+                                  stats.total_particles, box_.volume());
 
-  stats.force_avg =
-      r0.sums[6] / static_cast<double>(std::max(stats.live_ranks, 1));
+    const auto [cells_a, empty_a] = decode_composite(r0.maxes[1]);
+    stats.max_domain_cells = cells_a;
+    stats.max_domain_empty = empty_a;
+    const auto [empty_b, cells_b] = decode_composite(r0.maxes[2]);
+    stats.max_empty_cells = empty_b;
+    stats.max_empty_domain_cells = cells_b;
+
+    stats.force_avg =
+        r0.sums[6] / static_cast<double>(std::max(stats.live_ranks, 1));
+
+    if (healing_enabled() && r0.maxes.size() >= 4) {
+      last_suspect_ = static_cast<int>(r0.maxes[3]) - 1;
+    }
+  }
 
   if (config_.trace) {
     // Running totals as Chrome-trace counter tracks, next to the spans.
     const double now = engine_->makespan();
-    config_.trace->counter(reporter, spans_.ctr_retransmissions, now,
+    const int host = std::max(membership_.physical_of(reporter), 0);
+    config_.trace->counter(host, spans_.ctr_retransmissions, now,
                            static_cast<double>(retransmissions));
-    config_.trace->counter(reporter, spans_.ctr_recv_timeouts, now,
+    config_.trace->counter(host, spans_.ctr_recv_timeouts, now,
                            static_cast<double>(timeouts));
     if (auto* injector = engine_->fault_injector()) {
       const auto fc = injector->counters();
       config_.trace->counter(
-          reporter, spans_.ctr_faults_injected, now,
+          host, spans_.ctr_faults_injected, now,
           static_cast<double>(fc.messages_dropped + fc.messages_corrupted +
                               fc.messages_delayed));
     }
   }
   return stats;
+}
+
+ParallelStepStats ParallelMd::step() {
+  const auto& healing = config_.fault_tolerance.healing;
+  // The step this call must deliver: a rollback rewinds step_count_, and
+  // every rolled-back step is then replayed inside this same call so the
+  // caller always observes a monotone step sequence.
+  const std::int64_t target = step_count_ + 1;
+  int recoveries = 0;
+  for (;;) {
+    maybe_buddy_round();
+    ParallelStepStats stats = attempt_step();
+    if (!healing_enabled()) {
+      return stats;  // PR 3 degrade mode, or no fault tolerance at all
+    }
+
+    // CRC-discard delta of this attempt, for the watchdog's escalation.
+    const std::uint64_t corrupt_delta =
+        prev_corrupt_discarded_ - watch_prev_corrupt_;
+    watch_prev_corrupt_ = prev_corrupt_discarded_;
+
+    const auto check_budget = [&] {
+      if (++recoveries > healing.max_recovery_rounds) {
+        throw RecoveryError(
+            "self-healing: recovery budget exhausted at step " +
+            std::to_string(target) + " (" +
+            std::to_string(healing.max_recovery_rounds) + " rounds)");
+      }
+    };
+
+    const auto dead = scan_dead_roles();
+    if (!dead.empty()) {
+      check_budget();
+      recover_from_deaths(dead);
+      continue;
+    }
+
+    const bool rebase = thermostat_ && thermostat_->due(step_count_);
+    const auto report =
+        watchdog_.inspect(stats.potential_energy + stats.kinetic_energy,
+                          rebase, last_suspect_, corrupt_delta);
+    if (report.verdict == Watchdog::Verdict::kClean) {
+      if (step_count_ < target) continue;  // replaying rolled-back steps
+      stats.checkpoint_bytes =
+          recovery_.checkpoint_bytes - prev_recovery_.checkpoint_bytes;
+      stats.rollbacks = recovery_.rollbacks - prev_recovery_.rollbacks;
+      stats.failovers = recovery_.failovers - prev_recovery_.failovers;
+      stats.particles_recovered =
+          recovery_.particles_recovered - prev_recovery_.particles_recovered;
+      stats.epoch = membership_.epoch();
+      prev_recovery_ = recovery_;
+      if (config_.trace) {
+        const double now = engine_->makespan();
+        int host = 0;
+        for (int p = 0; p < engine_->size(); ++p) {
+          if (engine_->alive(p)) {
+            host = p;
+            break;
+          }
+        }
+        config_.trace->counter(host, spans_.ctr_checkpoint_bytes, now,
+                               static_cast<double>(recovery_.checkpoint_bytes));
+        config_.trace->counter(host, spans_.ctr_rollbacks, now,
+                               static_cast<double>(recovery_.rollbacks));
+        config_.trace->counter(host, spans_.ctr_failovers, now,
+                               static_cast<double>(recovery_.failovers));
+      }
+      return stats;
+    }
+
+    check_budget();
+    if (report.verdict == Watchdog::Verdict::kDeclareDead) {
+      // The suspect keeps producing corrupt state past the rollback budget:
+      // excise it exactly as a crash would, then let failover repair it.
+      const int host = membership_.physical_of(report.suspect);
+      if (host >= 0) {
+        engine_->declare_dead(host);
+      }
+      ++recovery_.declared_dead;
+      watchdog_.note_recovered();
+      recover_from_deaths({report.suspect});
+      continue;
+    }
+
+    // Verdict::kRollback: every role rewinds to the newest generation all of
+    // them can restore, then the steps replay.
+    watchdog_.note_rollback();
+    perform_rollback(choose_generation({}), {}, {});
+  }
 }
 
 ParallelStepStats ParallelMd::run(std::int64_t steps) {
@@ -783,10 +987,363 @@ ParallelStepStats ParallelMd::run(std::int64_t steps) {
   return stats;
 }
 
+int ParallelMd::buddy_of(int role) const {
+  const auto& torus = layout_.pe_torus();
+  sim::Coord2 c = torus.coord_of(role);
+  ++c.j;
+  return torus.rank_of(c);
+}
+
+int ParallelMd::ward_of(int role) const {
+  const auto& torus = layout_.pe_torus();
+  sim::Coord2 c = torus.coord_of(role);
+  --c.j;
+  return torus.rank_of(c);
+}
+
+void ParallelMd::maybe_buddy_round() {
+  if (!healing_enabled()) return;
+  const int every = std::max(1, config_.fault_tolerance.healing.buddy_every);
+  if (step_count_ % every != 0) return;
+  if (last_generation_ == step_count_) return;  // this generation is covered
+  buddy_round();
+}
+
+void ParallelMd::buddy_round() {
+  const std::int64_t gen = step_count_;
+  // Phase 1: every live role seals its state and ships it to its buddy (the
+  // +1-column torus neighbour), keeping its own copy in the 2-deep window.
+  engine_->run_phase([this, gen](sim::Comm& comm) {
+    const int me = membership_.role_of(comm.rank());
+    if (me < 0) return;
+    Rank& rank = *ranks_[static_cast<std::size_t>(me)];
+    span_begin(comm, spans_.buddy);
+    RankEnvelope envelope;
+    envelope.role = me;
+    envelope.generation = gen;
+    envelope.owned = rank.owned;
+    envelope.owners.resize(static_cast<std::size_t>(layout_.num_columns()));
+    for (int col = 0; col < layout_.num_columns(); ++col) {
+      envelope.owners[static_cast<std::size_t>(col)] =
+          static_cast<std::int32_t>(rank.map.owner(col));
+    }
+    envelope.last_busy = rank.last_busy;
+    envelope.force_seconds = rank.force_seconds;
+    sim::Buffer sealed = pack_rank_envelope(envelope);
+    rank.self_snap[1] = std::move(rank.self_snap[0]);
+    rank.self_snap[0] = Snapshot{gen, sealed};
+    send_to(comm, rank, buddy_of(me), kTagBuddy, std::move(sealed));
+    span_end(comm, spans_.buddy);
+  });
+  // Phase 2: absorb the ward's envelope (the -1-column neighbour's state).
+  engine_->run_phase([this, gen](sim::Comm& comm) {
+    const int me = membership_.role_of(comm.rank());
+    if (me < 0) return;
+    Rank& rank = *ranks_[static_cast<std::size_t>(me)];
+    span_begin(comm, spans_.buddy);
+    if (auto payload = recv_from(comm, rank, ward_of(me), kTagBuddy)) {
+      rank.ward_snap[1] = std::move(rank.ward_snap[0]);
+      rank.ward_snap[0] = Snapshot{gen, std::move(*payload)};
+    }
+    span_end(comm, spans_.buddy);
+  });
+  // Driver-side accounting (counters are never touched by phase bodies).
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    const Rank& rank = *ranks_[static_cast<std::size_t>(l)];
+    if (role_live(l) && rank.self_snap[0].generation == gen) {
+      recovery_.checkpoint_bytes += rank.self_snap[0].sealed.size();
+    }
+  }
+  ++recovery_.generations;
+  last_generation_ = gen;
+}
+
+std::vector<int> ParallelMd::scan_dead_roles() const {
+  std::vector<int> dead;
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    const int host = membership_.physical_of(l);
+    if (host >= 0 && !engine_->alive(host)) {
+      dead.push_back(l);
+    }
+  }
+  return dead;
+}
+
+void ParallelMd::recover_from_deaths(const std::vector<int>& dead_roles) {
+  const double begin = engine_->makespan();
+  // A spare that died while parked must never be promoted.
+  for (int p = 0; p < engine_->size(); ++p) {
+    if (membership_.is_spare(p) && !engine_->alive(p)) {
+      membership_.spare_died(p);
+    }
+  }
+  std::vector<int> promoted;
+  std::vector<int> retired;
+  for (const int l : dead_roles) {
+    // The dead host's in-memory state is gone with it; drop it here so
+    // nothing stale leaks into a successor. Its channel counters fold into
+    // the lost_* totals first so the cumulative stats stay monotone.
+    Rank& rank = *ranks_[static_cast<std::size_t>(l)];
+    const auto& cc = rank.channel.counters();
+    lost_retransmissions_ += cc.retransmissions;
+    lost_corrupt_discarded_ += cc.corrupt_discarded;
+    rank.channel = sim::ReliableChannel(config_.fault_tolerance.policy);
+    rank.owned.clear();
+    rank.with_halo.clear();
+    rank.self_snap = {};
+    rank.ward_snap = {};
+    rank.sums.clear();
+    rank.maxes.clear();
+    rank.mins.clear();
+    const int host = membership_.fail_over(l);
+    if (host >= 0) {
+      engine_->set_parked(host, false);
+      promoted.push_back(l);
+      ++recovery_.failovers;
+    } else {
+      retired.push_back(l);
+      ++recovery_.roles_retired;
+    }
+  }
+  // Both promoted and retired roles restore from their buddy's replica;
+  // survivors restore from their own window.
+  std::vector<int> from_buddy = promoted;
+  from_buddy.insert(from_buddy.end(), retired.begin(), retired.end());
+  const std::int64_t gen = choose_generation(from_buddy);
+  perform_rollback(gen, promoted, retired);
+  watchdog_.note_recovered();
+  // Re-replicate immediately: the restored state (including any adoption of
+  // retired roles' cells) becomes the new recovery point, so a second crash
+  // right away still recovers losslessly.
+  buddy_round();
+  driver_span(spans_.failover, begin, engine_->makespan());
+}
+
+std::int64_t ParallelMd::choose_generation(
+    const std::vector<int>& promoted) const {
+  const auto needs_buddy = [&](int l) {
+    return std::find(promoted.begin(), promoted.end(), l) != promoted.end();
+  };
+  const auto has_gen = [](const std::array<Snapshot, 2>& snaps,
+                          std::int64_t gen) {
+    return snaps[0].generation == gen || snaps[1].generation == gen;
+  };
+  std::vector<std::int64_t> candidates;
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    const Rank& rank = *ranks_[static_cast<std::size_t>(l)];
+    for (const auto& snap : rank.self_snap) {
+      if (snap.generation >= 0) candidates.push_back(snap.generation);
+    }
+    for (const auto& snap : rank.ward_snap) {
+      if (snap.generation >= 0) candidates.push_back(snap.generation);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), std::greater<>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  for (const std::int64_t gen : candidates) {
+    bool ok = true;
+    for (int l = 0; l < layout_.pe_count() && ok; ++l) {
+      if (needs_buddy(l)) {
+        // A promoted (or retiring) role needs its buddy alive and holding
+        // the ward envelope of this generation.
+        const int buddy = buddy_of(l);
+        ok = role_live(buddy) &&
+             has_gen(ranks_[static_cast<std::size_t>(buddy)]->ward_snap, gen);
+      } else if (role_live(l)) {
+        ok = has_gen(ranks_[static_cast<std::size_t>(l)]->self_snap, gen);
+      }
+      // Roles retired in an earlier recovery need no state at all.
+    }
+    if (ok) return gen;
+  }
+  throw RecoveryError(
+      "self-healing: no generation is restorable by every live role "
+      "(adjacent buddies lost together, or a crash before the first "
+      "replication)");
+}
+
+void ParallelMd::perform_rollback(std::int64_t gen,
+                                  const std::vector<int>& promoted,
+                                  const std::vector<int>& retired) {
+  const double begin = engine_->makespan();
+  ++recovery_.rollbacks;
+
+  // Publish the repaired membership to every survivor's local view before
+  // any restore traffic: a promoted role must be reachable again, a retired
+  // one silent forever.
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    if (!role_live(l)) continue;
+    Rank& rank = *ranks_[static_cast<std::size_t>(l)];
+    for (int o = 0; o < layout_.pe_count(); ++o) {
+      rank.peer_alive[static_cast<std::size_t>(o)] = role_live(o) ? 1 : 0;
+    }
+  }
+
+  // R1: each buddy replays its ward envelope to the promoted successor. The
+  // channel streams are keyed by the *physical* peer, so the promoted host's
+  // streams start fresh at sequence 0 on both ends.
+  engine_->run_phase([this, gen, &promoted](sim::Comm& comm) {
+    const int me = membership_.role_of(comm.rank());
+    if (me < 0) return;
+    Rank& rank = *ranks_[static_cast<std::size_t>(me)];
+    const int ward = ward_of(me);
+    if (std::find(promoted.begin(), promoted.end(), ward) == promoted.end()) {
+      return;
+    }
+    span_begin(comm, spans_.failover);
+    for (const auto& snap : rank.ward_snap) {
+      if (snap.generation == gen) {
+        send_to(comm, rank, ward, kTagRestore, snap.sealed);
+        break;
+      }
+    }
+    span_end(comm, spans_.failover);
+  });
+
+  // R2: every live role restores the generation — promoted roles from the
+  // envelope just received, survivors from their own sealed copy. Envelope
+  // validation happens before any state is touched (unpack_rank_envelope).
+  engine_->run_phase([this, gen, &promoted](sim::Comm& comm) {
+    const int me = membership_.role_of(comm.rank());
+    if (me < 0) return;
+    Rank& rank = *ranks_[static_cast<std::size_t>(me)];
+    span_begin(comm, spans_.rollback);
+    sim::Buffer sealed;
+    if (std::find(promoted.begin(), promoted.end(), me) != promoted.end()) {
+      auto payload = recv_from(comm, rank, buddy_of(me), kTagRestore);
+      if (!payload) {
+        throw RecoveryError("self-healing: buddy of promoted role " +
+                            std::to_string(me) + " fell silent mid-failover");
+      }
+      sealed = std::move(*payload);
+      rank.self_snap[0] = Snapshot{gen, sealed};
+      rank.self_snap[1] = Snapshot{};
+    } else {
+      for (const auto& snap : rank.self_snap) {
+        if (snap.generation == gen) {
+          sealed = snap.sealed;
+          break;
+        }
+      }
+      if (sealed.empty()) {
+        throw RecoveryError("self-healing: role " + std::to_string(me) +
+                            " lost its own envelope of generation " +
+                            std::to_string(gen));
+      }
+    }
+    const RankEnvelope envelope =
+        unpack_rank_envelope(std::move(sealed), layout_.num_columns());
+    if (envelope.role != me) {
+      throw RecoveryError("self-healing: envelope for role " +
+                          std::to_string(envelope.role) +
+                          " replayed onto role " + std::to_string(me));
+    }
+    rank.owned = envelope.owned;
+    for (int col = 0; col < layout_.num_columns(); ++col) {
+      rank.map.set_owner(col,
+                         envelope.owners[static_cast<std::size_t>(col)]);
+    }
+    rank.restored_last_busy = envelope.last_busy;
+    rank.force_seconds = envelope.force_seconds;
+    rank.busy_accum = 0.0;
+    rank.transfers_made = 0;
+    rank.with_halo.clear();
+    span_end(comm, spans_.rollback);
+  });
+
+  for (const int l : promoted) {
+    recovery_.particles_recovered +=
+        ranks_[static_cast<std::size_t>(l)]->owned.size();
+  }
+
+  // Retired roles: no rank will ever host them again, so the driver replays
+  // the buddy's ward envelope directly — survivors adopt the columns (home
+  // role when live, else the lowest live role, PR 3's rule) and absorb the
+  // particles. Adoption can hand columns to non-neighbour roles on tori
+  // wider than 3x3; the halo planner then rejects the layout (documented
+  // retire-path caveat).
+  int lowest_live = -1;
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    if (role_live(l)) {
+      lowest_live = l;
+      break;
+    }
+  }
+  if (lowest_live < 0) {
+    throw RecoveryError("self-healing: no live role left to roll back");
+  }
+  for (const int l : retired) {
+    const Rank& buddy = *ranks_[static_cast<std::size_t>(buddy_of(l))];
+    sim::Buffer sealed;
+    for (const auto& snap : buddy.ward_snap) {
+      if (snap.generation == gen) {
+        sealed = snap.sealed;
+        break;
+      }
+    }
+    if (sealed.empty()) {
+      throw RecoveryError("self-healing: envelope of retired role " +
+                          std::to_string(l) + " is gone");
+    }
+    const RankEnvelope envelope =
+        unpack_rank_envelope(std::move(sealed), layout_.num_columns());
+    std::vector<int> successor_of(
+        static_cast<std::size_t>(layout_.num_columns()), -1);
+    for (int col = 0; col < layout_.num_columns(); ++col) {
+      if (envelope.owners[static_cast<std::size_t>(col)] != l) continue;
+      const int home = layout_.home_rank(col);
+      const int successor = role_live(home) ? home : lowest_live;
+      successor_of[static_cast<std::size_t>(col)] = successor;
+      for (int o = 0; o < layout_.pe_count(); ++o) {
+        if (role_live(o)) {
+          ranks_[static_cast<std::size_t>(o)]->map.set_owner(col, successor);
+        }
+      }
+    }
+    for (const auto& particle : envelope.owned) {
+      const int col = column_of_position(particle.position);
+      int successor = successor_of[static_cast<std::size_t>(col)];
+      if (successor < 0) {
+        successor = lowest_live;
+      }
+      ranks_[static_cast<std::size_t>(successor)]->owned.push_back(particle);
+    }
+    recovery_.particles_recovered += envelope.owned.size();
+  }
+
+  // Rewind the step counter and recompute forces from the restored
+  // positions; the envelope busy times (not the init charge) then drive the
+  // next DLB decision, exactly like the checkpoint constructor's resume.
+  step_count_ = gen;
+  run_init_phases();
+  for (int l = 0; l < layout_.pe_count(); ++l) {
+    if (role_live(l)) {
+      Rank& rank = *ranks_[static_cast<std::size_t>(l)];
+      rank.last_busy = rank.restored_last_busy;
+    }
+  }
+  driver_span(spans_.rollback, begin, engine_->makespan());
+}
+
+void ParallelMd::driver_span(std::uint32_t name, double begin,
+                             double end) const {
+  if (!config_.trace) return;
+  int host = 0;
+  for (int p = 0; p < engine_->size(); ++p) {
+    if (engine_->alive(p)) {
+      host = p;
+      break;
+    }
+  }
+  config_.trace->span_begin(host, name, begin);
+  config_.trace->span_end(host, name, end);
+}
+
 md::ParticleVector ParallelMd::gather_particles() const {
   md::ParticleVector all;
   for (int r = 0; r < layout_.pe_count(); ++r) {
-    if (!engine_->alive(r)) continue;  // a dead rank's particles are lost
+    if (!role_live(r)) continue;  // an unrecovered dead role's particles
     const auto& rank = ranks_[static_cast<std::size_t>(r)];
     all.insert(all.end(), rank->owned.begin(), rank->owned.end());
   }
@@ -809,7 +1366,7 @@ core::InvariantReport ParallelMd::check_ownership() const {
   // excluded — after recovery their columns belong to the adopters.
   std::vector<int> truth(layout_.num_columns(), -1);
   for (int r = 0; r < layout_.pe_count(); ++r) {
-    if (!engine_->alive(r)) continue;
+    if (!role_live(r)) continue;
     for (const int col : ranks_[r]->map.columns_of(r)) {
       if (truth[col] != -1) {
         std::ostringstream os;
@@ -834,9 +1391,10 @@ core::InvariantReport ParallelMd::check_ownership() const {
   // by survivors and exempt from the static placement rules.
   std::vector<char> alive(static_cast<std::size_t>(layout_.pe_count()), 1);
   for (int r = 0; r < layout_.pe_count(); ++r) {
-    alive[static_cast<std::size_t>(r)] = engine_->alive(r) ? 1 : 0;
+    alive[static_cast<std::size_t>(r)] = role_live(r) ? 1 : 0;
   }
-  const auto structural = core::check_invariants(layout_, authoritative, &alive);
+  const auto structural = core::check_invariants(layout_, authoritative, &alive,
+                                                 membership_.epoch());
   if (!structural.ok) {
     for (const auto& v : structural.violations) {
       report.fail(v);
@@ -849,7 +1407,7 @@ core::InvariantReport ParallelMd::check_ownership() const {
   // one step's announcements; the protocol never reads them.)
   const auto& col_torus = layout_.column_torus();
   for (int r = 0; r < layout_.pe_count(); ++r) {
-    if (!engine_->alive(r)) continue;
+    if (!role_live(r)) continue;
     for (const int col : ranks_[r]->map.columns_of(r)) {
       const auto [cx, cy] = layout_.column_coord(col);
       for (int dx = -1; dx <= 1; ++dx) {
@@ -868,7 +1426,7 @@ core::InvariantReport ParallelMd::check_ownership() const {
   }
   // Every particle must sit in a column its holder owns.
   for (int r = 0; r < layout_.pe_count(); ++r) {
-    if (!engine_->alive(r)) continue;
+    if (!role_live(r)) continue;
     for (const auto& p : ranks_[r]->owned) {
       const int col = column_of_position(p.position);
       if (ranks_[r]->map.owner(col) != r) {

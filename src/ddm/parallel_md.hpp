@@ -31,6 +31,7 @@
 #include "core/invariant.hpp"
 #include "core/pillar_layout.hpp"
 #include "ddm/fault_tolerance.hpp"
+#include "ddm/recovery.hpp"
 #include "md/cell_grid.hpp"
 #include "md/integrator.hpp"
 #include "md/lj.hpp"
@@ -38,8 +39,10 @@
 #include "md/thermostat.hpp"
 #include "sim/checker.hpp"
 #include "sim/comm.hpp"
+#include "sim/membership.hpp"
 #include "sim/reliable.hpp"
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -106,13 +109,27 @@ struct ParallelStepStats {
   std::uint64_t retransmissions = 0;   // reliable-channel retries
   std::uint64_t corrupt_discarded = 0; // frames dropped by the CRC check
   std::uint64_t recv_timeouts = 0;     // expired recv deadlines
-  int live_ranks = 0;                  // ranks still executing phases
+  int live_ranks = 0;                  // roles with a live host
+  // Self-healing accounting (healing.enabled runs; per-step deltas):
+  std::uint64_t checkpoint_bytes = 0;    // buddy envelope bytes shipped
+  std::uint64_t rollbacks = 0;           // all-role rollbacks executed
+  std::uint64_t failovers = 0;           // roles promoted onto a spare
+  std::uint64_t particles_recovered = 0; // particles replayed from envelopes
+  int epoch = 0;                         // membership epoch after the step
 };
 
+// The engine computes in logical *role* space (sim/membership.hpp): ranks_
+// is indexed by role, column maps store role ids, and collectives fill
+// logical slots. Only send_to/recv_from translate role -> physical engine
+// rank, so a failover (role moved to a spare) changes no arithmetic. With
+// fault_tolerance.healing disabled the mapping is the identity and the
+// engine behaves exactly as before.
 class ParallelMd {
  public:
   // `initial` must lie inside `box`; the box edge must equal
-  // (m * pe_side) * cell_edge with cell_edge >= cutoff.
+  // (m * pe_side) * cell_edge with cell_edge >= cutoff. The engine must
+  // provide pe_side^2 ranks, plus fault_tolerance.healing.spares extra
+  // ranks when healing is enabled.
   ParallelMd(sim::Engine& engine, const Box& box,
              const md::ParticleVector& initial, const ParallelMdConfig& config);
   // Resumes from a checkpoint() buffer: particle order, ownership, DLB busy
@@ -145,19 +162,29 @@ class ParallelMd {
   int total_cells() const { return grid_.num_cells(); }
 
   // ---- validation / diagnostics (outside the SPMD model) ----
-  // All particles across ranks, sorted by id.
+  // All particles across live roles, sorted by id.
   md::ParticleVector gather_particles() const;
-  // A rank's local ownership view.
+  // A role's local ownership view.
   const core::ColumnMap& column_map_view(int rank) const;
   // Structural invariants on rank 0's view plus cross-rank consistency of
   // every rank's view of its own and its neighbours' columns.
   core::InvariantReport check_ownership() const;
-  // Particles currently held by a rank.
+  // Particles currently held by a role.
   std::size_t owned_count(int rank) const;
-  // Last step's force-computation virtual seconds on a rank.
+  // Last step's force-computation virtual seconds on a role.
   double force_seconds(int rank) const;
 
+  // ---- self-healing introspection ----
+  const sim::Membership& membership() const { return membership_; }
+  const RecoveryCounters& recovery_counters() const { return recovery_; }
+
  private:
+  // One sealed buddy envelope (pack_rank_envelope) at one generation.
+  struct Snapshot {
+    std::int64_t generation = -1;
+    sim::Buffer sealed;
+  };
+
   struct Rank {
     md::ParticleVector owned;
     core::ColumnMap map;
@@ -177,29 +204,80 @@ class ParallelMd {
     std::uint64_t local_pairs = 0;
     // Reduced results stored in phase F:
     std::vector<double> sums, maxes, mins;
+    // Self-healing: the two newest generations of this role's own envelope
+    // and of its ward's (the role whose buddy this role is), newest first.
+    std::array<Snapshot, 2> self_snap;
+    std::array<Snapshot, 2> ward_snap;
+    // Envelope busy time staged during a rollback; re-applied after the
+    // init phases recompute forces (same resume rule as the checkpoint
+    // constructor).
+    double restored_last_busy = 0.0;
 
     explicit Rank(const core::PillarLayout& layout) : map(layout) {}
   };
 
-  // Phase bodies.
-  void phase_a_drift_and_digest(sim::Comm& comm);
-  void phase_b_decide_and_migrate(sim::Comm& comm);
-  void phase_c_absorb_and_forward(sim::Comm& comm);
-  void phase_d_halo_send(sim::Comm& comm);
-  void phase_e_forces(sim::Comm& comm);
-  void phase_f_finish(sim::Comm& comm);
+  // Phase bodies (`me` is the executing role).
+  void phase_a_drift_and_digest(sim::Comm& comm, int me);
+  void phase_b_decide_and_migrate(sim::Comm& comm, int me);
+  void phase_c_absorb_and_forward(sim::Comm& comm, int me);
+  void phase_d_halo_send(sim::Comm& comm, int me);
+  void phase_e_forces(sim::Comm& comm, int me);
+  void phase_f_finish(sim::Comm& comm, int me);
 
   // Helpers.
   int column_of_position(const Vec3& position) const;
   std::vector<int> owned_columns(const Rank& rank, int rank_id) const;
-  void send_halo(sim::Comm& comm, Rank& rank, int tag);
-  void absorb_halo(sim::Comm& comm, Rank& rank, int tag);
+  void send_halo(sim::Comm& comm, Rank& rank, int me, int tag);
+  void absorb_halo(sim::Comm& comm, Rank& rank, int me, int tag);
   double advance_compute(sim::Comm& comm, Rank& rank, double seconds);
 
-  // Fault-tolerant transport: all wire traffic funnels through these. With
-  // fault_tolerance.reliable the payload rides the rank's ReliableChannel;
-  // with .recovery a silent peer is declared dead (recv_from returns
-  // nullopt) and its columns are adopted.
+  bool healing_enabled() const {
+    return config_.fault_tolerance.healing.enabled;
+  }
+  // Death detection active: either PR 3's degrade-mode recovery or healing.
+  bool detect_enabled() const {
+    return config_.fault_tolerance.recovery || healing_enabled();
+  }
+  // Role `role` currently has a live host.
+  bool role_live(int role) const {
+    const int p = membership_.physical_of(role);
+    return p >= 0 && engine_->alive(p);
+  }
+  // Torus buddy assignment: the envelope of role l is replicated on its
+  // +1-column neighbour (buddy); l is that neighbour's *ward*.
+  int buddy_of(int role) const;
+  int ward_of(int role) const;
+
+  // ---- self-healing machinery (driver side, between phases) ----
+  // One attempted MD step: the six phases plus statistics assembly.
+  // Increments step_count_; the result is discarded if the step is then
+  // rolled back.
+  ParallelStepStats attempt_step();
+  // Ships every live role's envelope to its buddy (two phases); records
+  // generation = step_count_.
+  void buddy_round();
+  void maybe_buddy_round();
+  // Roles whose host died since the last scan.
+  std::vector<int> scan_dead_roles() const;
+  // Failover/retire the dead roles, roll every survivor back to a common
+  // generation, replay envelopes, and re-replicate.
+  void recover_from_deaths(const std::vector<int>& dead_roles);
+  // Newest generation restorable by every live role (promoted roles restore
+  // from their buddy's ward envelope). Throws RecoveryError if none.
+  std::int64_t choose_generation(const std::vector<int>& promoted) const;
+  // All-role rollback to `gen`: restore state, redistribute retired roles'
+  // envelopes, rerun the init phases, reset step_count_.
+  void perform_rollback(std::int64_t gen, const std::vector<int>& promoted,
+                        const std::vector<int>& retired);
+  // The initial halo + force phases (construction and post-rollback).
+  void run_init_phases();
+
+  // Fault-tolerant transport: all wire traffic funnels through these, and
+  // they are the ONLY place roles translate to physical ranks. With
+  // fault_tolerance.reliable the payload rides the role's ReliableChannel
+  // (streams keyed by the physical peer, so a failover naturally restarts
+  // them at sequence 0 on both ends); with death detection a silent peer is
+  // declared dead (recv_from returns nullopt). `dst`/`src` are roles.
   void send_to(sim::Comm& comm, Rank& rank, int dst, int tag,
                sim::Buffer payload);
   std::optional<sim::Buffer> recv_from(sim::Comm& comm, Rank& rank, int src,
@@ -218,13 +296,23 @@ class ParallelMd {
     std::uint32_t migrate = 0;
     std::uint32_t halo = 0;
     std::uint32_t force = 0;
+    // Self-healing spans (buddy from phase bodies; the rest driver-side):
+    std::uint32_t buddy = 0;
+    std::uint32_t rollback = 0;
+    std::uint32_t failover = 0;
     // Counter tracks (running totals) for the fault-tolerance layer:
     std::uint32_t ctr_retransmissions = 0;
     std::uint32_t ctr_recv_timeouts = 0;
     std::uint32_t ctr_faults_injected = 0;
+    std::uint32_t ctr_checkpoint_bytes = 0;
+    std::uint32_t ctr_rollbacks = 0;
+    std::uint32_t ctr_failovers = 0;
   };
   void span_begin(sim::Comm& comm, std::uint32_t name) const;
   void span_end(sim::Comm& comm, std::uint32_t name) const;
+  // Driver-side span on the first live physical rank (recovery events
+  // happen between phases, with no Comm in hand).
+  void driver_span(std::uint32_t name, double begin, double end) const;
 
   sim::Engine* engine_;
   Box box_;
@@ -235,15 +323,27 @@ class ParallelMd {
   md::VelocityVerlet integrator_;
   std::optional<md::RescaleThermostat> thermostat_;
   core::DlbProtocol protocol_;
+  sim::Membership membership_;
+  Watchdog watchdog_;
   std::unique_ptr<sim::ProtocolChecker> checker_;  // when verify_invariants
   SpanNames spans_;
-  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<std::unique_ptr<Rank>> ranks_;  // indexed by role
   std::int64_t step_count_ = 0;
   bool dlb_active_this_step_ = false;
   // Previous step()'s cumulative channel totals, for per-step deltas.
   std::uint64_t prev_retransmissions_ = 0;
   std::uint64_t prev_corrupt_discarded_ = 0;
   std::uint64_t prev_recv_timeouts_ = 0;
+  // Self-healing state.
+  RecoveryCounters recovery_;
+  RecoveryCounters prev_recovery_;       // for per-step stat deltas
+  std::int64_t last_generation_ = -1;    // newest buddy generation shipped
+  int last_suspect_ = -1;                // velocity alarm of the last attempt
+  std::uint64_t watch_prev_corrupt_ = 0; // per-attempt CRC-discard baseline
+  // Channel counters lost when a promoted role's channel is reset; added
+  // back so the cumulative totals stay monotone.
+  std::uint64_t lost_retransmissions_ = 0;
+  std::uint64_t lost_corrupt_discarded_ = 0;
 
   // End-of-step verification (verify_invariants only): SPMD protocol trace
   // clean and, on DLB steps, the paper's structural invariants.

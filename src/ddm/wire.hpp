@@ -28,6 +28,8 @@ enum MessageTag : int {
   kTagMigrate2 = 5,    // forwarded misdelivered migrants (round 2)
   kTagHalo = 6,        // boundary-cell particle positions
   kTagInitHalo = 7,    // halo for the initial force computation
+  kTagBuddy = 8,       // sealed buddy checkpoint envelope (ddm/recovery.hpp)
+  kTagRestore = 9,     // buddy envelope replayed to a promoted spare
 };
 
 // Position-only particle copy used for halo exchange (velocities are not

@@ -32,6 +32,9 @@ enum class CheckpointKind : std::uint32_t {
   kSerial = 1,
   kParallel = 2,
   kSlab = 3,
+  // Per-role buddy envelope replicated to a torus neighbour every K steps
+  // (ddm/recovery.hpp); replayed to restore a dead role losslessly.
+  kBuddy = 4,
 };
 
 // Wraps a packed payload in the versioned envelope.

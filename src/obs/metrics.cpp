@@ -48,6 +48,10 @@ const StepMetrics& MetricsRecorder::record(const StepInput& input) {
   row.kinetic_energy = input.kinetic_energy;
   row.temperature = input.temperature;
   row.retransmissions = input.retransmissions;
+  row.checkpoint_bytes = input.checkpoint_bytes;
+  row.rollbacks = input.rollbacks;
+  row.failovers = input.failovers;
+  row.particles_recovered = input.particles_recovered;
   row.recv_timeouts = now.recv_timeouts - last_.recv_timeouts;
   row.faults_dropped = now.faults_dropped - last_.faults_dropped;
   row.faults_corrupted = now.faults_corrupted - last_.faults_corrupted;
@@ -61,7 +65,8 @@ std::string csv_header() {
   return "step,t_step,force_max,force_avg,force_min,wait_seconds,"
          "collective_seconds,messages,bytes,transfers,potential_energy,"
          "kinetic_energy,temperature,retransmissions,recv_timeouts,"
-         "faults_dropped,faults_corrupted,faults_delayed";
+         "faults_dropped,faults_corrupted,faults_delayed,checkpoint_bytes,"
+         "rollbacks,failovers,particles_recovered";
 }
 
 namespace {
@@ -83,7 +88,9 @@ void write_csv(std::ostream& os, std::span<const StepMetrics> rows) {
        << num(r.potential_energy) << ',' << num(r.kinetic_energy) << ','
        << num(r.temperature) << ',' << r.retransmissions << ','
        << r.recv_timeouts << ',' << r.faults_dropped << ','
-       << r.faults_corrupted << ',' << r.faults_delayed << '\n';
+       << r.faults_corrupted << ',' << r.faults_delayed << ','
+       << r.checkpoint_bytes << ',' << r.rollbacks << ',' << r.failovers
+       << ',' << r.particles_recovered << '\n';
   }
 }
 

@@ -46,6 +46,11 @@ struct StepMetrics {
   std::uint64_t faults_dropped = 0;     // injector: messages dropped
   std::uint64_t faults_corrupted = 0;   // injector: messages corrupted
   std::uint64_t faults_delayed = 0;     // injector: messages delayed
+  // Self-healing accounting for this step (caller-forwarded deltas):
+  std::uint64_t checkpoint_bytes = 0;     // buddy envelope bytes shipped
+  std::uint64_t rollbacks = 0;            // all-role rollbacks executed
+  std::uint64_t failovers = 0;            // roles promoted onto a spare
+  std::uint64_t particles_recovered = 0;  // particles replayed from envelopes
 };
 
 class MetricsRecorder {
@@ -64,6 +69,11 @@ class MetricsRecorder {
     // Per-step reliable-channel retries; the channels live in the MD engine,
     // so the caller forwards them (e.g. ParallelStepStats::retransmissions).
     std::uint64_t retransmissions = 0;
+    // Self-healing deltas, forwarded from ParallelStepStats likewise.
+    std::uint64_t checkpoint_bytes = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t particles_recovered = 0;
   };
 
   // Snapshots the engine's counters as the step-0 baseline; the engine must

@@ -88,8 +88,9 @@ std::vector<int> Comm::sources_with(int tag) const {
       tag, engine_->current_phase());
 }
 
-void Comm::collective_begin(ReduceOp op, std::span<const double> values) {
-  engine_->do_collective_begin(rank_, op, values);
+void Comm::collective_begin(ReduceOp op, std::span<const double> values,
+                            int slot) {
+  engine_->do_collective_begin(rank_, op, values, slot);
 }
 
 std::vector<double> Comm::collective_end() {
@@ -112,6 +113,7 @@ Engine::Engine(int ranks, MachineModel model)
     states_.push_back(std::make_unique<RankState>());
   }
   alive_.assign(static_cast<std::size_t>(ranks_), 1);
+  parked_.assign(static_cast<std::size_t>(ranks_), 0);
 }
 
 Engine::~Engine() = default;
@@ -156,6 +158,37 @@ int Engine::alive_count() const {
   int n = 0;
   for (const char a : alive_) n += a != 0;
   return n;
+}
+
+void Engine::set_parked(int rank, bool parked) {
+  auto& flag = parked_.at(static_cast<std::size_t>(rank));
+  const char want = parked ? 1 : 0;
+  if (flag == want) return;
+  flag = want;
+  if (parked) return;
+  // Activation: the rank slept through an unknown number of collectives and
+  // an unknown amount of virtual time. Fast-forward its cursors and clock to
+  // the running ranks' position (equal across them between steps) so its
+  // next collective_begin lands in the current slot, not a stale one.
+  auto& state = *states_[static_cast<std::size_t>(rank)];
+  std::size_t seq = state.end_seq;
+  double clk = state.clock;
+  for (int r = 0; r < ranks_; ++r) {
+    if (r == rank || alive_[static_cast<std::size_t>(r)] == 0 ||
+        parked_[static_cast<std::size_t>(r)] != 0) {
+      continue;
+    }
+    seq = std::max(seq, states_[static_cast<std::size_t>(r)]->end_seq);
+    clk = std::max(clk, states_[static_cast<std::size_t>(r)]->clock);
+  }
+  state.begin_seq = seq;
+  state.end_seq = seq;
+  state.clock = clk;
+  PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
+}
+
+void Engine::declare_dead(int rank) {
+  alive_.at(static_cast<std::size_t>(rank)) = 0;
 }
 
 void Engine::notify_phase_begin() {
@@ -276,7 +309,13 @@ std::optional<Buffer> Engine::do_recv_deadline(int rank, int src, int tag,
 }
 
 void Engine::do_collective_begin(int rank, ReduceOp op,
-                                 std::span<const double> values) {
+                                 std::span<const double> values,
+                                 int logical_slot) {
+  const int logical = logical_slot < 0 ? rank : logical_slot;
+  if (logical >= ranks_) {
+    throw ProtocolError("collective_begin: logical slot " +
+                        std::to_string(logical) + " out of range");
+  }
   std::lock_guard lock(collective_mutex_);
   auto& state = *states_[rank];
   const std::size_t slot_index = state.begin_seq++;
@@ -287,15 +326,23 @@ void Engine::do_collective_begin(int rank, ReduceOp op,
   if (slot.contributions == 0) {
     slot.op = op;
     slot.width = values.size();
-    slot.per_rank.assign(slot.width * ranks_, 0.0);
-    slot.present.assign(ranks_, false);
+    slot.per_slot.assign(slot.width * ranks_, 0.0);
+    slot.present_slot.assign(ranks_, false);
+    slot.present_rank.assign(ranks_, false);
   } else if (slot.op != op || slot.width != values.size()) {
     throw ProtocolError("collective_begin: mismatched op/width across ranks");
   }
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    slot.per_rank[slot.width * rank + i] = values[i];
+  if (slot.present_slot[static_cast<std::size_t>(logical)]) {
+    throw ProtocolError("collective_begin: logical slot " +
+                        std::to_string(logical) +
+                        " contributed twice (two ranks claiming one role?)");
   }
-  slot.present[rank] = true;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    slot.per_slot[slot.width * static_cast<std::size_t>(logical) + i] =
+        values[i];
+  }
+  slot.present_slot[static_cast<std::size_t>(logical)] = true;
+  slot.present_rank[static_cast<std::size_t>(rank)] = true;
   slot.max_clock = std::max(slot.max_clock, state.clock);
   slot.last_begin_phase = std::max(slot.last_begin_phase, phase_);
   slot.contributions += 1;
@@ -319,9 +366,12 @@ std::vector<double> Engine::do_collective_end(int rank) {
                   collectives_[slot_index].last_begin_phase < phase_ &&
                   collectives_[slot_index].contributions > 0;
   if (complete) {
-    const auto& present = collectives_[slot_index].present;
+    // Parked ranks are exempt too: a spare idling at the barrier will never
+    // contribute until membership wakes it.
+    const auto& present = collectives_[slot_index].present_rank;
     for (int r = 0; r < ranks_; ++r) {
       if (alive_[static_cast<std::size_t>(r)] != 0 &&
+          parked_[static_cast<std::size_t>(r)] == 0 &&
           !present[static_cast<std::size_t>(r)]) {
         complete = false;
         break;
@@ -336,15 +386,16 @@ std::vector<double> Engine::do_collective_end(int rank) {
   state.end_seq++;
   auto& slot = collectives_[slot_index];
   if (!slot.have_combined) {
-    // Combine in rank order so rounding never depends on scheduling; skip
-    // ranks that never contributed (crashed before this collective).
+    // Combine in logical-slot order so rounding never depends on scheduling
+    // or on role placement; skip slots that never contributed (crashed
+    // before this collective).
     slot.combined.assign(slot.width, 0.0);
     for (std::size_t i = 0; i < slot.width; ++i) {
       double acc = 0.0;
       bool first = true;
       for (int r = 0; r < ranks_; ++r) {
-        if (!slot.present[static_cast<std::size_t>(r)]) continue;
-        const double v = slot.per_rank[slot.width * r + i];
+        if (!slot.present_slot[static_cast<std::size_t>(r)]) continue;
+        const double v = slot.per_slot[slot.width * r + i];
         if (first) {
           acc = v;
           first = false;
@@ -364,8 +415,8 @@ std::vector<double> Engine::do_collective_end(int rank) {
       }
       slot.combined[i] = acc;
     }
-    slot.per_rank.clear();
-    slot.per_rank.shrink_to_fit();
+    slot.per_slot.clear();
+    slot.per_slot.shrink_to_fit();
     slot.have_combined = true;
   }
   const double cost =

@@ -123,7 +123,15 @@ class Comm {
 
   // Split-phase collective over all ranks. Every rank must call begin with
   // the same op and width in the same phase, then end in a later phase.
-  void collective_begin(ReduceOp op, std::span<const double> values);
+  //
+  // `slot` is the logical contribution index (default: this rank). Layers
+  // that separate logical roles from physical ranks (sim::Membership) pass
+  // the role id so the floating-point combine order — and therefore the
+  // reduced value, bit for bit — depends only on the logical configuration,
+  // not on which physical rank happens to host each role. Two ranks passing
+  // the same slot in one collective is a protocol error.
+  void collective_begin(ReduceOp op, std::span<const double> values,
+                        int slot = -1);
   std::vector<double> collective_end();
 
   // Convenience wrappers for the common scalar cases.
@@ -219,6 +227,24 @@ class Engine {
   bool alive(int rank) const { return alive_[static_cast<std::size_t>(rank)] != 0; }
   int alive_count() const;
 
+  // Parked ranks idle at barriers: they are exempt from collective
+  // completeness (a collective does not wait for them), modelling spare PEs
+  // blocked in a recv that membership has not yet woken. Their phase bodies
+  // still run — the program is expected to return immediately for a parked
+  // rank. Unparking fast-forwards the rank's collective cursors and clock to
+  // the running ranks' position so its next collective_begin joins the
+  // current slot. Call only between phases (from the driving thread).
+  void set_parked(int rank, bool parked);
+  bool parked(int rank) const {
+    return parked_[static_cast<std::size_t>(rank)] != 0;
+  }
+
+  // Administratively marks a rank dead, exactly as if a planned crash had
+  // fired at the current phase boundary: its body never runs again and
+  // collectives stop waiting for it. Used by the watchdog to excise a rank
+  // that keeps producing corrupt state. Call only between phases.
+  void declare_dead(int rank);
+
  protected:
   // Subclasses call this at the top of run_phase, after ++phase_.
   void notify_phase_begin();
@@ -234,11 +260,15 @@ class Engine {
     int contributions = 0;
     int last_begin_phase = -1;
     double max_clock = 0.0;
-    // Per-rank contributions, combined in rank order at the first end() so
-    // floating-point rounding is independent of execution order.
-    std::vector<double> per_rank;  // width * ranks, rank-major
-    std::vector<bool> present;     // which ranks contributed
-    std::vector<double> combined;  // length == width, filled lazily
+    // Contributions keyed by logical slot, combined in slot order at the
+    // first end() so floating-point rounding is independent of execution
+    // order AND of the role→rank placement. Presence is tracked per physical
+    // rank separately, because completeness ("has everyone begun?") is a
+    // question about ranks while the combine is a question about slots.
+    std::vector<double> per_slot;    // width * ranks, slot-major
+    std::vector<bool> present_slot;  // which logical slots contributed
+    std::vector<bool> present_rank;  // which physical ranks contributed
+    std::vector<double> combined;    // length == width, filled lazily
     bool have_combined = false;
   };
 
@@ -257,7 +287,7 @@ class Engine {
   std::optional<Buffer> do_recv_deadline(int rank, int src, int tag,
                                          double timeout);
   void do_collective_begin(int rank, ReduceOp op,
-                           std::span<const double> values);
+                           std::span<const double> values, int slot);
   std::vector<double> do_collective_end(int rank);
 
   int ranks_;
@@ -269,6 +299,9 @@ class Engine {
   // 1 = alive. Written only between phases (notify_phase_begin); read freely
   // by phase bodies. Once 0, stays 0.
   std::vector<char> alive_;
+  // 1 = parked (idling spare). Written only between phases (set_parked);
+  // read freely by phase bodies.
+  std::vector<char> parked_;
   std::vector<std::unique_ptr<RankState>> states_;
   std::vector<CollectiveSlot> collectives_;
   mutable std::mutex collective_mutex_;

@@ -79,7 +79,8 @@ std::string num(double value) {
 
 bool FaultPlan::empty() const {
   return drop_rate == 0.0 && corrupt_rate == 0.0 && delay_rate == 0.0 &&
-         degraded_links.empty() && stalls.empty() && crashes.empty();
+         degraded_links.empty() && stalls.empty() && crashes.empty() &&
+         sdcs.empty();
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
@@ -114,10 +115,17 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (key == "crash") {
       const auto [rank, at] = split_once(value, '@', item);
       plan.crashes.push_back({parse_int(rank, item), parse_number(at, item)});
+    } else if (key == "sdc") {
+      const auto [rank, rest] = split_once(value, '@', item);
+      const auto [window, factor] = split_once(rest, 'x', item);
+      const auto [from, until] = split_once(window, '-', item);
+      plan.sdcs.push_back({parse_int(rank, item), parse_number(from, item),
+                           parse_number(until, item),
+                           parse_number(factor, item)});
     } else {
       throw std::invalid_argument("FaultPlan::parse: unknown key '" + key +
                                   "' (expected seed/drop/corrupt/delay/"
-                                  "degrade/stall/crash)");
+                                  "degrade/stall/crash/sdc)");
     }
   }
   for (const double rate :
@@ -147,6 +155,10 @@ std::string FaultPlan::to_string() const {
   }
   for (const auto& c : crashes) {
     os << ",crash=" << c.rank << '@' << num(c.at);
+  }
+  for (const auto& s : sdcs) {
+    os << ",sdc=" << s.rank << '@' << num(s.from) << '-' << num(s.until)
+       << 'x' << num(s.factor);
   }
   return os.str();
 }
@@ -218,6 +230,15 @@ bool FaultInjector::crashed(int rank, double clock) const {
   return at.has_value() && clock >= *at;
 }
 
+double FaultInjector::sdc_factor(int rank, double clock) const {
+  double factor = 1.0;
+  for (const auto& s : plan_.sdcs) {
+    if (s.rank != rank || s.factor == 1.0) continue;
+    if (clock >= s.from && clock < s.until) factor *= s.factor;
+  }
+  return factor;
+}
+
 void FaultInjector::count_drop() {
   std::lock_guard lock(mutex_);
   ++counters_.messages_dropped;
@@ -237,6 +258,11 @@ void FaultInjector::count_stall(double seconds) {
   std::lock_guard lock(mutex_);
   ++counters_.stalled_advances;
   counters_.stall_seconds += seconds;
+}
+
+void FaultInjector::count_sdc() {
+  std::lock_guard lock(mutex_);
+  ++counters_.sdc_events;
 }
 
 FaultCounters FaultInjector::counters() const {

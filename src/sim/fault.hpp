@@ -73,16 +73,30 @@ struct FaultPlan {
   };
   std::vector<Crash> crashes;
 
+  // Silent data corruption: while `rank`'s clock is inside [from, until),
+  // once per MD step its local state is scrambled by `factor` (the program
+  // decides what "scrambled" means — ParallelMd multiplies one particle's
+  // velocity). Models an undetected memory/FPU error: nothing on the wire is
+  // wrong, so only a semantic watchdog can catch it.
+  struct Sdc {
+    int rank = -1;
+    double from = 0.0;
+    double until = 0.0;
+    double factor = 1.0;
+  };
+  std::vector<Sdc> sdcs;
+
   bool empty() const;
-  // True when the plan contains no permanent crashes — the regime where the
-  // reliable channel must mask every fault bit-exactly.
-  bool transient_only() const { return crashes.empty(); }
+  // True when the plan contains neither permanent crashes nor silent state
+  // corruption — the regime where the reliable channel must mask every
+  // fault bit-exactly.
+  bool transient_only() const { return crashes.empty() && sdcs.empty(); }
 
   // Compact textual form, round-tripping through parse():
   //   "seed=7,drop=0.05,corrupt=0.01,delay=0.1:2e-4,
-  //    degrade=3-4x8,stall=2@0.1-0.5x4,crash=5@0.25"
+  //    degrade=3-4x8,stall=2@0.1-0.5x4,crash=5@0.25,sdc=2@0.1-0.2x1e3"
   // (drop/corrupt are rates; delay is rate:seconds; degrade is a-bxfactor;
-  // stall is rank@from-untilxfactor; crash is rank@time). Throws
+  // stall and sdc are rank@from-untilxfactor; crash is rank@time). Throws
   // std::invalid_argument with the offending token on malformed specs.
   static FaultPlan parse(const std::string& spec);
   std::string to_string() const;
@@ -96,6 +110,7 @@ struct FaultCounters {
   std::uint64_t messages_delayed = 0;
   std::uint64_t stalled_advances = 0;
   double stall_seconds = 0.0;
+  std::uint64_t sdc_events = 0;
 };
 
 class FaultInjector {
@@ -126,11 +141,17 @@ class FaultInjector {
   // True when `rank` has crashed by virtual time `clock`.
   bool crashed(int rank, double clock) const;
 
+  // Product of the factors of the sdc windows active on `rank` at `clock`;
+  // 1.0 when none. Pure in (rank, clock), so both engines agree on exactly
+  // which steps are corrupted.
+  double sdc_factor(int rank, double clock) const;
+
   // ---- accounting (thread-safe; engines call these as faults fire) ----
   void count_drop();
   void count_corrupt();
   void count_delay();
   void count_stall(double seconds);
+  void count_sdc();
   FaultCounters counters() const;
   void reset_counters();
 

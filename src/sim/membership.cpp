@@ -1,0 +1,73 @@
+#include "sim/membership.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pcmd::sim {
+
+Membership::Membership(int roles, int physical_ranks)
+    : roles_(roles), physical_(physical_ranks) {
+  if (roles < 1) {
+    throw std::invalid_argument("Membership: need at least one role");
+  }
+  if (physical_ranks < roles) {
+    throw std::invalid_argument(
+        "Membership: fewer physical ranks (" + std::to_string(physical_ranks) +
+        ") than roles (" + std::to_string(roles) + ")");
+  }
+  physical_of_.resize(static_cast<std::size_t>(roles_));
+  role_of_.assign(static_cast<std::size_t>(physical_), -1);
+  for (int l = 0; l < roles_; ++l) {
+    physical_of_[static_cast<std::size_t>(l)] = l;
+    role_of_[static_cast<std::size_t>(l)] = l;
+  }
+  for (int p = roles_; p < physical_; ++p) spare_pool_.push_back(p);
+}
+
+int Membership::physical_of(int role) const {
+  return physical_of_.at(static_cast<std::size_t>(role));
+}
+
+int Membership::role_of(int physical) const {
+  return role_of_.at(static_cast<std::size_t>(physical));
+}
+
+int Membership::alive_roles() const {
+  int n = 0;
+  for (const int p : physical_of_) n += p >= 0;
+  return n;
+}
+
+bool Membership::is_spare(int physical) const {
+  return std::find(spare_pool_.begin(), spare_pool_.end(), physical) !=
+         spare_pool_.end();
+}
+
+int Membership::spares_available() const {
+  return static_cast<int>(spare_pool_.size());
+}
+
+int Membership::fail_over(int role) {
+  const std::size_t l = static_cast<std::size_t>(role);
+  const int old = physical_of_.at(l);
+  if (old >= 0) role_of_[static_cast<std::size_t>(old)] = -1;
+  ++epoch_;
+  if (spare_pool_.empty()) {
+    physical_of_[l] = -1;  // retired: survivors adopt its cells
+    return -1;
+  }
+  const int promoted = spare_pool_.front();
+  spare_pool_.erase(spare_pool_.begin());
+  physical_of_[l] = promoted;
+  role_of_[static_cast<std::size_t>(promoted)] = role;
+  return promoted;
+}
+
+void Membership::spare_died(int physical) {
+  spare_pool_.erase(
+      std::remove(spare_pool_.begin(), spare_pool_.end(), physical),
+      spare_pool_.end());
+}
+
+}  // namespace pcmd::sim

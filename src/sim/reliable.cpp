@@ -71,10 +71,11 @@ void ReliableChannel::send(Comm& comm, int dst, int tag,
     backoff += step;
     step *= policy_.backoff_factor;
   }
-  throw ProtocolError("ReliableChannel::send: message to rank " +
-                      std::to_string(dst) + " tag " + std::to_string(tag) +
-                      " seq " + std::to_string(seq) + " lost after " +
-                      std::to_string(policy_.max_attempts) + " attempts");
+  throw PeerDeadError(
+      dst, tag,
+      "ReliableChannel::send: message to rank " + std::to_string(dst) +
+          " tag " + std::to_string(tag) + " seq " + std::to_string(seq) +
+          " lost after " + std::to_string(policy_.max_attempts) + " attempts");
 }
 
 Buffer ReliableChannel::recv(Comm& comm, int src, int tag) {

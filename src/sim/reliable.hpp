@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 
 namespace pcmd::sim {
@@ -34,6 +35,23 @@ struct ReliablePolicy {
   int max_attempts = 10;        // give up (throw) after this many copies
   double base_backoff = 5e-5;   // virtual seconds before the first retry
   double backoff_factor = 2.0;  // multiplier per subsequent retry
+};
+
+// Raised when a channel's retry budget is exhausted: every copy of a message
+// was lost or corrupted, which under the fault model means the peer (or the
+// link to it) is gone for good. The membership layer catches this to declare
+// the peer dead instead of aborting the run.
+class PeerDeadError : public ProtocolError {
+ public:
+  PeerDeadError(int peer, int tag, const std::string& what)
+      : ProtocolError(what), peer_(peer), tag_(tag) {}
+
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+
+ private:
+  int peer_;
+  int tag_;
 };
 
 // Per-channel accounting. Order-independent totals: identical across
@@ -50,13 +68,18 @@ class ReliableChannel {
   explicit ReliableChannel(ReliablePolicy policy = {}) : policy_(policy) {}
 
   const ReliablePolicy& policy() const { return policy_; }
+  // Reconfigures the retry budget / backoff schedule. Takes effect on the
+  // next send; in-flight sequence numbers and counters are untouched, so the
+  // policy may be tuned per channel (e.g. a tighter budget once a peer is
+  // suspected) without disturbing the streams.
+  void set_policy(const ReliablePolicy& policy) { policy_ = policy; }
   const ChannelCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = ChannelCounters{}; }
 
   // Sends `payload` so that it will be delivered intact, retrying dropped or
   // corrupted copies with exponential virtual-time backoff. Throws
-  // ProtocolError if max_attempts copies all fail (a link past the fault
-  // model's design point).
+  // PeerDeadError if max_attempts copies all fail (a link past the fault
+  // model's design point — the peer is treated as dead).
   void send(Comm& comm, int dst, int tag, const Buffer& payload);
 
   // Receives the next in-sequence payload from (src, tag), draining corrupt

@@ -173,9 +173,17 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
     input.kinetic_energy = stats.kinetic_energy;
     input.temperature = stats.temperature;
     input.retransmissions = stats.retransmissions;
+    input.checkpoint_bytes = stats.checkpoint_bytes;
+    input.rollbacks = stats.rollbacks;
+    input.failovers = stats.failovers;
+    input.particles_recovered = stats.particles_recovered;
     recorder.record(input);
     result.retransmissions_total += stats.retransmissions;
     result.recv_timeouts_total += stats.recv_timeouts;
+    result.checkpoint_bytes_total += stats.checkpoint_bytes;
+    result.rollbacks_total += stats.rollbacks;
+    result.failovers_total += stats.failovers;
+    result.particles_recovered_total += stats.particles_recovered;
 
     if (config.checkpoint_every > 0 &&
         (i + 1) % config.checkpoint_every == 0) {

@@ -121,6 +121,11 @@ struct MdTrajectoryResult {
   // Fault-tolerance accounting over the whole run:
   std::uint64_t retransmissions_total = 0;
   std::uint64_t recv_timeouts_total = 0;
+  // Self-healing accounting over the whole run:
+  std::uint64_t checkpoint_bytes_total = 0;
+  std::uint64_t rollbacks_total = 0;
+  std::uint64_t failovers_total = 0;
+  std::uint64_t particles_recovered_total = 0;
   int checkpoints_taken = 0;
   sim::Buffer last_checkpoint;  // empty unless checkpoint_every > 0
 };

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -51,13 +52,27 @@ std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
   const std::string v = get(name, "");
   if (v.empty()) return fallback;
-  return std::strtoll(v.c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": '" + v +
+                                "' is not an integer (expected e.g. 42, -7)");
+  }
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   const std::string v = get(name, "");
   if (v.empty()) return fallback;
-  return std::strtod(v.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": '" + v +
+                                "' is not a number (expected e.g. 0.5, 1e-3)");
+  }
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

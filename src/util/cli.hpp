@@ -22,6 +22,10 @@ class Cli {
   // nullopt when the flag is absent — for flags like --trace whose mere
   // presence changes behaviour and whose value has no usable default.
   std::optional<std::string> get_optional(const std::string& name) const;
+  // Numeric flags are parsed strictly: the whole token must be a valid
+  // number ("--steps=10x" or "--dt=fast" is an error, not silently 10 or
+  // 0.0). Malformed values throw std::invalid_argument naming the flag, the
+  // offending token, and the accepted grammar.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;

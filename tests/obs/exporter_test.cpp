@@ -366,7 +366,8 @@ TEST(MetricsCsv, HeaderMatchesSchema) {
             "step,t_step,force_max,force_avg,force_min,wait_seconds,"
             "collective_seconds,messages,bytes,transfers,potential_energy,"
             "kinetic_energy,temperature,retransmissions,recv_timeouts,"
-            "faults_dropped,faults_corrupted,faults_delayed");
+            "faults_dropped,faults_corrupted,faults_delayed,checkpoint_bytes,"
+            "rollbacks,failovers,particles_recovered");
 
   std::ostringstream os;
   write_csv(os, {});
@@ -388,6 +389,10 @@ TEST(MetricsCsv, RowsRoundTripDoubles) {
   rows[0].bytes = 123456789;
   rows[0].transfers = 2;
   rows[0].potential_energy = -15029.987440288781;
+  rows[0].checkpoint_bytes = 4096;
+  rows[0].rollbacks = 1;
+  rows[0].failovers = 2;
+  rows[0].particles_recovered = 345;
   rows[1].step = 2;
   rows[1].kinetic_energy = 11538.228235690989;
 
@@ -411,6 +416,10 @@ TEST(MetricsCsv, RowsRoundTripDoubles) {
   EXPECT_EQ(fields[9], "2");
   EXPECT_EQ(std::strtod(fields[10].c_str(), nullptr),
             rows[0].potential_energy);
+  EXPECT_EQ(fields[18], "4096");
+  EXPECT_EQ(fields[19], "1");
+  EXPECT_EQ(fields[20], "2");
+  EXPECT_EQ(fields[21], "345");
 
   ASSERT_TRUE(std::getline(is, line));
   fields = split(line, ',');

@@ -464,5 +464,302 @@ TEST(Chaos, PermanentCrashDegradesGracefully) {
   }
 }
 
+// ---- self-healing battery: buddy checkpoints, spare failover, watchdog ----
+
+ParallelMdConfig healing_config(int buddy_every, int spares,
+                                bool dlb = true) {
+  ParallelMdConfig config = chaos_config(dlb);
+  config.fault_tolerance.healing.enabled = true;
+  config.fault_tolerance.healing.buddy_every = buddy_every;
+  config.fault_tolerance.healing.spares = spares;
+  return config;
+}
+
+struct HealResult {
+  md::ParticleVector particles;
+  std::vector<ParallelStepStats> stats;
+  RecoveryCounters recovery;
+  int epoch = 0;
+  int alive_roles = 0;
+  bool ownership_ok = false;
+};
+
+HealResult run_healing(sim::Engine& engine, const std::string& plan_spec,
+                       int steps, const ParallelMdConfig& config) {
+  std::optional<sim::FaultInjector> injector;
+  if (!plan_spec.empty()) {
+    injector.emplace(sim::FaultPlan::parse(plan_spec));
+    engine.set_fault_injector(&*injector);
+  }
+  ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+  HealResult result;
+  for (int i = 0; i < steps; ++i) result.stats.push_back(md.step());
+  result.particles = md.gather_particles();
+  result.recovery = md.recovery_counters();
+  result.epoch = md.membership().epoch();
+  result.alive_roles = md.membership().alive_roles();
+  result.ownership_ok = md.check_ownership().ok;
+  engine.set_fault_injector(nullptr);
+  return result;
+}
+
+TEST(SelfHealing, CrashRecoveryIsLosslessAndBitwiseOnBothEngines) {
+  // THE acceptance test: rank 4 dies mid-run; the buddy replays its
+  // envelope onto the spare and every survivor rolls back to the same
+  // generation. The resumed trajectory — positions, velocities, energies,
+  // every accepted step — must equal the undisturbed run bit for bit, with
+  // zero particles lost, on SeqEngine and ThreadEngine alike.
+  constexpr int kSteps = 25;
+  const ParallelMdConfig config = healing_config(/*buddy_every=*/5,
+                                                 /*spares=*/1);
+
+  sim::SeqEngine clean_engine(10);
+  const HealResult clean = run_healing(clean_engine, "", kSteps, config);
+  ASSERT_EQ(clean.recovery.rollbacks, 0u);
+  ASSERT_GT(clean.recovery.generations, 0u);
+  ASSERT_GT(clean.recovery.checkpoint_bytes, 0u);
+
+  sim::SeqEngine seq(10);
+  const HealResult crashed = run_healing(seq, "crash=4@0.02", kSteps, config);
+  sim::ThreadEngine thread(10);
+  const HealResult crashed_mt =
+      run_healing(thread, "crash=4@0.02", kSteps, config);
+
+  for (const HealResult* r : {&crashed, &crashed_mt}) {
+    EXPECT_EQ(r->recovery.failovers, 1u);
+    EXPECT_EQ(r->recovery.roles_retired, 0u);
+    EXPECT_GE(r->recovery.rollbacks, 1u);
+    EXPECT_GT(r->recovery.particles_recovered, 0u);
+    EXPECT_EQ(r->epoch, 1);
+    EXPECT_EQ(r->alive_roles, 9);
+    EXPECT_TRUE(r->ownership_ok);
+  }
+
+  // Lossless: every accepted step of the recovered runs equals the clean
+  // run's bitwise — same energies, same particle count, same DLB transfers.
+  expect_particles_bitwise(clean.particles, crashed.particles, "seq recovery");
+  expect_particles_bitwise(clean.particles, crashed_mt.particles,
+                           "thread recovery");
+  ASSERT_EQ(crashed.stats.size(), clean.stats.size());
+  for (std::size_t i = 0; i < clean.stats.size(); ++i) {
+    EXPECT_EQ(crashed.stats[i].potential_energy,
+              clean.stats[i].potential_energy)
+        << "step " << i;
+    EXPECT_EQ(crashed.stats[i].kinetic_energy, clean.stats[i].kinetic_energy);
+    EXPECT_EQ(crashed.stats[i].total_particles,
+              clean.stats[i].total_particles);
+    EXPECT_EQ(crashed.stats[i].transfers, clean.stats[i].transfers);
+    EXPECT_EQ(crashed_mt.stats[i].potential_energy,
+              clean.stats[i].potential_energy);
+    // The recovered runs never report a shrunken machine: the failover
+    // completes inside step(), so accepted steps always see 9 live roles.
+    EXPECT_EQ(crashed.stats[i].live_ranks, 9);
+  }
+}
+
+TEST(SelfHealing, CrashAtEveryStepSweepConservesEverything) {
+  // Kill rank 4 inside each step of the run in turn (one run per crash
+  // time) and assert the recovery contract at every single crash position:
+  // full rank count restored via the spare, zero particles lost, ownership
+  // consistent, energies finite throughout.
+  constexpr int kSteps = 10;
+  const ParallelMdConfig config = healing_config(/*buddy_every=*/3,
+                                                 /*spares=*/1);
+
+  // Probe run: record the virtual time at which each step completes, so the
+  // sweep can aim a crash into every step's interior.
+  std::vector<double> step_end;
+  {
+    sim::SeqEngine engine(10);
+    ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+    step_end.push_back(engine.makespan());  // construction
+    for (int i = 0; i < kSteps; ++i) {
+      md.step();
+      step_end.push_back(engine.makespan());
+    }
+  }
+
+  const std::int64_t expected_particles = 300;
+  for (int k = 1; k <= kSteps; ++k) {
+    const double at = 0.5 * (step_end[static_cast<std::size_t>(k - 1)] +
+                             step_end[static_cast<std::size_t>(k)]);
+    SCOPED_TRACE("crash during step " + std::to_string(k) + " at t=" +
+                 std::to_string(at));
+    sim::SeqEngine engine(10);
+    const HealResult r = run_healing(
+        engine, "crash=4@" + std::to_string(at), kSteps, config);
+
+    EXPECT_EQ(r.recovery.failovers, 1u);
+    EXPECT_EQ(r.recovery.roles_retired, 0u);
+    EXPECT_EQ(r.alive_roles, 9);
+    EXPECT_EQ(r.epoch, 1);
+    EXPECT_TRUE(r.ownership_ok);
+    EXPECT_EQ(static_cast<std::int64_t>(r.particles.size()),
+              expected_particles)
+        << "particles lost";
+    for (const auto& s : r.stats) {
+      ASSERT_TRUE(std::isfinite(s.potential_energy));
+      EXPECT_EQ(s.total_particles, expected_particles);
+      EXPECT_EQ(s.live_ranks, 9);
+    }
+  }
+}
+
+TEST(SelfHealing, RetireWithoutSparesStillConservesParticles) {
+  // No spare left: the dead role retires and survivors adopt its columns.
+  // Unlike PR 3's degraded mode the particles are NOT lost — the buddy's
+  // envelope replays them onto the adopters. Bitwise equality cannot hold
+  // on this path (the decomposition changed shape), but conservation must.
+  constexpr int kSteps = 25;
+  const ParallelMdConfig config = healing_config(/*buddy_every=*/5,
+                                                 /*spares=*/0);
+  sim::SeqEngine engine(9);
+  const HealResult r = run_healing(engine, "crash=4@0.02", kSteps, config);
+
+  EXPECT_EQ(r.recovery.failovers, 0u);
+  EXPECT_EQ(r.recovery.roles_retired, 1u);
+  EXPECT_GT(r.recovery.particles_recovered, 0u);
+  EXPECT_EQ(r.alive_roles, 8);
+  EXPECT_EQ(r.epoch, 1);
+  EXPECT_TRUE(r.ownership_ok);
+  EXPECT_EQ(static_cast<std::int64_t>(r.particles.size()), 300)
+      << "the dead role's particles must be replayed from its buddy";
+  for (const auto& s : r.stats) {
+    ASSERT_TRUE(std::isfinite(s.potential_energy));
+    EXPECT_EQ(s.total_particles, 300);
+  }
+}
+
+TEST(SelfHealing, WatchdogRollsBackSilentCorruptionBitwise) {
+  // A transient SDC burst scrambles rank 4's velocities mid-run. The
+  // velocity alarm rides the max collective to the watchdog, which rolls
+  // every role back to the last buddy generation; by the time the replay
+  // reaches the burst window again the (virtual-time-keyed) burst is over.
+  // The final state must equal the clean run bitwise — the corrupted
+  // attempt leaves no trace.
+  constexpr int kSteps = 20;
+  ParallelMdConfig config = healing_config(/*buddy_every=*/4, /*spares=*/0);
+  config.fault_tolerance.healing.max_rollbacks = 10;  // never escalate here
+
+  sim::SeqEngine clean_engine(9);
+  const HealResult clean = run_healing(clean_engine, "", kSteps, config);
+
+  sim::SeqEngine engine(9);
+  const HealResult r =
+      run_healing(engine, "sdc=4@0.02-0.03x200", kSteps, config);
+
+  EXPECT_GE(r.recovery.rollbacks, 1u) << "the corruption was never caught";
+  EXPECT_EQ(r.recovery.failovers, 0u);
+  EXPECT_EQ(r.recovery.declared_dead, 0u);
+  EXPECT_EQ(r.alive_roles, 9);
+  expect_particles_bitwise(clean.particles, r.particles, "sdc rollback");
+  for (std::size_t i = 0; i < clean.stats.size(); ++i) {
+    EXPECT_EQ(r.stats[i].potential_energy, clean.stats[i].potential_energy)
+        << "step " << i;
+    EXPECT_EQ(r.stats[i].kinetic_energy, clean.stats[i].kinetic_energy);
+  }
+}
+
+TEST(SelfHealing, WatchdogEscalatesPersistentCorruptionToFailover) {
+  // Rank 4 produces corrupt state on *every* step from t=0.02 on: rollback
+  // alone can never outrun it. After max_rollbacks consecutive rollbacks
+  // blaming the same role, the watchdog declares it dead and the failover
+  // path takes over — the spare inherits the role and, because SDC is keyed
+  // on the dead physical rank, the corruption dies with it.
+  constexpr int kSteps = 25;
+  const ParallelMdConfig config = healing_config(/*buddy_every=*/4,
+                                                 /*spares=*/1);
+  sim::SeqEngine engine(10);
+  const HealResult r =
+      run_healing(engine, "sdc=4@0.02-1e30x200", kSteps, config);
+
+  EXPECT_GE(r.recovery.rollbacks, 2u);
+  EXPECT_EQ(r.recovery.declared_dead, 1u);
+  EXPECT_EQ(r.recovery.failovers, 1u);
+  EXPECT_EQ(r.epoch, 1);
+  EXPECT_EQ(r.alive_roles, 9);
+  EXPECT_TRUE(r.ownership_ok);
+  EXPECT_EQ(static_cast<std::int64_t>(r.particles.size()), 300);
+  for (const auto& s : r.stats) {
+    ASSERT_TRUE(std::isfinite(s.potential_energy));
+    EXPECT_EQ(s.total_particles, 300);
+  }
+}
+
+TEST(SelfHealing, RecoveryCountersDeterministicAcrossIdenticalRuns) {
+  // Two identical seeded crash-recovery runs on ThreadEngine must agree on
+  // every recovery counter — the assertion the CI chaos job repeats and
+  // diffs across two processes via the marker line below.
+  constexpr int kSteps = 15;
+  const ParallelMdConfig config = healing_config(/*buddy_every=*/5,
+                                                 /*spares=*/1);
+  auto run_once = [&]() {
+    sim::ThreadEngine engine(10);
+    return run_healing(engine, "seed=7,drop=0.03,crash=4@0.02", kSteps,
+                       config);
+  };
+  const HealResult a = run_once();
+  const HealResult b = run_once();
+
+  EXPECT_EQ(a.recovery.checkpoint_bytes, b.recovery.checkpoint_bytes);
+  EXPECT_EQ(a.recovery.generations, b.recovery.generations);
+  EXPECT_EQ(a.recovery.rollbacks, b.recovery.rollbacks);
+  EXPECT_EQ(a.recovery.failovers, b.recovery.failovers);
+  EXPECT_EQ(a.recovery.particles_recovered, b.recovery.particles_recovered);
+  EXPECT_EQ(a.epoch, b.epoch);
+  expect_particles_bitwise(a.particles, b.particles, "repeat run");
+
+  // Stable marker line for the CI chaos job (same pattern as
+  // CHAOS-COUNTERS above).
+  std::printf("RECOVERY-COUNTERS checkpoint_bytes=%llu generations=%llu "
+              "rollbacks=%llu failovers=%llu declared_dead=%llu "
+              "particles_recovered=%llu epoch=%d\n",
+              static_cast<unsigned long long>(a.recovery.checkpoint_bytes),
+              static_cast<unsigned long long>(a.recovery.generations),
+              static_cast<unsigned long long>(a.recovery.rollbacks),
+              static_cast<unsigned long long>(a.recovery.failovers),
+              static_cast<unsigned long long>(a.recovery.declared_dead),
+              static_cast<unsigned long long>(a.recovery.particles_recovered),
+              a.epoch);
+}
+
+TEST(SelfHealing, UnsurvivableCrashesFailLoudly) {
+  // Two classes of unsurvivable failure must raise RecoveryError, never
+  // limp on with silent corruption: a crash before the first replication
+  // completes, and a role dying together with its buddy (both copies of
+  // one envelope gone).
+  const ParallelMdConfig config = healing_config(/*buddy_every=*/5,
+                                                 /*spares=*/2);
+  {
+    // Rank 4 is dead before construction even finishes: generation 0 never
+    // covers it.
+    sim::FaultInjector injector(sim::FaultPlan::parse("crash=4@0"));
+    sim::SeqEngine engine(11);
+    engine.set_fault_injector(&injector);
+    ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+    EXPECT_THROW(
+        {
+          for (int i = 0; i < 10; ++i) md.step();
+        },
+        RecoveryError);
+    engine.set_fault_injector(nullptr);
+  }
+  {
+    // Role 4's buddy is its +1-column torus neighbour, role 5. Killing both
+    // in one instant destroys role 4's envelope everywhere.
+    sim::FaultInjector injector(
+        sim::FaultPlan::parse("crash=4@0.02,crash=5@0.02"));
+    sim::SeqEngine engine(11);
+    engine.set_fault_injector(&injector);
+    ParallelMd md(engine, chaos_box(), chaos_gas(), config);
+    EXPECT_THROW(
+        {
+          for (int i = 0; i < 30; ++i) md.step();
+        },
+        RecoveryError);
+    engine.set_fault_injector(nullptr);
+  }
+}
+
 }  // namespace
 }  // namespace pcmd::ddm

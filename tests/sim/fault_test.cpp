@@ -10,6 +10,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace pcmd::sim {
@@ -235,6 +236,58 @@ TEST(ReliableChannel, GivesUpAfterMaxAttempts) {
     EXPECT_THROW(channel.send(comm, 1, 2, Buffer{9}), ProtocolError);
   });
   EXPECT_EQ(channel.counters().retransmissions, 3u);  // attempts 2..4
+}
+
+TEST(ReliableChannel, ExhaustionRaisesTypedPeerDeadError) {
+  // The give-up is a *typed* error carrying the suspect peer and tag, so the
+  // membership layer can declare that peer dead instead of aborting.
+  FaultInjector injector(FaultPlan::parse("seed=5,drop=1"));
+  SeqEngine engine(3);
+  engine.set_fault_injector(&injector);
+  ReliablePolicy policy;
+  policy.max_attempts = 3;
+  ReliableChannel channel(policy);
+  engine.run_phase([&](Comm& comm) {
+    if (comm.rank() != 0) return;
+    try {
+      channel.send(comm, 2, 7, Buffer{1});
+      FAIL() << "expected PeerDeadError";
+    } catch (const PeerDeadError& e) {
+      EXPECT_EQ(e.peer(), 2);
+      EXPECT_EQ(e.tag(), 7);
+      EXPECT_NE(std::string(e.what()).find("2"), std::string::npos);
+    }
+  });
+}
+
+TEST(ReliableChannel, PolicyIsReconfigurablePerChannel) {
+  // set_policy takes effect on the *next* send: with the budget widened the
+  // same hopeless link simply costs more attempts before the typed error,
+  // and an intact link succeeds regardless of budget.
+  FaultInjector injector(FaultPlan::parse("seed=5,drop=1"));
+  SeqEngine engine(2);
+  engine.set_fault_injector(&injector);
+  ReliableChannel channel;  // default budget
+  ReliablePolicy tight;
+  tight.max_attempts = 2;
+  tight.base_backoff = 1e-5;
+  channel.set_policy(tight);
+  EXPECT_EQ(channel.policy().max_attempts, 2);
+  engine.run_phase([&](Comm& comm) {
+    if (comm.rank() != 0) return;
+    EXPECT_THROW(channel.send(comm, 1, 4, Buffer{1}), PeerDeadError);
+  });
+  EXPECT_EQ(channel.counters().retransmissions, 1u);  // attempt 2 only
+
+  ReliablePolicy wide = tight;
+  wide.max_attempts = 6;
+  channel.set_policy(wide);
+  engine.run_phase([&](Comm& comm) {
+    if (comm.rank() != 0) return;
+    EXPECT_THROW(channel.send(comm, 1, 4, Buffer{2}), PeerDeadError);
+  });
+  // 1 (tight, above) + 5 more under the widened budget.
+  EXPECT_EQ(channel.counters().retransmissions, 6u);
 }
 
 }  // namespace

@@ -1,0 +1,207 @@
+// Membership + engine support for self-healing: role/physical indirection,
+// spare promotion order and epochs, parked ranks idling at barriers, the
+// slot-keyed collective combine (bitwise placement-invariance), and
+// administrative death. These are the primitives ParallelMd's recovery
+// driver is built on.
+#include "sim/membership.hpp"
+
+#include "sim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+namespace pcmd::sim {
+namespace {
+
+TEST(Membership, StartsAsIdentityWithParkedSpares) {
+  Membership membership(4, 6);
+  EXPECT_EQ(membership.roles(), 4);
+  EXPECT_EQ(membership.physical_ranks(), 6);
+  EXPECT_EQ(membership.epoch(), 0);
+  for (int role = 0; role < 4; ++role) {
+    EXPECT_EQ(membership.physical_of(role), role);
+    EXPECT_EQ(membership.role_of(role), role);
+    EXPECT_TRUE(membership.role_alive(role));
+  }
+  EXPECT_EQ(membership.role_of(4), -1);
+  EXPECT_EQ(membership.role_of(5), -1);
+  EXPECT_TRUE(membership.is_spare(4));
+  EXPECT_TRUE(membership.is_spare(5));
+  EXPECT_FALSE(membership.is_spare(0));
+  EXPECT_EQ(membership.spares_available(), 2);
+  EXPECT_EQ(membership.alive_roles(), 4);
+}
+
+TEST(Membership, FailOverPromotesSparesInOrderAndBumpsEpoch) {
+  Membership membership(3, 5);
+
+  const int first = membership.fail_over(1);
+  EXPECT_EQ(first, 3);  // spares promoted lowest-rank first
+  EXPECT_EQ(membership.epoch(), 1);
+  EXPECT_EQ(membership.physical_of(1), 3);
+  EXPECT_EQ(membership.role_of(3), 1);
+  EXPECT_EQ(membership.role_of(1), -1);  // the dead host is roleless now
+  EXPECT_FALSE(membership.is_spare(3));
+  EXPECT_EQ(membership.spares_available(), 1);
+  EXPECT_EQ(membership.alive_roles(), 3);
+
+  const int second = membership.fail_over(0);
+  EXPECT_EQ(second, 4);
+  EXPECT_EQ(membership.epoch(), 2);
+
+  // Pool empty: the next failure retires the role.
+  const int third = membership.fail_over(2);
+  EXPECT_EQ(third, -1);
+  EXPECT_EQ(membership.epoch(), 3);
+  EXPECT_FALSE(membership.role_alive(2));
+  EXPECT_EQ(membership.physical_of(2), -1);
+  EXPECT_EQ(membership.alive_roles(), 2);
+}
+
+TEST(Membership, PromotedRoleCanFailOverAgain) {
+  Membership membership(2, 4);
+  EXPECT_EQ(membership.fail_over(0), 2);
+  EXPECT_EQ(membership.fail_over(0), 3);  // the promoted host died too
+  EXPECT_EQ(membership.epoch(), 2);
+  EXPECT_EQ(membership.physical_of(0), 3);
+  EXPECT_EQ(membership.role_of(2), -1);
+  EXPECT_EQ(membership.fail_over(0), -1);  // out of spares: retired
+}
+
+TEST(Membership, DeadSparesLeaveThePool) {
+  Membership membership(2, 4);
+  membership.spare_died(2);
+  EXPECT_FALSE(membership.is_spare(2));
+  EXPECT_EQ(membership.spares_available(), 1);
+  // The dead spare is skipped: the next failover takes rank 3.
+  EXPECT_EQ(membership.fail_over(1), 3);
+  EXPECT_EQ(membership.fail_over(0), -1);
+}
+
+// ---- engine-level primitives the membership layer drives ----
+
+TEST(ParkedRanks, AreExemptFromCollectiveCompleteness) {
+  SeqEngine engine(3);
+  engine.set_parked(2, true);
+  ASSERT_TRUE(engine.parked(2));
+
+  std::vector<double> reduced;
+  engine.run_phase([](Comm& comm) {
+    if (comm.rank() == 2) return;  // parked: body returns immediately
+    comm.collective_begin(ReduceOp::kSum, std::vector<double>{1.0},
+                          comm.rank());
+  });
+  engine.run_phase([&](Comm& comm) {
+    if (comm.rank() == 2) return;
+    const auto result = comm.collective_end();
+    if (comm.rank() == 0) reduced = result;
+  });
+  // The collective completed without rank 2's contribution.
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], 2.0);
+}
+
+TEST(ParkedRanks, UnparkFastForwardsIntoTheCurrentCollective) {
+  SeqEngine engine(3);
+  engine.set_parked(2, true);
+
+  // Two full collective rounds without the spare.
+  for (int round = 0; round < 2; ++round) {
+    engine.run_phase([](Comm& comm) {
+      if (comm.rank() == 2) return;
+      comm.collective_begin(ReduceOp::kSum, std::vector<double>{1.0},
+                            comm.rank());
+    });
+    engine.run_phase([](Comm& comm) {
+      if (comm.rank() == 2) return;
+      (void)comm.collective_end();
+    });
+  }
+
+  // Promotion: the spare joins and must land in the *current* slot, not the
+  // one it would have reached had it participated from the start.
+  engine.set_parked(2, false);
+  std::vector<double> reduced;
+  engine.run_phase([](Comm& comm) {
+    comm.collective_begin(ReduceOp::kSum, std::vector<double>{1.0},
+                          comm.rank());
+  });
+  engine.run_phase([&](Comm& comm) {
+    const auto result = comm.collective_end();
+    if (comm.rank() == 0) reduced = result;
+  });
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], 3.0);
+}
+
+TEST(SlotKeyedCollectives, CombineIsBitwiseInvariantUnderPlacement) {
+  // The sum 1e16 + 1.0 + (-1e16) is rounding-order dependent: left-to-right
+  // gives 0.0, but 1e16 + (-1e16) first gives 1.0. Keying contributions by
+  // logical slot pins the combine order to the slots, so any role->rank
+  // placement produces the same bits.
+  const double values[3] = {1e16, 1.0, -1e16};
+
+  auto reduce_with_placement = [&](const std::vector<int>& slot_of_rank) {
+    SeqEngine engine(3);
+    double reduced = 0.0;
+    engine.run_phase([&](Comm& comm) {
+      const int slot = slot_of_rank[static_cast<std::size_t>(comm.rank())];
+      const double v = values[slot];
+      comm.collective_begin(ReduceOp::kSum, std::span<const double>(&v, 1),
+                            slot);
+    });
+    engine.run_phase([&](Comm& comm) {
+      const auto result = comm.collective_end();
+      if (comm.rank() == 0) reduced = result[0];
+    });
+    return reduced;
+  };
+
+  const double identity = reduce_with_placement({0, 1, 2});
+  const double rotated = reduce_with_placement({2, 0, 1});
+  const double swapped = reduce_with_placement({1, 2, 0});
+  EXPECT_EQ(identity, rotated);  // bitwise
+  EXPECT_EQ(identity, swapped);
+  // And the order is slot order: 1e16 + 1.0 first (absorbed), then -1e16.
+  EXPECT_EQ(identity, (1e16 + 1.0) + -1e16);
+}
+
+TEST(SlotKeyedCollectives, DuplicateSlotIsAProtocolError) {
+  SeqEngine engine(2);
+  EXPECT_THROW(engine.run_phase([](Comm& comm) {
+    comm.collective_begin(ReduceOp::kSum, std::vector<double>{1.0},
+                          /*slot=*/0);  // both ranks claim slot 0
+  }),
+               ProtocolError);
+}
+
+TEST(DeclareDead, StopsTheRankAndUnblocksCollectives) {
+  SeqEngine engine(3);
+  std::vector<int> ran(3, 0);
+  engine.run_phase([&](Comm& comm) { ran[comm.rank()] += 1; });
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1}));
+
+  engine.declare_dead(1);
+  EXPECT_FALSE(engine.alive(1));
+  EXPECT_EQ(engine.alive_count(), 2);
+
+  // Its body never runs again, and collectives complete without it.
+  std::vector<double> reduced;
+  engine.run_phase([&](Comm& comm) {
+    ran[comm.rank()] += 1;
+    comm.collective_begin(ReduceOp::kSum, std::vector<double>{1.0},
+                          comm.rank());
+  });
+  engine.run_phase([&](Comm& comm) {
+    const auto result = comm.collective_end();
+    if (comm.rank() == 0) reduced = result;
+  });
+  EXPECT_EQ(ran, (std::vector<int>{2, 1, 2}));
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], 2.0);
+}
+
+}  // namespace
+}  // namespace pcmd::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace pcmd {
 namespace {
 
@@ -56,6 +59,44 @@ TEST(Cli, FlagFollowedByFlagIsBoolean) {
   const Cli cli = make_cli({"--a", "--b=3"});
   EXPECT_TRUE(cli.get_bool("a", false));
   EXPECT_EQ(cli.get_int("b", 0), 3);
+}
+
+TEST(Cli, MalformedIntThrowsNamingFlagAndToken) {
+  const Cli cli = make_cli({"--steps=10x", "--n=", "--m=seven"});
+  try {
+    cli.get_int("steps", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--steps"), std::string::npos) << what;
+    EXPECT_NE(what.find("10x"), std::string::npos) << what;
+    EXPECT_NE(what.find("integer"), std::string::npos) << what;
+  }
+  EXPECT_THROW(cli.get_int("m", 0), std::invalid_argument);
+  // An explicitly empty value falls back (same as an absent flag).
+  EXPECT_EQ(cli.get_int("n", 3), 3);
+}
+
+TEST(Cli, MalformedDoubleThrowsNamingFlagAndToken) {
+  const Cli cli = make_cli({"--dt=fast", "--rho=0.5e"});
+  try {
+    cli.get_double("dt", 0.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--dt"), std::string::npos) << what;
+    EXPECT_NE(what.find("fast"), std::string::npos) << what;
+    EXPECT_NE(what.find("number"), std::string::npos) << what;
+  }
+  EXPECT_THROW(cli.get_double("rho", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, WellFormedNumbersStillParse) {
+  const Cli cli = make_cli({"--a=-7", "--b=1e-3", "--c=+12", "--d=.5"});
+  EXPECT_EQ(cli.get_int("a", 0), -7);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), 1e-3);
+  EXPECT_EQ(cli.get_int("c", 0), 12);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 0.0), 0.5);
 }
 
 TEST(Cli, UnqueriedFlagsDetected) {
