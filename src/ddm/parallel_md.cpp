@@ -422,6 +422,10 @@ void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
   const auto& col_torus = layout_.column_torus();
   const auto neighbors = layout_.pe_torus().neighbors8(me);
 
+  // My boundary particles are about to be published to every neighbour; the
+  // halo messages order each neighbour's read after this write.
+  PCMD_HB_ACCESS(comm, "halo", me, /*is_write=*/true, "halo");
+
   // Which of my columns each neighbour needs: my column c goes to the owner
   // of every column adjacent to c.
   std::vector<std::vector<int>> columns_for(neighbors.size());
@@ -473,6 +477,7 @@ void ParallelMd::absorb_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
     auto payload = recv_from(comm, rank, nb, tag);
     if (!payload) continue;  // dead neighbour: its halo is gone this step
+    PCMD_HB_ACCESS(comm, "halo", nb, /*is_write=*/false, "halo");
     for (const auto& record : unpack_halo(std::move(*payload))) {
       md::Particle p;
       p.id = record.id;
@@ -512,6 +517,10 @@ void ParallelMd::phase_a_drift_and_digest(sim::Comm& comm, int me) {
   for (const int col : owned_columns(rank, me)) {
     columns.push_back(static_cast<std::int32_t>(col));
   }
+  // My digest (busy time + column list) is shared state: neighbours read it
+  // in phase B, and the kTagDigest messages below are what order that read
+  // after this write.
+  PCMD_HB_ACCESS(comm, "digest", me, /*is_write=*/true, "drift");
   for (const int nb : layout_.pe_torus().neighbors8(me)) {
     send_to(comm, rank, nb, kTagDigest, pack_digest(rank.last_busy, columns));
   }
@@ -532,6 +541,7 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm, int me) {
     double busy = 0.0;
     std::vector<std::int32_t> columns;
     unpack_digest(std::move(*payload), busy, columns);
+    PCMD_HB_ACCESS(comm, "digest", neighbors[k], /*is_write=*/false, "dlb");
     rank.neighbor_times[k] = busy;
     for (const std::int32_t col : columns) {
       rank.map.set_owner(col, neighbors[k]);
@@ -554,6 +564,10 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm, int me) {
     if (decision.target >= 0 &&
         rank.peer_alive[static_cast<std::size_t>(decision.target)] != 0) {
       core::DlbProtocol::apply(rank.map, decision);
+      // Ownership hand-off: the old owner's release must happen-before the
+      // new owner's acquisition (ordered by the kTagTransfer message below).
+      PCMD_HB_ACCESS(comm, "column", decision.column, /*is_write=*/true,
+                     "dlb");
       announce.target = decision.target;
       announce.column = decision.column;
       rank.transfers_made = 1;
@@ -613,7 +627,7 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm, int me) {
 
   // Announcements first, so forwarding below sees fresh ownership.
   span_begin(comm, spans_.dlb);
-  std::vector<int> transfers_to_me;
+  std::vector<std::pair<int, int>> transfers_to_me;  // (neighbour k, column)
   for (std::size_t k = 0; k < neighbors.size(); ++k) {
     auto payload = recv_from(comm, rank, neighbors[k], kTagAnnounce);
     if (!payload) continue;  // dead neighbour announced nothing
@@ -621,12 +635,14 @@ void ParallelMd::phase_c_absorb_and_forward(sim::Comm& comm, int me) {
     if (announce.target < 0) continue;
     rank.map.set_owner(announce.column, announce.target);
     if (announce.target == me) {
-      transfers_to_me.push_back(static_cast<int>(k));
+      transfers_to_me.emplace_back(static_cast<int>(k), announce.column);
     }
   }
-  for (const int k : transfers_to_me) {
+  for (const auto& [k, col] : transfers_to_me) {
     auto payload = recv_from(comm, rank, neighbors[k], kTagTransfer);
     if (!payload) continue;
+    // Acquisition side of the ownership hand-off stamped in phase B.
+    PCMD_HB_ACCESS(comm, "column", col, /*is_write=*/true, "dlb");
     for (const auto& p : unpack_particles(std::move(*payload))) {
       rank.owned.push_back(p);
     }

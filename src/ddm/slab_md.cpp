@@ -224,6 +224,7 @@ void SlabMd::finish_construction(bool resume,
       }
       return pack_halo(records);
     };
+    PCMD_HB_ACCESS(comm, "slab-halo", comm.rank(), /*is_write=*/true, "halo");
     send_to(comm, rank, left(comm.rank()), kSlabInitHalo, pack_layer(rank.lo));
     send_to(comm, rank, right(comm.rank()), kSlabInitHalo,
             pack_layer(rank.hi - 1));
@@ -232,8 +233,9 @@ void SlabMd::finish_construction(bool resume,
     Rank& rank = *ranks_[comm.rank()];
     rank.with_halo = rank.owned;
     for (const int nb : {left(comm.rank()), right(comm.rank())}) {
-      for (const auto& record :
-           unpack_halo(recv_from(comm, rank, nb, kSlabInitHalo))) {
+      const auto halo = unpack_halo(recv_from(comm, rank, nb, kSlabInitHalo));
+      PCMD_HB_ACCESS(comm, "slab-halo", nb, /*is_write=*/false, "halo");
+      for (const auto& record : halo) {
         md::Particle p;
         p.id = record.id;
         p.position = record.position;
@@ -352,6 +354,9 @@ void SlabMd::phase_a_drift_and_times(sim::Comm& comm) {
   info.low_layer_load = layer_load(rank, rank.lo);
   info.high_layer_load = layer_load(rank, rank.hi - 1);
   info.total_load = static_cast<double>(rank.owned.size());
+  // My slab descriptor is shared state read by both ring neighbours in
+  // phase B; the kSlabInfo messages order those reads after this write.
+  PCMD_HB_ACCESS(comm, "slab-info", comm.rank(), /*is_write=*/true, "drift");
   send_to(comm, rank, left(comm.rank()), kSlabInfo, pack_info(info));
   send_to(comm, rank, right(comm.rank()), kSlabInfo, pack_info(info));
 }
@@ -361,8 +366,10 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
   Rank& rank = *ranks_[me];
   const SlabInfo left_info =
       unpack_info(recv_from(comm, rank, left(me), kSlabInfo));
+  PCMD_HB_ACCESS(comm, "slab-info", left(me), /*is_write=*/false, "shift");
   const SlabInfo right_info =
       unpack_info(recv_from(comm, rank, right(me), kSlabInfo));
+  PCMD_HB_ACCESS(comm, "slab-info", right(me), /*is_write=*/false, "shift");
 
   SlabInfo my_info;
   my_info.busy = rank.last_busy;
@@ -393,6 +400,13 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
 
   if (config_.shift_enabled) {
     span_begin(comm, spans_.shift);
+    // The boundary positions themselves are NOT stamped for the
+    // happens-before detector: both sides recompute boundary_shift from the
+    // same two SlabInfo records (replicated deterministic computation), so
+    // there is deliberately no ordering message between the two updates.
+    // What IS shared is the shed layer's particle population — stamped at
+    // extraction here and at absorption in phase C, ordered by the
+    // kSlabTransfer message.
     // My left boundary has id `me`.
     if (me != 0 && (step_number + me) % 2 == 0) {
       const int shift =
@@ -400,6 +414,7 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
       if (shift == -1) {
         rank.lo -= 1;  // left neighbour sheds its top layer to me
       } else if (shift == +1) {
+        PCMD_HB_ACCESS(comm, "layer", rank.lo, /*is_write=*/true, "shift");
         extract_layer(rank.lo, to_left);  // I shed my bottom layer
         rank.lo += 1;
         rank.shifts_made += 1;
@@ -410,6 +425,8 @@ void SlabMd::phase_b_shift_and_migrate(sim::Comm& comm) {
       const int shift =
           boundary_shift(my_info, right_info, config_.avoid_overshoot);
       if (shift == -1) {
+        PCMD_HB_ACCESS(comm, "layer", rank.hi - 1, /*is_write=*/true,
+                       "shift");
         extract_layer(rank.hi - 1, to_right);  // I shed my top layer
         rank.hi -= 1;
         rank.shifts_made += 1;
@@ -460,8 +477,16 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
   Rank& rank = *ranks_[me];
   span_begin(comm, spans_.migrate);
   for (const int nb : {left(me), right(me)}) {
+    bool absorbed_layer = false;
     for (const auto& p :
          unpack_particles(recv_from(comm, rank, nb, kSlabTransfer))) {
+      if (!absorbed_layer) {
+        // Absorption side of the shed layer stamped in phase B; every
+        // particle of one transfer sits in the one shifted layer.
+        PCMD_HB_ACCESS(comm, "layer", layer_of_position(p.position),
+                       /*is_write=*/true, "migrate");
+        absorbed_layer = true;
+      }
       rank.owned.push_back(p);
     }
     for (const auto& p :
@@ -485,6 +510,7 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
     }
     return pack_halo(records);
   };
+  PCMD_HB_ACCESS(comm, "slab-halo", me, /*is_write=*/true, "halo");
   send_to(comm, rank, left(me), kSlabHalo, pack_layer(rank.lo));
   send_to(comm, rank, right(me), kSlabHalo, pack_layer(rank.hi - 1));
   span_end(comm, spans_.halo);
@@ -496,8 +522,11 @@ void SlabMd::phase_d_forces(sim::Comm& comm) {
   span_begin(comm, spans_.halo);
   rank.with_halo = rank.owned;
   for (const int nb : {left(me), right(me)}) {
-    for (const auto& record :
-         unpack_halo(recv_from(comm, rank, nb, kSlabHalo))) {
+    const auto halo = unpack_halo(recv_from(comm, rank, nb, kSlabHalo));
+    // After the recv: the message is the edge that orders this read behind
+    // the neighbour's phase-C write.
+    PCMD_HB_ACCESS(comm, "slab-halo", nb, /*is_write=*/false, "halo");
+    for (const auto& record : halo) {
       md::Particle p;
       p.id = record.id;
       p.position = record.position;

@@ -80,7 +80,9 @@ auto checked_unpack(const char* what, sim::Buffer buffer, F&& body) {
 sim::Buffer pack_digest(double busy_seconds,
                         const std::vector<std::int32_t>& columns) {
   sim::Packer packer;
-  packer.put(DigestHeader{busy_seconds});
+  DigestHeader header;
+  header.busy_seconds = busy_seconds;
+  packer.put(header);
   packer.put_vector(columns);
   return seal_payload(packer.take());
 }

@@ -21,6 +21,8 @@ const char* to_string(ProtocolViolation::Kind kind) {
       return "clock-regression";
     case ProtocolViolation::Kind::kNonNeighborMessage:
       return "non-neighbor-message";
+    case ProtocolViolation::Kind::kUnorderedAccess:
+      return "unordered-access";
   }
   return "unknown";
 }
@@ -51,6 +53,91 @@ void ProtocolChecker::record(ProtocolViolation::Kind kind, int rank, int phase,
   violations_.push_back({kind, rank, phase, std::move(detail)});
 }
 
+// ---- vector-clock plumbing ----------------------------------------------
+//
+// Every ordering event (send, recv, collective begin/end, stamped access)
+// ticks the acting rank's own component, so two events on one rank always
+// have distinct epochs and "after the send" is distinguishable from "before
+// the send". Messages carry the sender's clock; recv joins it. Collectives
+// accumulate the join of every begin and hand it to every end — under BSP
+// all begins precede all ends, so the end-side join is the all-participant
+// barrier edge.
+
+ProtocolChecker::VectorClock& ProtocolChecker::tick(int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  if (vc_.size() <= r) vc_.resize(r + 1);
+  auto& vc = vc_[r];
+  if (vc.size() <= r) vc.resize(r + 1, 0);
+  ++vc[r];
+  return vc;
+}
+
+void ProtocolChecker::join(VectorClock& into, const VectorClock& other) {
+  if (into.size() < other.size()) into.resize(other.size(), 0);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    into[i] = std::max(into[i], other[i]);
+  }
+}
+
+std::uint64_t ProtocolChecker::component(const VectorClock& vc, int rank) {
+  const auto r = static_cast<std::size_t>(rank);
+  return r < vc.size() ? vc[r] : 0;
+}
+
+void ProtocolChecker::flush_accesses_locked() const {
+  if (staged_.empty()) return;
+  // Canonical judging order: by phase, then rank, then per-rank program
+  // order. This is independent of thread interleaving within a phase, so
+  // SeqEngine and ThreadEngine produce identical reports.
+  std::sort(staged_.begin(), staged_.end(),
+            [](const StagedAccess& a, const StagedAccess& b) {
+              if (a.phase != b.phase) return a.phase < b.phase;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.seq < b.seq;
+            });
+  for (const auto& access : staged_) {
+    auto& history = objects_[access.object];
+    const auto flag_pair = [&](const LastAccess& prior, int prior_rank,
+                               bool prior_write) {
+      if (component(access.vc, prior_rank) >= prior.epoch) return;  // ordered
+      std::string key = access.object;
+      key += '|';
+      key += std::to_string(prior_rank);
+      key += prior_write ? 'w' : 'r';
+      key += prior.site;
+      key += '|';
+      key += std::to_string(access.rank);
+      key += access.write ? 'w' : 'r';
+      key += access.site;
+      if (!reported_pairs_.insert(std::move(key)).second) return;
+      std::ostringstream os;
+      os << "rank " << access.rank << ' ' << (access.write ? "write" : "read")
+         << " of shared object '" << access.object << "' in phase "
+         << access.phase << " (span '" << access.site
+         << "') is unordered with rank " << prior_rank << "'s "
+         << (prior_write ? "write" : "read") << " in phase " << prior.phase
+         << " (span '" << prior.site
+         << "') — no message or collective path connects them, so the "
+            "outcome depends on the schedule";
+      hb_violations_.push_back({ProtocolViolation::Kind::kUnorderedAccess,
+                                access.rank, access.phase, os.str()});
+    };
+    // A prior write conflicts with anything; a prior read only with a write.
+    for (const auto& [rank, last] : history.writes) {
+      if (rank != access.rank) flag_pair(last, rank, /*prior_write=*/true);
+    }
+    if (access.write) {
+      for (const auto& [rank, last] : history.reads) {
+        if (rank != access.rank) flag_pair(last, rank, /*prior_write=*/false);
+      }
+    }
+    auto& slot =
+        access.write ? history.writes[access.rank] : history.reads[access.rank];
+    slot = {access.epoch, access.phase, access.site};
+  }
+  staged_.clear();
+}
+
 void ProtocolChecker::on_attach(int ranks) {
   std::lock_guard lock(mutex_);
   attached_ranks_ = ranks;
@@ -60,6 +147,9 @@ void ProtocolChecker::on_phase_begin(int phase) {
   std::lock_guard lock(mutex_);
   ++events_;
   current_phase_ = phase;
+  // Both engines call this on the driving thread with the previous phase
+  // fully drained — a deterministic point to judge its staged accesses.
+  flush_accesses_locked();
 }
 
 void ProtocolChecker::on_send(int src, int dst, int tag, int phase,
@@ -79,7 +169,10 @@ void ProtocolChecker::on_send(int src, int dst, int tag, int phase,
        << " torus — regular-communication guarantee violated";
     record(ProtocolViolation::Kind::kNonNeighborMessage, src, phase, os.str());
   }
-  pending_.push_back({src, dst, tag, phase, bytes});
+  // Tick before snapshotting so accesses stamped after this send get a later
+  // epoch than the message carries — the receiver is ordered only against
+  // what the sender had done by the send.
+  pending_.push_back({src, dst, tag, phase, bytes, tick(src)});
 }
 
 void ProtocolChecker::on_recv(int dst, int src, int tag, int recv_phase,
@@ -100,8 +193,11 @@ void ProtocolChecker::on_recv(int dst, int src, int tag, int recv_phase,
        << sent_phase << ") — was the checker attached after traffic started?";
     record(ProtocolViolation::Kind::kMissingSender, dst, recv_phase,
            os.str());
+    tick(dst);
     return;
   }
+  auto& vc = tick(dst);
+  join(vc, it->vc);
   pending_.erase(it);
 }
 
@@ -109,6 +205,7 @@ void ProtocolChecker::on_recv_missing(int dst, int src, int tag, int phase) {
   std::lock_guard lock(mutex_);
   ++events_;
   max_rank_seen_ = std::max({max_rank_seen_, src, dst});
+  tick(dst);
   std::ostringstream os;
   os << "rank " << dst << " posted recv(src=" << src << ", tag=" << tag
      << ") in phase " << phase
@@ -162,6 +259,7 @@ void ProtocolChecker::on_collective_begin(int rank, int phase, int op,
   }
   trace.begin_ranks.push_back(rank);
   ++trace.begins;
+  join(trace.vc, tick(rank));
 }
 
 void ProtocolChecker::on_collective_end(int rank, int phase) {
@@ -177,15 +275,45 @@ void ProtocolChecker::on_collective_end(int rank, int phase) {
     os << "rank " << rank << " completed collective #" << slot
        << " that no rank ever began";
     record(ProtocolViolation::Kind::kCollectiveArity, rank, phase, os.str());
+    tick(rank);
     return;
   }
   ++collectives_[slot].ends;
+  // BSP puts every begin in an earlier phase than any end, so the trace's
+  // joined clock already covers all participants: the all-to-all edge.
+  auto& vc = tick(rank);
+  join(vc, collectives_[slot].vc);
+}
+
+void ProtocolChecker::on_access(int rank, HbObject object, bool is_write,
+                                const char* site, int phase) {
+  std::lock_guard lock(mutex_);
+  ++events_;
+  max_rank_seen_ = std::max(max_rank_seen_, rank);
+  if (access_seq_.size() <= static_cast<std::size_t>(rank)) {
+    access_seq_.resize(rank + 1, 0);
+  }
+  StagedAccess access;
+  access.rank = rank;
+  access.phase = phase;
+  access.seq = access_seq_[rank]++;
+  access.object = object.kind;
+  access.object += '/';
+  access.object += std::to_string(object.index);
+  access.write = is_write;
+  access.site = site;
+  access.vc = tick(rank);  // copy the post-tick snapshot
+  access.epoch = component(access.vc, rank);
+  staged_.push_back(std::move(access));
 }
 
 ProtocolReport ProtocolChecker::report() const {
   std::lock_guard lock(mutex_);
+  flush_accesses_locked();
   ProtocolReport report;
   report.violations = violations_;
+  report.violations.insert(report.violations.end(), hb_violations_.begin(),
+                           hb_violations_.end());
 
   const int ranks = attached_ranks_ > 0 ? attached_ranks_ : max_rank_seen_ + 1;
   for (const auto& send : pending_) {
@@ -231,6 +359,12 @@ void ProtocolChecker::reset() {
   end_seq_.clear();
   collectives_.clear();
   violations_.clear();
+  vc_.clear();
+  access_seq_.clear();
+  staged_.clear();
+  objects_.clear();
+  reported_pairs_.clear();
+  hb_violations_.clear();
 }
 
 std::uint64_t ProtocolChecker::events_recorded() const {

@@ -11,7 +11,17 @@
 //   * optionally, all point-to-point traffic is confined to 8-neighbours of
 //     a 2-D torus — the paper's regular-communication guarantee (PAPER.md
 //     Section 3): permanent cells exist precisely so that no DLB state ever
-//     requires a non-neighbour message.
+//     requires a non-neighbour message,
+//   * message-level happens-before: every rank carries a vector clock,
+//     advanced on send/recv/collective. Engines stamp their cross-rank
+//     shared-state touch points with PCMD_HB_ACCESS(comm, object, is_write,
+//     site) (sim/comm.hpp); any write/write or read/write pair on one object
+//     that no message or collective path orders is reported as an
+//     unordered-access violation. This catches *protocol* races that TSan
+//     cannot see: the mailbox mutex happily serializes the bytes of two
+//     causally concurrent touches, so the interleaving is data-race-free yet
+//     schedule-dependent. Detection depends only on the message graph, so
+//     SeqEngine and ThreadEngine report identical races.
 //
 // Usage: attach to an Engine with Engine::set_checker before the first
 // phase; call report() / require_clean() at a quiescent point (a phase
@@ -23,10 +33,12 @@
 // Thread-safe: the thread engine invokes hooks concurrently from all ranks.
 #pragma once
 
+#include "sim/comm.hpp"
 #include "sim/topology.hpp"
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -45,6 +57,8 @@ struct ProtocolViolation {
     kCollectiveMismatch, // ranks disagreed on op or width
     kClockRegression,    // a rank's virtual clock moved backwards
     kNonNeighborMessage, // point-to-point traffic outside the torus stencil
+    kUnorderedAccess,    // two ranks touched shared state with no
+                         // happens-before path between the touches
   };
 
   Kind kind;
@@ -91,6 +105,14 @@ class ProtocolChecker {
   void on_clock(int rank, double clock);
   void on_collective_begin(int rank, int phase, int op, std::size_t width);
   void on_collective_end(int rank, int phase);
+  // Shared-state access stamp for the happens-before detector (engines route
+  // PCMD_HB_ACCESS here). `site` names the touching code path in the span
+  // vocabulary ("dlb", "halo", ...) and must outlive the checker (a string
+  // literal). Accesses are staged with a vector-clock snapshot and judged in
+  // a canonical (phase, rank, order-within-rank) order at the next phase
+  // boundary or report(), so both engines report identical races.
+  void on_access(int rank, HbObject object, bool is_write, const char* site,
+                 int phase);
 
   // ---- verification ----
   // Immediate violations plus trace-derived ones (unconsumed sends,
@@ -106,9 +128,12 @@ class ProtocolChecker {
   std::uint64_t events_recorded() const;
 
  private:
+  using VectorClock = std::vector<std::uint64_t>;
+
   struct PendingSend {
     int src, dst, tag, phase;
     std::size_t bytes;
+    VectorClock vc;  // sender's clock at the send: joined by the receiver
   };
   struct CollectiveTrace {
     int op = 0;
@@ -116,10 +141,42 @@ class ProtocolChecker {
     std::vector<int> begin_ranks;  // in arrival order
     int begins = 0;
     int ends = 0;
+    VectorClock vc;  // join of all begin clocks: joined by every end
+  };
+  // One stamped shared-state touch, staged until a deterministic flush
+  // point. `epoch` is the acting rank's own clock component after the
+  // access tick — the value peers must have joined for the touch to be
+  // ordered before theirs.
+  struct StagedAccess {
+    int rank = -1;
+    int phase = -1;
+    std::uint64_t seq = 0;  // order within the rank (deterministic)
+    std::string object;     // "kind/index"
+    bool write = false;
+    const char* site = "";
+    std::uint64_t epoch = 0;
+    VectorClock vc;
+  };
+  struct LastAccess {
+    std::uint64_t epoch = 0;  // 0: no access recorded
+    int phase = -1;
+    const char* site = "";
+  };
+  struct ObjectHistory {
+    std::map<int, LastAccess> writes;  // by rank
+    std::map<int, LastAccess> reads;   // by rank
   };
 
   void record(ProtocolViolation::Kind kind, int rank, int phase,
               std::string detail);
+  // Ticks `rank`'s own component and returns its clock (grown on demand).
+  VectorClock& tick(int rank);
+  static void join(VectorClock& into, const VectorClock& other);
+  static std::uint64_t component(const VectorClock& vc, int rank);
+  // Judges all staged accesses in canonical order against the per-object
+  // history. Called under mutex_ from on_phase_begin and report(); mutable
+  // HB state keeps report() const.
+  void flush_accesses_locked() const;
 
   Options options_;
   mutable std::mutex mutex_;
@@ -133,6 +190,13 @@ class ProtocolChecker {
   std::vector<std::size_t> end_seq_;         // collectives completed per rank
   std::vector<CollectiveTrace> collectives_; // by slot index
   std::vector<ProtocolViolation> violations_;
+  // ---- happens-before state ----
+  std::vector<VectorClock> vc_;              // per rank, grown on demand
+  std::vector<std::uint64_t> access_seq_;    // per rank, grown on demand
+  mutable std::vector<StagedAccess> staged_;
+  mutable std::map<std::string, ObjectHistory> objects_;
+  mutable std::set<std::string> reported_pairs_;  // dedupe unordered pairs
+  mutable std::vector<ProtocolViolation> hb_violations_;
 };
 
 }  // namespace pcmd::sim

@@ -9,11 +9,9 @@
 #include <string>
 
 // Protocol-checker hooks. Compiled in when PCMD_CHECKER_ENABLED is 1 (the
-// PCMD_CHECKER CMake option); then each hook is one branch on a pointer
-// that is null unless a checker is attached. Compiled out entirely when 0.
-#ifndef PCMD_CHECKER_ENABLED
-#define PCMD_CHECKER_ENABLED 1
-#endif
+// PCMD_CHECKER CMake option, defaulted in comm.hpp); then each hook is one
+// branch on a pointer that is null unless a checker is attached. Compiled
+// out entirely when 0.
 #if PCMD_CHECKER_ENABLED
 #define PCMD_CHECKER_HOOK(engine, call)              \
   do {                                               \
@@ -95,6 +93,10 @@ void Comm::collective_begin(ReduceOp op, std::span<const double> values,
 
 std::vector<double> Comm::collective_end() {
   return engine_->do_collective_end(rank_);
+}
+
+void Comm::hb_access(HbObject object, bool is_write, const char* site) {
+  engine_->do_hb_access(rank_, object, is_write, site);
 }
 
 const RankCounters& Comm::counters() const {
@@ -306,6 +308,11 @@ std::optional<Buffer> Engine::do_recv_deadline(int rank, int src, int tag,
   state.counters.recv_timeouts += 1;
   PCMD_CHECKER_HOOK(this, on_clock(rank, state.clock));
   return std::nullopt;
+}
+
+void Engine::do_hb_access(int rank, HbObject object, bool is_write,
+                          const char* site) {
+  PCMD_CHECKER_HOOK(this, on_access(rank, object, is_write, site, phase_));
 }
 
 void Engine::do_collective_begin(int rank, ReduceOp op,

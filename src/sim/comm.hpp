@@ -31,11 +31,49 @@
 #include <span>
 #include <vector>
 
+// Compile-time switch for the protocol-checker hooks (the PCMD_CHECKER CMake
+// option, a PUBLIC define on pcmd_sim; default on).
+#ifndef PCMD_CHECKER_ENABLED
+#define PCMD_CHECKER_ENABLED 1
+#endif
+
+// Shared-state access stamp for the checker's happens-before detector
+// (sim/checker.hpp). Engines mark each cross-rank touch point:
+//
+//   PCMD_HB_ACCESS(comm, "column", col, /*is_write=*/true, "dlb");
+//
+// declaring "this rank now reads/writes logical object {kind, index}".
+// A touch is legal only if every conflicting touch by another rank is
+// separated from it by a message or collective path; the checker reports
+// the rest as unordered-access violations. Compiles to nothing when the
+// checker hooks are compiled out; costs a null-pointer branch when no
+// checker is attached. `kind` and `site` must be string literals (the
+// checker keeps the pointers).
+#if PCMD_CHECKER_ENABLED
+#define PCMD_HB_ACCESS(comm, kind, index, is_write, site)               \
+  (comm).hb_access(                                                     \
+      ::pcmd::sim::HbObject((kind), static_cast<std::int64_t>(index)),  \
+      (is_write), (site))
+#else
+#define PCMD_HB_ACCESS(comm, kind, index, is_write, site) ((void)0)
+#endif
+
 namespace pcmd::sim {
 
 class FaultInjector;
 class ProtocolChecker;
 class TraceSink;
+
+// Identifies one piece of logically-shared protocol state for the
+// happens-before detector: a small family name ("column", "halo", ...) plus
+// an instance index. `kind` must point at storage that outlives the checker
+// (in practice: a string literal).
+struct HbObject {
+  HbObject(const char* kind_in, std::int64_t index_in)
+      : kind(kind_in), index(index_in) {}
+  const char* kind;
+  std::int64_t index;
+};
 
 // Reduction operators for collectives.
 enum class ReduceOp { kSum, kMax, kMin };
@@ -143,6 +181,11 @@ class Comm {
   // Barrier = zero-width collective.
   void barrier_begin() { collective_begin(ReduceOp::kSum, {}); }
   void barrier_end() { (void)collective_end(); }
+
+  // Routes a PCMD_HB_ACCESS stamp to the attached checker's happens-before
+  // detector (no-op with no checker, or with the hooks compiled out).
+  // Prefer the macro: it disappears entirely under PCMD_CHECKER_ENABLED=0.
+  void hb_access(HbObject object, bool is_write, const char* site);
 
   const RankCounters& counters() const;
 
@@ -289,6 +332,8 @@ class Engine {
   void do_collective_begin(int rank, ReduceOp op,
                            std::span<const double> values, int slot);
   std::vector<double> do_collective_end(int rank);
+  void do_hb_access(int rank, HbObject object, bool is_write,
+                    const char* site);
 
   int ranks_;
   MachineModel model_;

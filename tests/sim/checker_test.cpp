@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 namespace pcmd::sim {
 namespace {
 
@@ -167,6 +171,125 @@ TEST(Checker, ResetForgetsTraceButKeepsAttachment) {
   EXPECT_TRUE(checker.report().has(Kind::kCollectiveArity));
 }
 
+// ---- happens-before detector (direct hooks) ----
+
+TEST(CheckerHb, UnorderedWritesFlagged) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 7), /*is_write=*/true, "dlb", 1);
+  checker.on_access(1, HbObject("cell", 7), /*is_write=*/true, "dlb", 1);
+  const auto report = checker.report();
+  EXPECT_TRUE(report.has(Kind::kUnorderedAccess)) << report.to_string();
+  EXPECT_EQ(report.count(Kind::kUnorderedAccess), 1u);  // one pair, once
+  // Provenance: both ranks, the object, and the span site are named.
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("cell/7"), std::string::npos) << text;
+  EXPECT_NE(text.find("'dlb'"), std::string::npos) << text;
+}
+
+TEST(CheckerHb, MessageOrdersWriteBeforeWrite) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 7), true, "dlb", 1);
+  checker.on_send(0, 1, /*tag=*/3, /*phase=*/1, /*bytes=*/8);
+  checker.on_phase_begin(2);
+  checker.on_recv(1, 0, 3, /*recv_phase=*/2, /*sent_phase=*/1);
+  checker.on_access(1, HbObject("cell", 7), true, "dlb", 2);
+  const auto report = checker.report();
+  EXPECT_FALSE(report.has(Kind::kUnorderedAccess)) << report.to_string();
+}
+
+TEST(CheckerHb, AccessAfterSendIsNotOrderedByIt) {
+  // The message only carries what the sender had done by the send: a write
+  // stamped AFTER the send races with the receiver even though a message
+  // flowed between the ranks.
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_send(0, 1, 3, 1, 8);
+  checker.on_access(0, HbObject("cell", 7), true, "dlb", 1);
+  checker.on_phase_begin(2);
+  checker.on_recv(1, 0, 3, 2, 1);
+  checker.on_access(1, HbObject("cell", 7), true, "dlb", 2);
+  EXPECT_TRUE(checker.report().has(Kind::kUnorderedAccess));
+}
+
+TEST(CheckerHb, ReadReadNeverConflicts) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 7), /*is_write=*/false, "halo", 1);
+  checker.on_access(1, HbObject("cell", 7), /*is_write=*/false, "halo", 1);
+  EXPECT_TRUE(checker.report().ok());
+}
+
+TEST(CheckerHb, UnorderedReadWriteFlagged) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 7), /*is_write=*/false, "halo", 1);
+  checker.on_access(1, HbObject("cell", 7), /*is_write=*/true, "dlb", 1);
+  EXPECT_TRUE(checker.report().has(Kind::kUnorderedAccess));
+}
+
+TEST(CheckerHb, SameRankAccessesAreProgramOrdered) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 7), true, "dlb", 1);
+  checker.on_access(0, HbObject("cell", 7), true, "dlb", 1);
+  checker.on_access(0, HbObject("cell", 7), false, "halo", 1);
+  EXPECT_TRUE(checker.report().ok());
+}
+
+TEST(CheckerHb, CollectiveOrdersAllRanks) {
+  // A full begin/end cycle is an all-to-all edge: writes on opposite sides
+  // of the barrier are ordered even with no point-to-point message.
+  ProtocolChecker checker;
+  checker.on_attach(3);
+  checker.on_phase_begin(1);
+  checker.on_access(2, HbObject("cell", 7), true, "dlb", 1);
+  for (int r = 0; r < 3; ++r) checker.on_collective_begin(r, 1, 0, 1);
+  checker.on_phase_begin(2);
+  for (int r = 0; r < 3; ++r) checker.on_collective_end(r, 2);
+  checker.on_access(0, HbObject("cell", 7), true, "dlb", 2);
+  EXPECT_TRUE(checker.report().ok()) << checker.report().to_string();
+}
+
+TEST(CheckerHb, DifferentObjectsDoNotConflict) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 1), true, "dlb", 1);
+  checker.on_access(1, HbObject("cell", 2), true, "dlb", 1);
+  checker.on_access(1, HbObject("halo", 1), true, "halo", 1);
+  EXPECT_TRUE(checker.report().ok());
+}
+
+TEST(CheckerHb, DuplicatePairReportedOnce) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  for (int i = 0; i < 4; ++i) {
+    checker.on_access(0, HbObject("cell", 7), true, "dlb", 1);
+    checker.on_access(1, HbObject("cell", 7), true, "dlb", 1);
+  }
+  EXPECT_EQ(checker.report().count(Kind::kUnorderedAccess), 1u);
+}
+
+TEST(CheckerHb, ResetForgetsAccessHistory) {
+  ProtocolChecker checker;
+  checker.on_attach(2);
+  checker.on_phase_begin(1);
+  checker.on_access(0, HbObject("cell", 7), true, "dlb", 1);
+  checker.reset();
+  checker.on_phase_begin(1);
+  checker.on_access(1, HbObject("cell", 7), true, "dlb", 1);
+  EXPECT_TRUE(checker.report().ok());
+}
+
 TEST(Checker, ReportFormatsKindRankPhase) {
   ProtocolChecker checker;
   checker.on_attach(2);
@@ -257,6 +380,94 @@ TEST(CheckerEngine, NonNeighborTrafficCaughtOnTorus) {
   });
   EXPECT_TRUE(checker.report().has(Kind::kNonNeighborMessage));
   engine.set_checker(nullptr);
+}
+
+TEST(CheckerEngine, SeededProtocolRaceFlaggedOnBothEngines) {
+  // Ranks 1 and 3 both write logical object "cell/5" with no message or
+  // collective between them — a protocol race the mailbox mutex would
+  // happily serialize. Both engines must flag it, with identical reports
+  // (detection depends only on the message graph, not the schedule).
+  std::vector<std::string> reports;
+  for (const bool threaded : {false, true}) {
+    ProtocolChecker checker;
+    std::unique_ptr<Engine> engine;
+    if (threaded) {
+      engine = std::make_unique<ThreadEngine>(4);
+    } else {
+      engine = std::make_unique<SeqEngine>(4);
+    }
+    engine->set_checker(&checker);
+    engine->run_phase([](Comm& comm) {
+      if (comm.rank() == 1 || comm.rank() == 3) {
+        PCMD_HB_ACCESS(comm, "cell", 5, /*is_write=*/true, "dlb");
+      }
+    });
+    engine->run_phase([](Comm&) {});
+    const auto report = checker.report();
+    EXPECT_EQ(report.count(Kind::kUnorderedAccess), 1u) << report.to_string();
+    reports.push_back(report.to_string());
+    engine->set_checker(nullptr);
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+}
+
+TEST(CheckerEngine, MessageOrderedAccessesStayCleanOnBothEngines) {
+  // Same two touches, but a message from rank 1 to rank 3 between them:
+  // the canonical ownership hand-off. Must be silent on both engines.
+  for (const bool threaded : {false, true}) {
+    ProtocolChecker checker;
+    std::unique_ptr<Engine> engine;
+    if (threaded) {
+      engine = std::make_unique<ThreadEngine>(4);
+    } else {
+      engine = std::make_unique<SeqEngine>(4);
+    }
+    engine->set_checker(&checker);
+    engine->run_phase([](Comm& comm) {
+      if (comm.rank() == 1) {
+        PCMD_HB_ACCESS(comm, "cell", 5, /*is_write=*/true, "dlb");
+        comm.send(3, /*tag=*/1, small_payload());
+      }
+    });
+    engine->run_phase([](Comm& comm) {
+      if (comm.rank() == 3) {
+        (void)comm.recv(1, 1);
+        PCMD_HB_ACCESS(comm, "cell", 5, /*is_write=*/true, "dlb");
+      }
+    });
+    const auto report = checker.report();
+    EXPECT_TRUE(report.ok()) << (threaded ? "thread: " : "seq: ")
+                             << report.to_string();
+    engine->set_checker(nullptr);
+  }
+}
+
+TEST(CheckerEngine, BarrierOrdersAccessesAcrossRanks) {
+  for (const bool threaded : {false, true}) {
+    ProtocolChecker checker;
+    std::unique_ptr<Engine> engine;
+    if (threaded) {
+      engine = std::make_unique<ThreadEngine>(4);
+    } else {
+      engine = std::make_unique<SeqEngine>(4);
+    }
+    engine->set_checker(&checker);
+    engine->run_phase([](Comm& comm) {
+      if (comm.rank() == 1) {
+        PCMD_HB_ACCESS(comm, "cell", 5, /*is_write=*/true, "force");
+      }
+      comm.barrier_begin();
+    });
+    engine->run_phase([](Comm& comm) {
+      comm.barrier_end();
+      if (comm.rank() == 3) {
+        PCMD_HB_ACCESS(comm, "cell", 5, /*is_write=*/true, "force");
+      }
+    });
+    const auto report = checker.report();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    engine->set_checker(nullptr);
+  }
 }
 
 TEST(CheckerEngine, ThreadedEngineFeedsCheckerSafely) {

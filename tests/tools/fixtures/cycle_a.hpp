@@ -1,0 +1,9 @@
+// Seeded violation (with cycle_b.hpp): loaded as src/util/cycle_a.hpp and
+// src/util/cycle_b.hpp, which quote-include each other.
+#include "cycle_b.hpp"
+
+namespace pcmd::util {
+struct CycleA {
+  int value = 0;
+};
+}  // namespace pcmd::util

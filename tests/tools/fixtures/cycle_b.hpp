@@ -1,0 +1,8 @@
+// Seeded violation (with cycle_a.hpp): see cycle_a.hpp.
+#include "cycle_a.hpp"
+
+namespace pcmd::util {
+struct CycleB {
+  int value = 0;
+};
+}  // namespace pcmd::util

@@ -1,0 +1,12 @@
+// Seeded violation: the quote-include block below is not sorted; "alpha"
+// must precede "zeta" within a consecutive run of includes.
+#include "zeta.hpp"
+#include "alpha.hpp"
+
+#include <vector>
+
+namespace pcmd {
+
+int include_sort_fixture() { return 0; }
+
+}  // namespace pcmd

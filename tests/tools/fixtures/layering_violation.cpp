@@ -1,0 +1,10 @@
+// Seeded violation: loaded as src/md/layering_violation.cpp, where a
+// quote-include of a ddm/ header reaches ABOVE the md layer.
+#include "ddm/wire.hpp"
+#include "util/vec3.hpp"
+
+namespace pcmd::md {
+
+int layering_fixture() { return 0; }
+
+}  // namespace pcmd::md

@@ -1,0 +1,15 @@
+// Seeded violation: naked assert() — vanishes under NDEBUG and carries no
+// context; the project uses PCMD_CHECK/PCMD_ASSERT instead. static_assert
+// below must NOT be flagged.
+#include <cassert>
+
+namespace pcmd {
+
+static_assert(sizeof(int) >= 4, "not a violation");
+
+int fixture_checked(int value) {
+  assert(value >= 0);  // line 11: the violation
+  return value;
+}
+
+}  // namespace pcmd

@@ -1,0 +1,20 @@
+// Seeded violation: loaded as src/core/pointer_key.cpp; ordered containers
+// keyed on raw pointers iterate in address order, which differs run to run.
+#include <map>
+#include <set>
+#include <string>
+
+namespace pcmd::core {
+
+struct Cell {
+  int index = 0;
+};
+
+int fixture_pointer_keys() {
+  std::map<Cell*, int> owners;       // line 14: pointer-keyed map
+  std::set<const Cell*> touched;     // line 15: pointer-keyed set
+  std::map<std::string, int> named;  // not a violation
+  return static_cast<int>(owners.size() + touched.size() + named.size());
+}
+
+}  // namespace pcmd::core

@@ -1,0 +1,14 @@
+// Seeded violation: loaded as src/ddm/unordered_container.cpp; protocol
+// code must not use hash containers (iteration order leaks host hashing).
+#include <cstdint>
+#include <unordered_map>
+
+namespace pcmd::ddm {
+
+double fixture_total(const std::unordered_map<int, double>& load) {
+  double total = 0.0;
+  for (const auto& [column, value] : load) total += value;
+  return total;
+}
+
+}  // namespace pcmd::ddm

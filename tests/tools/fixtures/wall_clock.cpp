@@ -1,0 +1,25 @@
+// Seeded violation: loaded as src/core/wall_clock.cpp; simulation code must
+// use virtual time (Comm::clock) and pcmd::Rng, never the host clock or
+// libc randomness.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace pcmd::core {
+
+long fixture_now() {
+  return static_cast<long>(time(nullptr));  // line 11: time(
+}
+
+int fixture_noise() {
+  return std::rand();  // line 15: rand(
+}
+
+long long fixture_epoch_ms() {
+  using clock = std::chrono::system_clock;  // line 19: system_clock
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace pcmd::core

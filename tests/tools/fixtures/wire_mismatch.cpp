@@ -1,0 +1,47 @@
+// Seeded violations: loaded as src/ddm/wire_mismatch.cpp.
+//  - pack_widget/unpack_widget touch different field sets (pack writes
+//    .count, unpack never reads it back).
+//  - pack_orphan has no unpack_orphan counterpart.
+#include <cstdint>
+#include <vector>
+
+namespace pcmd::ddm {
+
+struct Widget {
+  std::int64_t id = 0;
+  std::int32_t count = 0;
+};
+
+struct Packer {
+  template <typename T>
+  void put(const T&) {}
+  std::vector<unsigned char> take() { return {}; }
+};
+
+struct Unpacker {
+  template <typename T>
+  T get() {
+    return T{};
+  }
+};
+
+std::vector<unsigned char> pack_widget(const Widget& widget) {
+  Packer packer;
+  packer.put(widget.id);
+  packer.put(widget.count);
+  return packer.take();
+}
+
+Widget unpack_widget(Unpacker& unpacker) {
+  Widget widget;
+  widget.id = unpacker.get<std::int64_t>();
+  return widget;
+}
+
+std::vector<unsigned char> pack_orphan(const Widget& widget) {
+  Packer packer;
+  packer.put(widget.id);
+  return packer.take();
+}
+
+}  // namespace pcmd::ddm

@@ -1,0 +1,76 @@
+#include "analyzer.hpp"
+
+#include "rules.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcmd::analyze {
+
+namespace fs = std::filesystem;
+
+Source load_source(const std::string& fs_path, std::string display) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("pcmd-analyze: cannot read " + fs_path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::replace(display.begin(), display.end(), '\\', '/');
+  return {std::move(display), buffer.str()};
+}
+
+std::vector<Source> collect_tree(const std::string& root) {
+  static const char* kTopDirs[] = {"src", "tests", "bench", "examples",
+                                   "tools"};
+  std::vector<Source> sources;
+  for (const char* top : kTopDirs) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        // Build output and the deliberately-broken rule fixtures.
+        if (name.rfind("build", 0) == 0 ||
+            (name == "fixtures" &&
+             it->path().parent_path().filename() == "tools")) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::string display =
+          fs::relative(it->path(), fs::path(root)).generic_string();
+      sources.push_back(load_source(it->path().string(), std::move(display)));
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const Source& a, const Source& b) { return a.path < b.path; });
+  return sources;
+}
+
+std::vector<Finding> analyze(const std::vector<Source>& sources) {
+  std::vector<Finding> findings;
+  run_rules(sources, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string format(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ':' << finding.line << ": [" << finding.rule << "] "
+     << finding.message;
+  return os.str();
+}
+
+}  // namespace pcmd::analyze

@@ -1,0 +1,65 @@
+// pcmd-analyze CLI.
+//
+//   pcmd-analyze [--root DIR]        analyze the whole tree under DIR (.)
+//   pcmd-analyze [--root DIR] FILES  analyze just FILES (paths relative to
+//                                    DIR decide which path-scoped rules
+//                                    apply)
+//
+// Prints "file:line: [rule] message" per finding. Exit 0 when clean, 1 on
+// findings, 2 on usage or I/O errors.
+#include "analyzer.hpp"
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "pcmd-analyze: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: pcmd-analyze [--root DIR] [files...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pcmd-analyze: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    std::vector<pcmd::analyze::Source> sources;
+    if (files.empty()) {
+      sources = pcmd::analyze::collect_tree(root);
+    } else {
+      for (const auto& file : files) {
+        // Display path = the path as given, so running from the repo root
+        // with repo-relative paths scopes rules correctly.
+        sources.push_back(pcmd::analyze::load_source(file, file));
+      }
+    }
+    const auto findings = pcmd::analyze::analyze(sources);
+    for (const auto& finding : findings) {
+      std::cout << pcmd::analyze::format(finding) << "\n";
+    }
+    if (!findings.empty()) {
+      std::cerr << "pcmd-analyze: " << findings.size() << " finding(s) in "
+                << sources.size() << " file(s)\n";
+      return 1;
+    }
+    std::cerr << "pcmd-analyze: OK (" << sources.size() << " files)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

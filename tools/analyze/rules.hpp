@@ -1,0 +1,15 @@
+// Internal interface between the analyze() driver and the rule catalog.
+#pragma once
+
+#include "analyzer.hpp"
+
+#include <vector>
+
+namespace pcmd::analyze {
+
+// Appends findings from every rule; order is whatever the rules produce
+// (analyze() sorts).
+void run_rules(const std::vector<Source>& sources,
+               std::vector<Finding>& findings);
+
+}  // namespace pcmd::analyze

@@ -1,0 +1,126 @@
+#include "tokenizer.hpp"
+
+#include <cctype>
+
+namespace pcmd::analyze {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment (newlines inside still count).
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(' && text[j] != '\n' &&
+             delim.size() <= 16) {
+        delim += text[j++];
+      }
+      if (j < n && text[j] == '(') {
+        const std::string close = ")" + delim + "\"";
+        std::size_t end = text.find(close, j + 1);
+        if (end == std::string::npos) end = n;
+        for (std::size_t k = i; k < end && k < n; ++k) {
+          if (text[k] == '\n') ++line;
+        }
+        tokens.push_back({Token::Kind::kString, "", line});
+        i = end == n ? n : end + close.size();
+        continue;
+      }
+      // Not a raw string after all — fall through as identifier 'R'.
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          ++i;
+        } else if (text[i] == '\n') {
+          ++line;  // unterminated literal; keep line counts sane
+        }
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      tokens.push_back({Token::Kind::kString, "", start_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      tokens.push_back({Token::Kind::kIdentifier, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      // Good enough for rule purposes: digits, dots, alnum (hex, suffixes),
+      // and a sign directly after an exponent marker.
+      std::size_t j = i;
+      while (j < n) {
+        const char d = text[j];
+        if (ident_char(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({Token::Kind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace pcmd::analyze

@@ -1,0 +1,22 @@
+// Minimal C++ tokenizer for pcmd-analyze: just enough lexing for the rule
+// catalog. Comments are stripped (line structure preserved), string and
+// character literals are collapsed to empty kString tokens so their contents
+// can never trip an identifier rule, everything else becomes identifier /
+// number / single-character punctuation tokens with 1-based line numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcmd::analyze {
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;  // literal text; empty for kString
+  int line;
+};
+
+std::vector<Token> tokenize(const std::string& text);
+
+}  // namespace pcmd::analyze

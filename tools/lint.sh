@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Repository lint: formatting plus a handful of grep-able hygiene rules the
-# compiler cannot enforce. Run from anywhere; exits non-zero on any finding.
+# Repository lint: clang-format plus pcmd-analyze. Run from anywhere; exits
+# non-zero on any finding.
 #
-#   * clang-format --dry-run must be clean (skipped with a notice when
-#     clang-format is not installed — the CI lint job has it).
-#   * no naked `assert(` — use PCMD_CHECK / PCMD_ASSERT (core/check.hpp):
-#     assert vanishes under NDEBUG, aborts instead of reporting, and carries
-#     no context.
-#   * no `std::rand` / `srand` — all randomness goes through pcmd::Rng so
-#     runs stay reproducible.
-#   * include blocks are sorted within each block (blank-line separated).
+# The grep-era hygiene rules (naked assert, std::rand, include sorting) now
+# live in tools/analyze as real tokenizer-backed rules alongside the layering,
+# cycle, determinism and wire-pairing checks — this script is a thin wrapper:
+#
+#   1. clang-format --dry-run must be clean (skipped with a notice when
+#      clang-format is not installed — the CI lint job has it).
+#   2. pcmd-analyze over the whole tree must report zero findings. The
+#      analyzer is configured standalone from tools/analyze so a bare lint
+#      runner needs only cmake and a C++20 compiler, not GTest/benchmark.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -36,46 +37,14 @@ else
   echo "lint: clang-format not installed; skipping format check" >&2
 fi
 
-# ---- naked assert ----------------------------------------------------------
-# Matches `assert(` as a call; PCMD_CHECK/PCMD_ASSERT, static_assert and
-# identifiers like EXPECT_/ASSERT_ gtest macros do not trip it.
-naked_assert=$(sources | xargs grep -nE '(^|[^_[:alnum:]])assert\(' | grep -v 'static_assert' || true)
-if [ -n "$naked_assert" ]; then
-  echo "$naked_assert" >&2
-  fail "naked assert() found — use PCMD_CHECK/PCMD_ASSERT from core/check.hpp"
-fi
-
-# ---- std::rand -------------------------------------------------------------
-rand_uses=$(sources | xargs grep -nE 'std::rand|[^_[:alnum:]]srand\(' || true)
-if [ -n "$rand_uses" ]; then
-  echo "$rand_uses" >&2
-  fail "std::rand/srand found — use pcmd::Rng (util/rng.hpp)"
-fi
-
-# ---- sorted includes -------------------------------------------------------
-# Within each blank-line-separated block of #include lines, the lines must be
-# sorted; blocks themselves may appear in any order (own header first, etc.).
-unsorted=$(sources | while read -r f; do
-  awk -v file="$f" '
-    /^#include/ { block = block $0 "\n"; next }
-    { if (block != "") blocks[++n] = block; block = "" }
-    END {
-      if (block != "") blocks[++n] = block
-      for (i = 1; i <= n; ++i) {
-        split(blocks[i], lines, "\n")
-        prev = ""
-        for (j = 1; lines[j] != ""; ++j) {
-          if (prev != "" && lines[j] < prev) {
-            printf "%s: unsorted include: %s\n", file, lines[j]
-          }
-          prev = lines[j]
-        }
-      }
-    }' "$f"
-done)
-if [ -n "$unsorted" ]; then
-  echo "$unsorted" >&2
-  fail "unsorted #include blocks"
+# ---- pcmd-analyze ----------------------------------------------------------
+builddir="$root/build/analyze-lint"
+if ! cmake -S "$root/tools/analyze" -B "$builddir" > /dev/null; then
+  fail "could not configure tools/analyze"
+elif ! cmake --build "$builddir" -j > /dev/null; then
+  fail "could not build pcmd-analyze"
+elif ! "$builddir/pcmd-analyze" --root "$root"; then
+  fail "pcmd-analyze reported findings (rule catalog: tools/analyze/analyzer.hpp)"
 fi
 
 if [ "$failures" -gt 0 ]; then
