@@ -29,6 +29,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "run/run_spec.hpp"
 #include "theory/effective_range.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -57,31 +58,25 @@ void export_run(const std::string& base, obs::TraceCollector& collector,
   collector.clear();
 }
 
-CaseResult run_case(int pe_count, int m, double density, int steps,
-                    std::uint64_t seed,
-                    const std::optional<std::string>& trace_base,
-                    const sim::FaultPlan& faults, int checkpoint_every) {
-  theory::MdTrajectoryConfig config;
-  config.spec.pe_count = pe_count;
-  config.spec.m = m;
-  config.spec.density = density;
-  config.spec.seed = seed;
-  config.steps = steps;
-  config.faults = faults;
-  config.fault_tolerance.reliable = !faults.empty();
-  config.checkpoint_every = checkpoint_every;
+// Runs the case's DDM and DLB-DDM trajectories. `suffix` distinguishes the
+// per-case trace sinks (PATH.m4.ddm.json, ...).
+CaseResult run_case(const run::RunSpec& spec, const std::string& suffix) {
+  auto config = spec.trajectory_config();
 
   obs::TraceCollector collector;
-  if (trace_base) config.trace = &collector;
+  if (spec.trace_path) config.trace = &collector;
+  const auto trace_base =
+      spec.trace_path ? std::optional(*spec.trace_path + suffix)
+                      : std::nullopt;
 
   auto report_ft = [&](const char* label,
                        const theory::MdTrajectoryResult& run) {
-    if (!faults.empty()) {
+    if (!config.faults.empty()) {
       std::printf("  [%s] retransmissions %llu, recv timeouts %llu\n", label,
                   static_cast<unsigned long long>(run.retransmissions_total),
                   static_cast<unsigned long long>(run.recv_timeouts_total));
     }
-    if (checkpoint_every > 0) {
+    if (spec.checkpoint_every > 0) {
       std::printf("  [%s] %d checkpoints, last %zu bytes\n", label,
                   run.checkpoints_taken, run.last_checkpoint.size());
     }
@@ -135,39 +130,32 @@ void print_case(const char* title, const CaseResult& result, int interval) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const bool full = cli.get_bool("full", false);
-  const int pe_count = full ? 36 : 9;
-  const int steps = static_cast<int>(cli.get_int("steps", full ? 10000 : 1500));
+  run::RunSpec defaults;
+  defaults.system.pe_count = full ? 36 : 9;
+  defaults.system.density = full ? 0.256 : 0.384;
+  defaults.system.seed = 1;
+  defaults.steps = full ? 10000 : 1500;
+  const auto base = run::parse_run_spec(cli, defaults);
+  const int steps = static_cast<int>(base.steps);
   const int interval =
       static_cast<int>(cli.get_int("interval", std::max(1, steps / 12)));
-  const double density = cli.get_double("density", full ? 0.256 : 0.384);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto trace = cli.get_optional("trace");
-  const auto faults_spec = cli.get_optional("faults");
-  const sim::FaultPlan faults =
-      faults_spec ? sim::FaultPlan::parse(*faults_spec) : sim::FaultPlan{};
-  const int checkpoint_every =
-      static_cast<int>(cli.get_int("checkpoint-every", 0));
+  run::require_all_flags_consumed(cli, "fig5_exec_time");
 
   std::printf("== Figure 5: time per step, DDM vs DLB-DDM (%d virtual PEs, "
               "T3E cost model, T*=0.722, rho*=%.3f) ==\n\n",
-              pe_count, density);
+              base.system.pe_count, base.system.density);
 
   {
-    const auto result =
-        run_case(pe_count, 4, density, steps, seed,
-                 trace ? std::optional(*trace + ".m4") : std::nullopt, faults,
-                 checkpoint_every);
+    const auto result = run_case(run::RunSpec(base).with_m(4), ".m4");
     print_case("(a) m = 4  — movable fraction 9/16, strong DLB capability",
                result, interval);
   }
   {
     // m = 2 steps are ~7x cheaper; run a longer horizon so the condensation
     // (and the DDM slowdown) is equally visible.
-    const int m2_steps = full ? steps : 2 * steps;
-    const auto result =
-        run_case(pe_count, 2, density, m2_steps, seed,
-                 trace ? std::optional(*trace + ".m2") : std::nullopt, faults,
-                 checkpoint_every);
+    const auto result = run_case(
+        run::RunSpec(base).with_m(2).with_steps(full ? steps : 2 * steps),
+        ".m2");
     print_case("(b) m = 2  — movable fraction 1/4, weak DLB capability",
                result, full ? interval : 2 * interval);
   }

@@ -26,6 +26,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "run/run_spec.hpp"
 #include "theory/effective_range.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -80,23 +81,20 @@ void export_run(const std::string& base, obs::TraceCollector& collector,
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const bool full = cli.get_bool("full", false);
-  const int steps = static_cast<int>(cli.get_int("steps", full ? 10000 : 1500));
+  run::RunSpec defaults;
+  defaults.system.pe_count = full ? 36 : 9;
+  defaults.system.m = 4;
+  defaults.system.density = full ? 0.256 : 0.384;
+  defaults.system.seed = 1;
+  defaults.steps = full ? 10000 : 1500;
+  const auto spec = run::parse_run_spec(cli, defaults);
+  const int steps = static_cast<int>(spec.steps);
   const int interval =
       static_cast<int>(cli.get_int("interval", std::max(1, steps / 12)));
-  const auto trace = cli.get_optional("trace");
+  run::require_all_flags_consumed(cli, "fig6_force_breakdown");
 
-  theory::MdTrajectoryConfig config;
-  config.spec.pe_count = full ? 36 : 9;
-  config.spec.m = 4;
-  config.spec.density = cli.get_double("density", full ? 0.256 : 0.384);
-  config.spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  config.steps = steps;
-  if (const auto faults_spec = cli.get_optional("faults")) {
-    config.faults = sim::FaultPlan::parse(*faults_spec);
-    config.fault_tolerance.reliable = true;
-  }
-  config.checkpoint_every =
-      static_cast<int>(cli.get_int("checkpoint-every", 0));
+  auto config = spec.trajectory_config();
+  const auto& trace = spec.trace_path;
 
   obs::TraceCollector collector;
   if (trace) config.trace = &collector;

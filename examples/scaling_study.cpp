@@ -34,104 +34,47 @@
 #include "ddm/parallel_md.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
+#include "run/run_spec.hpp"
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/paper_system.hpp"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <stdexcept>
 
 namespace {
 
-// Strict parse of the --degrade spec "rank=K,at=T". Unlike sscanf, this
-// rejects trailing garbage and names the offending token so typos like
-// "rank=4,at=0.05x" or "ranks=4" fail loudly instead of running a wrong
-// experiment.
-void parse_degrade_spec(const std::string& spec_text, int& slow_rank,
-                        double& at) {
-  const auto bad = [&](const std::string& token) {
-    throw std::invalid_argument(
-        "--degrade: bad token \"" + token + "\" in \"" + spec_text +
-        "\" (expected rank=K,at=T — e.g. rank=4,at=0.05)");
-  };
-  bool have_rank = false, have_at = false;
-  std::size_t pos = 0;
-  while (pos <= spec_text.size()) {
-    const std::size_t comma = spec_text.find(',', pos);
-    const std::string token = spec_text.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos) bad(token);
-    const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
-    errno = 0;
-    char* end = nullptr;
-    if (key == "rank" && !have_rank) {
-      const long v = std::strtol(value.c_str(), &end, 10);
-      if (end == value.c_str() || *end != '\0' || errno == ERANGE) bad(token);
-      slow_rank = static_cast<int>(v);
-      have_rank = true;
-    } else if (key == "at" && !have_at) {
-      const double v = std::strtod(value.c_str(), &end);
-      if (end == value.c_str() || *end != '\0' || errno == ERANGE) bad(token);
-      at = v;
-      have_at = true;
-    } else {
-      bad(token);
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (!have_rank || !have_at) {
-    throw std::invalid_argument("--degrade: missing " +
-                                std::string(have_rank ? "at=T" : "rank=K") +
-                                " in \"" + spec_text +
-                                "\" (expected rank=K,at=T)");
-  }
-}
-
-// The --degrade mode: DLB absorbing a permanently slowed rank.
-int run_degrade_mode(const std::string& spec_text, double factor, int m,
-                     double density, std::int64_t steps) {
+// The --degrade mode: DLB absorbing a permanently slowed rank. The degrade
+// spec itself ("rank=K,at=T") is parsed by the shared run::RunSpec parser.
+int run_degrade_mode(const pcmd::run::RunSpec& base) {
   using namespace pcmd;
-  int slow_rank = -1;
-  double at = 0.0;
-  parse_degrade_spec(spec_text, slow_rank, at);
-
-  workload::PaperSystemSpec spec;
-  spec.pe_count = 9;
-  spec.m = m;
-  spec.density = density;
-  spec.seed = 42;
-  if (slow_rank < 0 || slow_rank >= spec.pe_count) {
+  run::RunSpec spec = base;
+  spec.system.pe_count = 9;
+  spec.dlb_enabled = true;
+  const run::DegradeSpec& degrade = *spec.degrade;
+  if (degrade.rank < 0 || degrade.rank >= spec.system.pe_count) {
     throw std::invalid_argument("--degrade rank out of range for 3x3");
   }
-  Rng rng(spec.seed);
-  const auto initial = workload::make_paper_system(spec, rng);
+  Rng rng(spec.system.seed);
+  const auto initial = workload::make_paper_system(spec.system, rng);
 
-  sim::FaultPlan plan;
-  plan.stalls.push_back({slow_rank, at, 1e30, factor});
-  sim::FaultInjector injector(plan);
+  // fault_plan() folds the degrade stall into any --faults plan.
+  sim::FaultInjector injector(spec.fault_plan());
 
-  sim::SeqEngine engine(spec.pe_count);
+  sim::SeqEngine engine(spec.system.pe_count);
   engine.set_fault_injector(&injector);
-  ddm::ParallelMdConfig config;
-  config.pe_side = 3;
-  config.m = m;
-  config.dt = spec.dt;
-  config.rescale_temperature = spec.temperature;
-  config.dlb_enabled = true;
-  ddm::ParallelMd md(engine, spec.box(), initial, config);
+  ddm::ParallelMd md(ddm::EngineConfig{.engine = &engine,
+                                       .box = spec.system.box(),
+                                       .initial = &initial},
+                     spec.parallel_config());
 
   std::printf("== degrade mode: rank %d slows %.1fx at t=%g s (3x3, m=%d, "
               "DLB on) ==\n",
-              slow_rank, factor, at, m);
+              degrade.rank, degrade.factor, degrade.at, spec.system.m);
 
   // Classify each step by when it started relative to the stall onset: the
   // "impact" bucket (first 30 steps after T) takes the hit, then the DLB
@@ -142,11 +85,11 @@ int run_degrade_mode(const std::string& spec_text, double factor, int m,
     int steps = 0;
   } before, impact, absorbed;
   int steps_after = 0;
-  for (std::int64_t i = 0; i < steps; ++i) {
+  for (std::int64_t i = 0; i < spec.steps; ++i) {
     const double start = engine.makespan();
     const auto stats = md.step();
     Bucket* b = &before;
-    if (start >= at) {
+    if (start >= degrade.at) {
       ++steps_after;
       b = steps_after <= 30 ? &impact : &absorbed;
     }
@@ -188,65 +131,53 @@ int run_degrade_mode(const std::string& spec_text, double factor, int m,
 int main(int argc, char** argv) {
   using namespace pcmd;
   const Cli cli(argc, argv);
-  const auto steps = cli.get_int("steps", 100);
-  const double density = cli.get_double("density", 0.256);
-  const int m = static_cast<int>(cli.get_int("m", 2));
-  const auto trace = cli.get_optional("trace");
-  if (const auto degrade = cli.get_optional("degrade")) {
+  run::RunSpec defaults;
+  defaults.system.m = 2;
+  defaults.system.density = 0.256;
+  defaults.system.seed = 42;
+  defaults.steps = 100;
+  defaults.dlb_enabled = true;
+  const bool m_given = cli.has("m");
+  run::RunSpec base = run::parse_run_spec(cli, defaults);
+  run::require_all_flags_consumed(cli, "scaling_study");
+  if (base.degrade) {
     // Default to m = 4 here (movable fraction 9/16): at m = 2 only 1/4 of a
     // PE's columns may move, which caps how much load the DLB can drain off
     // the degraded rank (the paper's "weak DLB capability" regime).
-    const int degrade_m =
-        cli.get_optional("m") ? m : 4;
-    return run_degrade_mode(*degrade, cli.get_double("degrade-factor", 6.0),
-                            degrade_m, density,
-                            std::max<std::int64_t>(steps, 300));
+    if (!m_given) base.system.m = 4;
+    base.steps = std::max<std::int64_t>(base.steps, 300);
+    return run_degrade_mode(base);
   }
-  sim::FaultPlan faults;
-  if (const auto faults_spec = cli.get_optional("faults")) {
-    faults = sim::FaultPlan::parse(*faults_spec);
-  }
+  const sim::FaultPlan& faults = base.faults;
   std::optional<sim::FaultInjector> injector;
   if (!faults.empty()) injector.emplace(faults);
-  const int checkpoint_every =
-      static_cast<int>(cli.get_int("checkpoint-every", 0));
-  const int buddy_every = static_cast<int>(cli.get_int("buddy-every", 0));
-  const int spares = static_cast<int>(cli.get_int("spares", 0));
-  const bool healing = buddy_every > 0 || spares > 0;
+  const int checkpoint_every = base.checkpoint_every;
+  const int spares = base.fault_tolerance.healing.spares;
+  const bool healing = base.healing_enabled();
+  const std::int64_t steps = base.steps;
 
   std::puts("== weak scaling: fixed density, growing PE grid ==");
   Table scaling({"PEs", "N", "cells", "time/step [s]", "efficiency",
                  "msgs/step/PE"});
   for (const int side : {3, 4, 5, 6}) {
-    workload::PaperSystemSpec spec;
-    spec.pe_count = side * side;
-    spec.m = m;
-    spec.density = density;
-    spec.seed = 42;
+    run::RunSpec case_spec = base;
+    case_spec.system.pe_count = side * side;
+    const workload::PaperSystemSpec& spec = case_spec.system;
     Rng rng(spec.seed);
     const auto initial = workload::make_paper_system(spec, rng);
 
     sim::SeqEngine engine(spec.pe_count + (healing ? spares : 0));
     if (injector) engine.set_fault_injector(&*injector);
     obs::TraceSession session(
-        engine,
-        trace ? *trace + ".p" + std::to_string(spec.pe_count) + ".json" : "");
-    ddm::ParallelMdConfig config;
-    config.pe_side = side;
-    config.m = m;
-    config.dt = spec.dt;
-    config.rescale_temperature = spec.temperature;
-    config.dlb_enabled = true;
+        engine, case_spec.trace_path ? *case_spec.trace_path + ".p" +
+                                           std::to_string(spec.pe_count) +
+                                           ".json"
+                                     : "");
+    ddm::ParallelMdConfig config = case_spec.parallel_config();
     config.trace = session.collector();
-    config.fault_tolerance.reliable = !faults.empty();
-    if (healing) {
-      config.fault_tolerance.healing.enabled = true;
-      if (buddy_every > 0) {
-        config.fault_tolerance.healing.buddy_every = buddy_every;
-      }
-      config.fault_tolerance.healing.spares = spares;
-    }
-    ddm::ParallelMd md(engine, spec.box(), initial, config);
+    ddm::ParallelMd md(ddm::EngineConfig{.engine = &engine, .box = spec.box(),
+                                         .initial = &initial},
+                       config);
     obs::MetricsRecorder recorder(engine);
 
     sim::Buffer last_checkpoint;

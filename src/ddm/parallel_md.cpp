@@ -47,28 +47,52 @@ int validated_rank_count(const sim::Engine& engine,
 }
 }  // namespace
 
-ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
-                       const md::ParticleVector& initial,
+ParallelMd::ParallelMd(const EngineConfig& setup,
                        const ParallelMdConfig& config)
-    : engine_(&engine),
-      box_(box),
+    : engine_(&validated_engine(setup, "ParallelMd")),
+      box_(Box::cubic(1.0)),  // placeholder; set by the init path below
       config_(config),
       layout_(config.pe_side, config.m),
-      grid_(box, layout_.cells_axis(), layout_.cells_axis(),
-            layout_.cells_axis()),
+      grid_(Box::cubic(static_cast<double>(config.pe_side * config.m) *
+                       config.cutoff),
+            layout_.cells_axis(), layout_.cells_axis(), layout_.cells_axis()),
       lj_(config.cutoff),
       integrator_(config.dt),
       protocol_(layout_, config.dlb),
       membership_(layout_.pe_count(),
-                  validated_rank_count(engine, layout_, config)),
+                  validated_rank_count(*setup.engine, layout_, config)),
       watchdog_(config.fault_tolerance.healing) {
-  if (!grid_.covers_cutoff(config.cutoff)) {
+  if (config.rescale_temperature) {
+    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
+  }
+  if (setup.checkpoint != nullptr) {
+    init_resume(*setup.checkpoint);
+  } else {
+    init_fresh(setup.box, *setup.initial);
+  }
+}
+
+ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
+                       const md::ParticleVector& initial,
+                       const ParallelMdConfig& config)
+    : ParallelMd(EngineConfig{.engine = &engine, .box = box,
+                              .initial = &initial},
+                 config) {}
+
+ParallelMd::ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
+                       const ParallelMdConfig& config)
+    : ParallelMd(EngineConfig{.engine = &engine, .checkpoint = &checkpoint},
+                 config) {}
+
+void ParallelMd::init_fresh(const Box& box,
+                            const md::ParticleVector& initial) {
+  box_ = box;
+  grid_ = md::CellGrid(box_, layout_.cells_axis(), layout_.cells_axis(),
+                       layout_.cells_axis());
+  if (!grid_.covers_cutoff(config_.cutoff)) {
     throw std::invalid_argument(
         "ParallelMd: cell edge smaller than the cut-off; box too small for "
         "this (pe_side, m)");
-  }
-  if (config.rescale_temperature) {
-    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
 
   ranks_.reserve(layout_.pe_count());
@@ -88,31 +112,13 @@ ParallelMd::ParallelMd(sim::Engine& engine, const Box& box,
   finish_construction(false, {});
 }
 
-ParallelMd::ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
-                       const ParallelMdConfig& config)
-    : engine_(&engine),
-      box_(Box::cubic(1.0)),  // placeholder; restored below
-      config_(config),
-      layout_(config.pe_side, config.m),
-      grid_(Box::cubic(static_cast<double>(config.pe_side * config.m) *
-                       config.cutoff),
-            layout_.cells_axis(), layout_.cells_axis(), layout_.cells_axis()),
-      lj_(config.cutoff),
-      integrator_(config.dt),
-      protocol_(layout_, config.dlb),
-      membership_(layout_.pe_count(),
-                  validated_rank_count(engine, layout_, config)),
-      watchdog_(config.fault_tolerance.healing) {
-  if (config.rescale_temperature) {
-    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
-  }
-
+void ParallelMd::init_resume(const sim::Buffer& checkpoint) {
   sim::Unpacker unpacker(md::open_checkpoint(md::CheckpointKind::kParallel,
                                              checkpoint));
   try {
     const auto pe_side = unpacker.get<std::int32_t>();
     const auto m = unpacker.get<std::int32_t>();
-    if (pe_side != config.pe_side || m != config.m) {
+    if (pe_side != config_.pe_side || m != config_.m) {
       throw std::runtime_error(
           "ParallelMd: checkpoint decomposition (pe_side=" +
           std::to_string(pe_side) + ", m=" + std::to_string(m) +
@@ -122,7 +128,7 @@ ParallelMd::ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
     box_ = unpacker.get<Box>();
     grid_ = md::CellGrid(box_, layout_.cells_axis(), layout_.cells_axis(),
                          layout_.cells_axis());
-    if (!grid_.covers_cutoff(config.cutoff)) {
+    if (!grid_.covers_cutoff(config_.cutoff)) {
       throw std::runtime_error(
           "ParallelMd: checkpointed box too small for this cut-off");
     }
@@ -232,7 +238,8 @@ void ParallelMd::run_init_phases() {
     Rank& rank = *ranks_[static_cast<std::size_t>(me)];
     absorb_halo(comm, rank, me, kTagInitHalo);
     rank.bins.rebuild(grid_, rank.with_halo);
-    std::vector<int> targets;
+    auto& targets = rank.target_cells;
+    targets.clear();
     for (const int col : owned_columns(rank, me)) {
       const auto [cx, cy] = layout_.column_coord(col);
       for (int z = 0; z < grid_.nz(); ++z) {
@@ -240,8 +247,8 @@ void ParallelMd::run_init_phases() {
       }
     }
     std::sort(targets.begin(), targets.end());
-    const auto result =
-        md::accumulate_forces(rank.with_halo, grid_, rank.bins, targets, lj_);
+    const auto result = md::accumulate_forces(
+        rank.with_halo, grid_, rank.bins, targets, lj_, rank.workspace);
     const double cost =
         engine_->model().pair_cost * result.pair_evaluations +
         engine_->model().cell_cost * targets.size();
@@ -427,8 +434,11 @@ void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
   PCMD_HB_ACCESS(comm, "halo", me, /*is_write=*/true, "halo");
 
   // Which of my columns each neighbour needs: my column c goes to the owner
-  // of every column adjacent to c.
-  std::vector<std::vector<int>> columns_for(neighbors.size());
+  // of every column adjacent to c. All the index structures below are
+  // per-rank scratch: cleared here, capacity kept across steps.
+  auto& columns_for = rank.halo_columns_for;
+  columns_for.resize(neighbors.size());
+  for (auto& cols : columns_for) cols.clear();
   for (const int col : owned_columns(rank, me)) {
     const auto [cx, cy] = layout_.column_coord(col);
     for (int dx = -1; dx <= 1; ++dx) {
@@ -451,7 +461,9 @@ void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
   }
 
   // Index owned particles by column once.
-  std::vector<std::vector<std::int32_t>> by_column(layout_.num_columns());
+  auto& by_column = rank.halo_by_column;
+  by_column.resize(layout_.num_columns());
+  for (auto& entries : by_column) entries.clear();
   for (std::size_t i = 0; i < rank.owned.size(); ++i) {
     by_column[column_of_position(rank.owned[i].position)].push_back(
         static_cast<std::int32_t>(i));
@@ -461,7 +473,8 @@ void ParallelMd::send_halo(sim::Comm& comm, Rank& rank, int me, int tag) {
     auto& cols = columns_for[k];
     std::sort(cols.begin(), cols.end());
     cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-    std::vector<HaloRecord> records;
+    auto& records = rank.halo_records;
+    records.clear();
     for (const int col : cols) {
       for (const std::int32_t idx : by_column[col]) {
         records.push_back(
@@ -706,7 +719,8 @@ void ParallelMd::phase_e_forces(sim::Comm& comm, int me) {
   span_begin(comm, spans_.force);
   rank.bins.rebuild(grid_, rank.with_halo);
 
-  std::vector<int> targets;
+  auto& targets = rank.target_cells;
+  targets.clear();
   const auto cols = owned_columns(rank, me);
   targets.reserve(cols.size() * grid_.nz());
   for (const int col : cols) {
@@ -717,8 +731,8 @@ void ParallelMd::phase_e_forces(sim::Comm& comm, int me) {
   }
   std::sort(targets.begin(), targets.end());
 
-  const auto result =
-      md::accumulate_forces(rank.with_halo, grid_, rank.bins, targets, lj_);
+  const auto result = md::accumulate_forces(
+      rank.with_halo, grid_, rank.bins, targets, lj_, rank.workspace);
   rank.force_seconds = advance_compute(
       comm, rank,
       engine_->model().pair_cost * result.pair_evaluations +

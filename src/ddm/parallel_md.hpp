@@ -30,8 +30,10 @@
 #include "core/dlb_protocol.hpp"
 #include "core/invariant.hpp"
 #include "core/pillar_layout.hpp"
+#include "ddm/engine_config.hpp"
 #include "ddm/fault_tolerance.hpp"
 #include "ddm/recovery.hpp"
+#include "ddm/wire.hpp"
 #include "md/cell_grid.hpp"
 #include "md/integrator.hpp"
 #include "md/lj.hpp"
@@ -126,17 +128,21 @@ struct ParallelStepStats {
 // engine behaves exactly as before.
 class ParallelMd {
  public:
-  // `initial` must lie inside `box`; the box edge must equal
-  // (m * pe_side) * cell_edge with cell_edge >= cutoff. The engine must
-  // provide pe_side^2 ranks, plus fault_tolerance.healing.spares extra
-  // ranks when healing is enabled.
+  // Declarative construction. `setup` names the machine and either the
+  // fresh-start (box, initial) pair or a checkpoint() buffer to resume
+  // from. Fresh start: `initial` must lie inside `box`; the box edge must
+  // equal (m * pe_side) * cell_edge with cell_edge >= cutoff. Resume:
+  // particle order, ownership, DLB busy times and the step counter are
+  // restored so the continued trajectory is bitwise identical to the
+  // uninterrupted run; the config must describe the same (pe_side, m)
+  // decomposition (std::runtime_error on a mismatched or corrupted
+  // checkpoint). Either way the engine must provide pe_side^2 ranks, plus
+  // fault_tolerance.healing.spares extra ranks when healing is enabled.
+  ParallelMd(const EngineConfig& setup, const ParallelMdConfig& config);
+  // Positional shims forwarding to the EngineConfig constructor, kept so
+  // existing call sites compile unchanged.
   ParallelMd(sim::Engine& engine, const Box& box,
              const md::ParticleVector& initial, const ParallelMdConfig& config);
-  // Resumes from a checkpoint() buffer: particle order, ownership, DLB busy
-  // times and the step counter are restored so the continued trajectory is
-  // bitwise identical to the uninterrupted run. The config must describe
-  // the same (pe_side, m) decomposition; throws std::runtime_error on a
-  // mismatched or corrupted checkpoint.
   ParallelMd(sim::Engine& engine, const sim::Buffer& checkpoint,
              const ParallelMdConfig& config);
   // Detaches the protocol checker from the engine when one was installed.
@@ -199,6 +205,11 @@ class ParallelMd {
     // Scratch reused across phases of one step:
     md::ParticleVector with_halo;
     md::CellBins bins;
+    md::ForceWorkspace workspace;
+    std::vector<int> target_cells;                          // phase E
+    std::vector<std::vector<int>> halo_columns_for;         // send_halo
+    std::vector<std::vector<std::int32_t>> halo_by_column;  // send_halo
+    std::vector<HaloRecord> halo_records;                   // send_halo
     double local_pe = 0.0;
     double local_virial = 0.0;
     std::uint64_t local_pairs = 0;
@@ -283,6 +294,10 @@ class ParallelMd {
   std::optional<sim::Buffer> recv_from(sim::Comm& comm, Rank& rank, int src,
                                        int tag);
   void on_peer_dead(Rank& rank, int me, int dead);
+  // Construction paths behind the EngineConfig constructor: bin fresh
+  // particles into the box, or restore everything from a checkpoint buffer.
+  void init_fresh(const Box& box, const md::ParticleVector& initial);
+  void init_resume(const sim::Buffer& checkpoint);
   // Shared post-construction work: checker/trace attachment and the initial
   // halo + force phases. `resume` preserves checkpointed busy times.
   void finish_construction(bool resume,

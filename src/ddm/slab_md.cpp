@@ -70,42 +70,62 @@ int boundary_shift(const SlabInfo& a, const SlabInfo& b, bool avoid_overshoot) {
 }
 }  // namespace
 
-SlabMd::SlabMd(sim::Engine& engine, const Box& box,
-               const md::ParticleVector& initial, const SlabMdConfig& config)
-    : engine_(&engine),
-      box_(box),
+SlabMd::SlabMd(const EngineConfig& setup, const SlabMdConfig& config)
+    : engine_(&validated_engine(setup, "SlabMd")),
+      box_(Box::cubic(1.0)),  // placeholder; set by the init path below
       config_(config),
-      grid_(config.cells_per_axis > 0
-                ? md::CellGrid(box, config.cells_per_axis,
-                               config.cells_per_axis, config.cells_per_axis)
-                : md::CellGrid(box, config.cutoff)),
+      grid_(Box::cubic(static_cast<double>(config.pe_count) * config.cutoff),
+            config.pe_count, config.pe_count, config.pe_count),
       lj_(config.cutoff),
       integrator_(config.dt) {
   if (config.pe_count < 3) {
     throw std::invalid_argument("SlabMd: need at least 3 PEs on the ring");
   }
-  if (engine.size() != config.pe_count) {
+  if (engine_->size() != config.pe_count) {
     throw std::invalid_argument("SlabMd: engine rank count mismatch");
-  }
-  if (grid_.nx() < config.pe_count) {
-    throw std::invalid_argument(
-        "SlabMd: more PEs than cell layers along x");
-  }
-  if (!grid_.covers_cutoff(config.cutoff)) {
-    throw std::invalid_argument("SlabMd: cell edge smaller than the cut-off");
   }
   if (config.rescale_temperature) {
     thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
   }
+  if (setup.checkpoint != nullptr) {
+    init_resume(*setup.checkpoint);
+  } else {
+    init_fresh(setup.box, *setup.initial);
+  }
+}
 
-  ranks_.reserve(config.pe_count);
-  for (int r = 0; r < config.pe_count; ++r) {
+SlabMd::SlabMd(sim::Engine& engine, const Box& box,
+               const md::ParticleVector& initial, const SlabMdConfig& config)
+    : SlabMd(EngineConfig{.engine = &engine, .box = box, .initial = &initial},
+             config) {}
+
+SlabMd::SlabMd(sim::Engine& engine, const sim::Buffer& checkpoint,
+               const SlabMdConfig& config)
+    : SlabMd(EngineConfig{.engine = &engine, .checkpoint = &checkpoint},
+             config) {}
+
+void SlabMd::init_fresh(const Box& box, const md::ParticleVector& initial) {
+  box_ = box;
+  grid_ = config_.cells_per_axis > 0
+              ? md::CellGrid(box_, config_.cells_per_axis,
+                             config_.cells_per_axis, config_.cells_per_axis)
+              : md::CellGrid(box_, config_.cutoff);
+  if (grid_.nx() < config_.pe_count) {
+    throw std::invalid_argument(
+        "SlabMd: more PEs than cell layers along x");
+  }
+  if (!grid_.covers_cutoff(config_.cutoff)) {
+    throw std::invalid_argument("SlabMd: cell edge smaller than the cut-off");
+  }
+
+  ranks_.reserve(config_.pe_count);
+  for (int r = 0; r < config_.pe_count; ++r) {
     auto rank = std::make_unique<Rank>();
     // Even initial partition of the K layers.
     rank->lo = static_cast<int>(static_cast<std::int64_t>(r) * grid_.nx() /
-                                config.pe_count);
+                                config_.pe_count);
     rank->hi = static_cast<int>(static_cast<std::int64_t>(r + 1) *
-                                grid_.nx() / config.pe_count);
+                                grid_.nx() / config_.pe_count);
     ranks_.push_back(std::move(rank));
   }
 
@@ -125,30 +145,12 @@ SlabMd::SlabMd(sim::Engine& engine, const Box& box,
   finish_construction(false, {});
 }
 
-SlabMd::SlabMd(sim::Engine& engine, const sim::Buffer& checkpoint,
-               const SlabMdConfig& config)
-    : engine_(&engine),
-      box_(Box::cubic(1.0)),  // placeholder; restored below
-      config_(config),
-      grid_(Box::cubic(static_cast<double>(config.pe_count) * config.cutoff),
-            config.pe_count, config.pe_count, config.pe_count),
-      lj_(config.cutoff),
-      integrator_(config.dt) {
-  if (config.pe_count < 3) {
-    throw std::invalid_argument("SlabMd: need at least 3 PEs on the ring");
-  }
-  if (engine.size() != config.pe_count) {
-    throw std::invalid_argument("SlabMd: engine rank count mismatch");
-  }
-  if (config.rescale_temperature) {
-    thermostat_.emplace(*config.rescale_temperature, config.rescale_interval);
-  }
-
+void SlabMd::init_resume(const sim::Buffer& checkpoint) {
   sim::Unpacker unpacker(
       md::open_checkpoint(md::CheckpointKind::kSlab, checkpoint));
   try {
     const auto pe_count = unpacker.get<std::int32_t>();
-    if (pe_count != config.pe_count) {
+    if (pe_count != config_.pe_count) {
       throw std::runtime_error("SlabMd: checkpoint ring size (pe_count=" +
                                std::to_string(pe_count) +
                                ") does not match the config");
@@ -156,24 +158,24 @@ SlabMd::SlabMd(sim::Engine& engine, const sim::Buffer& checkpoint,
     const auto layers = unpacker.get<std::int32_t>();
     step_count_ = unpacker.get<std::int64_t>();
     box_ = unpacker.get<Box>();
-    grid_ = config.cells_per_axis > 0
-                ? md::CellGrid(box_, config.cells_per_axis,
-                               config.cells_per_axis, config.cells_per_axis)
-                : md::CellGrid(box_, config.cutoff);
+    grid_ = config_.cells_per_axis > 0
+                ? md::CellGrid(box_, config_.cells_per_axis,
+                               config_.cells_per_axis, config_.cells_per_axis)
+                : md::CellGrid(box_, config_.cutoff);
     if (grid_.nx() != layers) {
       throw std::runtime_error(
           "SlabMd: checkpoint layer count (" + std::to_string(layers) +
           ") does not match the config's grid (" + std::to_string(grid_.nx()) +
           ")");
     }
-    if (!grid_.covers_cutoff(config.cutoff)) {
+    if (!grid_.covers_cutoff(config_.cutoff)) {
       throw std::runtime_error(
           "SlabMd: checkpointed box too small for this cut-off");
     }
-    std::vector<double> last_busy(static_cast<std::size_t>(config.pe_count),
+    std::vector<double> last_busy(static_cast<std::size_t>(config_.pe_count),
                                   0.0);
-    ranks_.reserve(config.pe_count);
-    for (int r = 0; r < config.pe_count; ++r) {
+    ranks_.reserve(config_.pe_count);
+    for (int r = 0; r < config_.pe_count; ++r) {
       auto rank = std::make_unique<Rank>();
       rank->owned = unpacker.get_vector<md::Particle>();
       rank->lo = unpacker.get<std::int32_t>();
@@ -216,7 +218,8 @@ void SlabMd::finish_construction(bool resume,
   engine_->run_phase([this](sim::Comm& comm) {
     Rank& rank = *ranks_[comm.rank()];
     auto pack_layer = [&](int layer) {
-      std::vector<HaloRecord> records;
+      auto& records = rank.halo_records;
+      records.clear();
       for (const auto& p : rank.owned) {
         if (layer_of_position(p.position) == layer) {
           records.push_back({p.id, p.position});
@@ -243,9 +246,10 @@ void SlabMd::finish_construction(bool resume,
       }
     }
     rank.bins.rebuild(grid_, rank.with_halo);
-    const auto targets = cells_of_layers(rank.lo, rank.hi);
-    const auto result =
-        md::accumulate_forces(rank.with_halo, grid_, rank.bins, targets, lj_);
+    auto& targets = rank.target_cells;
+    cells_of_layers(rank.lo, rank.hi, targets);
+    const auto result = md::accumulate_forces(
+        rank.with_halo, grid_, rank.bins, targets, lj_, rank.workspace);
     const double cost = engine_->model().pair_cost * result.pair_evaluations +
                         engine_->model().cell_cost * targets.size();
     comm.advance(cost);
@@ -314,8 +318,8 @@ int SlabMd::layer_of_position(const Vec3& position) const {
   return grid_.coord_of(grid_.cell_of_position(position)).x;
 }
 
-std::vector<int> SlabMd::cells_of_layers(int lo, int hi) const {
-  std::vector<int> cells;
+void SlabMd::cells_of_layers(int lo, int hi, std::vector<int>& cells) const {
+  cells.clear();
   cells.reserve(static_cast<std::size_t>(hi - lo) * grid_.ny() * grid_.nz());
   for (int x = lo; x < hi; ++x) {
     for (int z = 0; z < grid_.nz(); ++z) {
@@ -325,7 +329,6 @@ std::vector<int> SlabMd::cells_of_layers(int lo, int hi) const {
     }
   }
   std::sort(cells.begin(), cells.end());
-  return cells;
 }
 
 double SlabMd::layer_load(const Rank& rank, int layer) const {
@@ -502,7 +505,8 @@ void SlabMd::phase_c_absorb_and_halo(sim::Comm& comm) {
 
   span_begin(comm, spans_.halo);
   auto pack_layer = [&](int layer) {
-    std::vector<HaloRecord> records;
+    auto& records = rank.halo_records;
+    records.clear();
     for (const auto& p : rank.owned) {
       if (layer_of_position(p.position) == layer) {
         records.push_back({p.id, p.position});
@@ -536,9 +540,10 @@ void SlabMd::phase_d_forces(sim::Comm& comm) {
   span_end(comm, spans_.halo);
   span_begin(comm, spans_.force);
   rank.bins.rebuild(grid_, rank.with_halo);
-  const auto targets = cells_of_layers(rank.lo, rank.hi);
-  const auto result =
-      md::accumulate_forces(rank.with_halo, grid_, rank.bins, targets, lj_);
+  auto& targets = rank.target_cells;
+  cells_of_layers(rank.lo, rank.hi, targets);
+  const auto result = md::accumulate_forces(
+      rank.with_halo, grid_, rank.bins, targets, lj_, rank.workspace);
   const double cost = engine_->model().pair_cost * result.pair_evaluations +
                       engine_->model().cell_cost * targets.size();
   comm.advance(cost);

@@ -17,7 +17,9 @@
 // bench/ablation_baseline_1d.
 #pragma once
 
+#include "ddm/engine_config.hpp"
 #include "ddm/fault_tolerance.hpp"
+#include "ddm/wire.hpp"
 #include "md/cell_grid.hpp"
 #include "md/integrator.hpp"
 #include "md/lj.hpp"
@@ -72,13 +74,17 @@ struct SlabStepStats {
 
 class SlabMd {
  public:
+  // Declarative construction. `setup` names the machine and either the
+  // fresh-start (box, initial) pair or a checkpoint() buffer to resume
+  // from. A resume restores particle order, slab boundaries and busy times
+  // so the continued trajectory is bitwise identical to the uninterrupted
+  // run; the config must describe the same (pe_count, cells) decomposition
+  // (std::runtime_error on a mismatched or corrupted checkpoint).
+  SlabMd(const EngineConfig& setup, const SlabMdConfig& config);
+  // Positional shims forwarding to the EngineConfig constructor, kept so
+  // existing call sites compile unchanged.
   SlabMd(sim::Engine& engine, const Box& box,
          const md::ParticleVector& initial, const SlabMdConfig& config);
-  // Resumes from a checkpoint() buffer: particle order, slab boundaries and
-  // busy times are restored so the continued trajectory is bitwise identical
-  // to the uninterrupted run. The config must describe the same (pe_count,
-  // cells) decomposition; throws std::runtime_error on a mismatched or
-  // corrupted checkpoint.
   SlabMd(sim::Engine& engine, const sim::Buffer& checkpoint,
          const SlabMdConfig& config);
 
@@ -115,13 +121,18 @@ class SlabMd {
     sim::ReliableChannel channel;  // used when fault_tolerance.reliable
     md::ParticleVector with_halo;
     md::CellBins bins;
+    md::ForceWorkspace workspace;
+    std::vector<int> target_cells;         // force-phase scratch
+    std::vector<HaloRecord> halo_records;  // halo-pack scratch
     std::vector<double> sums, maxes, mins;
   };
 
   int left(int rank) const;   // ring neighbour at lower x
   int right(int rank) const;  // ring neighbour at higher x
   int layer_of_position(const Vec3& position) const;
-  std::vector<int> cells_of_layers(int lo, int hi) const;
+  // Fills `cells` (caller-owned scratch, capacity reused) with the sorted
+  // flat indices of all cells in layers [lo, hi).
+  void cells_of_layers(int lo, int hi, std::vector<int>& cells) const;
   double layer_load(const Rank& rank, int layer) const;
 
   void phase_a_drift_and_times(sim::Comm& comm);
@@ -137,6 +148,9 @@ class SlabMd {
   sim::Buffer recv_from(sim::Comm& comm, Rank& rank, int src, int tag);
   // Shared post-construction work: trace attachment and the initial halo +
   // force phases. `resume` preserves checkpointed busy times.
+  // Construction paths behind the EngineConfig constructor.
+  void init_fresh(const Box& box, const md::ParticleVector& initial);
+  void init_resume(const sim::Buffer& checkpoint);
   void finish_construction(bool resume,
                            const std::vector<double>& resume_last_busy);
 

@@ -28,7 +28,8 @@ sim::Buffer seal_payload(sim::Buffer body) {
   return out;
 }
 
-// Verifies and strips the wire header. Too-short buffers are truncation
+// Verifies and strips the wire header in place (no reallocation; the body
+// bytes shift down by the header size). Too-short buffers are truncation
 // (ProtocolError); a magic or CRC mismatch is in-flight corruption
 // (ChecksumError).
 sim::Buffer open_payload(const char* what, sim::Buffer buffer) {
@@ -47,7 +48,8 @@ sim::Buffer open_payload(const char* what, sim::Buffer buffer) {
                              ": checksum mismatch — payload corrupted in "
                              "flight");
   }
-  return sim::Buffer(buffer.begin() + kWireHeaderBytes, buffer.end());
+  buffer.erase(buffer.begin(), buffer.begin() + kWireHeaderBytes);
+  return buffer;
 }
 
 namespace {
@@ -80,6 +82,8 @@ auto checked_unpack(const char* what, sim::Buffer buffer, F&& body) {
 sim::Buffer pack_digest(double busy_seconds,
                         const std::vector<std::int32_t>& columns) {
   sim::Packer packer;
+  packer.reserve(sizeof(DigestHeader) + sizeof(std::uint64_t) +
+                 columns.size() * sizeof(std::int32_t));
   DigestHeader header;
   header.busy_seconds = busy_seconds;
   packer.put(header);
@@ -112,6 +116,8 @@ AnnounceRecord unpack_announce(sim::Buffer buffer) {
 
 sim::Buffer pack_particles(const std::vector<md::Particle>& particles) {
   sim::Packer packer;
+  packer.reserve(sizeof(std::uint64_t) +
+                 particles.size() * sizeof(md::Particle));
   packer.put_vector(particles);
   return seal_payload(packer.take());
 }
@@ -125,6 +131,7 @@ std::vector<md::Particle> unpack_particles(sim::Buffer buffer) {
 
 sim::Buffer pack_halo(const std::vector<HaloRecord>& records) {
   sim::Packer packer;
+  packer.reserve(sizeof(std::uint64_t) + records.size() * sizeof(HaloRecord));
   packer.put_vector(records);
   return seal_payload(packer.take());
 }

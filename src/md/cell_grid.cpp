@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 namespace pcmd::md {
 
@@ -22,14 +25,66 @@ int dims_from_edge(double length, double min_edge) {
   const int n = static_cast<int>(std::floor(length / min_edge + 1e-9));
   return std::max(n, 1);
 }
+
+std::shared_ptr<const StencilTable> build_stencil_table(int nx, int ny,
+                                                        int nz) {
+  auto table = std::make_shared<StencilTable>();
+  const int cells = nx * ny * nz;
+  table->storage.assign(static_cast<std::size_t>(cells) * table->width, -1);
+  table->sizes.assign(cells, 0);
+  std::vector<int> scratch;
+  scratch.reserve(27);
+  for (int flat = 0; flat < cells; ++flat) {
+    const int cx = flat % nx;
+    const int cy = (flat / nx) % ny;
+    const int cz = flat / (nx * ny);
+    scratch.clear();
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int wx = wrap_index(cx + dx, nx);
+          const int wy = wrap_index(cy + dy, ny);
+          const int wz = wrap_index(cz + dz, nz);
+          scratch.push_back((wz * ny + wy) * nx + wx);
+        }
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    table->sizes[flat] = static_cast<std::uint16_t>(scratch.size());
+    std::copy(scratch.begin(), scratch.end(),
+              table->storage.begin() +
+                  static_cast<std::size_t>(flat) * table->width);
+  }
+  return table;
+}
+
+// Process-wide stencil cache. The table is a pure function of the grid
+// shape, so every CellGrid of the same (nx, ny, nz) shares one instance;
+// entries live for the process (the set of distinct shapes is tiny). The
+// mutex is only touched at grid construction, never during traversal.
+std::shared_ptr<const StencilTable> acquire_stencils(int nx, int ny, int nz,
+                                                     StencilSource source) {
+  if (source == StencilSource::kPrivate) {
+    return build_stencil_table(nx, ny, nz);
+  }
+  static std::mutex cache_mutex;
+  static std::map<std::tuple<int, int, int>,
+                  std::shared_ptr<const StencilTable>>
+      cache;
+  const std::scoped_lock lock(cache_mutex);
+  auto& slot = cache[{nx, ny, nz}];
+  if (!slot) slot = build_stencil_table(nx, ny, nz);
+  return slot;
+}
 }  // namespace
 
-CellGrid::CellGrid(const Box& box, double min_cell_edge)
+CellGrid::CellGrid(const Box& box, double min_cell_edge, StencilSource source)
     : CellGrid(box, dims_from_edge(box.length.x, min_cell_edge),
                dims_from_edge(box.length.y, min_cell_edge),
-               dims_from_edge(box.length.z, min_cell_edge)) {}
+               dims_from_edge(box.length.z, min_cell_edge), source) {}
 
-CellGrid::CellGrid(const Box& box, int nx, int ny, int nz)
+CellGrid::CellGrid(const Box& box, int nx, int ny, int nz, StencilSource source)
     : box_(box), nx_(nx), ny_(ny), nz_(nz) {
   if (nx < 1 || ny < 1 || nz < 1) {
     throw std::invalid_argument("CellGrid: dimensions must be positive");
@@ -37,7 +92,7 @@ CellGrid::CellGrid(const Box& box, int nx, int ny, int nz)
   if (box.length.x <= 0.0 || box.length.y <= 0.0 || box.length.z <= 0.0) {
     throw std::invalid_argument("CellGrid: box lengths must be positive");
   }
-  build_stencils();
+  stencils_ = acquire_stencils(nx_, ny_, nz_, source);
 }
 
 Vec3 CellGrid::cell_edge() const {
@@ -84,55 +139,33 @@ std::span<const int> CellGrid::stencil(int flat) const {
   if (flat < 0 || flat >= num_cells()) {
     throw std::out_of_range("CellGrid: flat index out of range");
   }
-  return {stencil_storage_.data() +
-              static_cast<std::size_t>(flat) * stencil_width_,
-          stencil_size_[flat]};
-}
-
-void CellGrid::build_stencils() {
-  const int cells = num_cells();
-  stencil_storage_.assign(static_cast<std::size_t>(cells) * stencil_width_, -1);
-  stencil_size_.assign(cells, 0);
-  std::vector<int> scratch;
-  scratch.reserve(27);
-  for (int flat = 0; flat < cells; ++flat) {
-    const CellCoord c = coord_of(flat);
-    scratch.clear();
-    for (int dz = -1; dz <= 1; ++dz) {
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          scratch.push_back(flat_index({c.x + dx, c.y + dy, c.z + dz}));
-        }
-      }
-    }
-    std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-    stencil_size_[flat] = static_cast<std::uint16_t>(scratch.size());
-    std::copy(scratch.begin(), scratch.end(),
-              stencil_storage_.begin() +
-                  static_cast<std::size_t>(flat) * stencil_width_);
-  }
+  return {stencils_->storage.data() +
+              static_cast<std::size_t>(flat) * stencils_->width,
+          stencils_->sizes[flat]};
 }
 
 CellBins::CellBins(const CellGrid& grid, const ParticleVector& particles) {
   rebuild(grid, particles);
 }
 
-void CellBins::rebuild(const CellGrid& grid, const ParticleVector& particles) {
+PCMD_HOT void CellBins::rebuild(const CellGrid& grid,
+                                const ParticleVector& particles) {
   const int cells = grid.num_cells();
-  std::vector<std::int32_t> counts(cells, 0);
-  std::vector<std::int32_t> home(particles.size());
+  scratch_counts_.assign(cells, 0);
+  scratch_home_.resize(particles.size());
   for (std::size_t i = 0; i < particles.size(); ++i) {
     const int c = grid.cell_of_position(particles[i].position);
-    home[i] = c;
-    ++counts[c];
+    scratch_home_[i] = c;
+    ++scratch_counts_[c];
   }
   offsets_.assign(cells + 1, 0);
-  for (int c = 0; c < cells; ++c) offsets_[c + 1] = offsets_[c] + counts[c];
+  for (int c = 0; c < cells; ++c) {
+    offsets_[c + 1] = offsets_[c] + scratch_counts_[c];
+  }
   entries_.assign(particles.size(), 0);
-  std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  scratch_cursor_.assign(offsets_.begin(), offsets_.end() - 1);
   for (std::size_t i = 0; i < particles.size(); ++i) {
-    entries_[cursor[home[i]]++] = static_cast<std::int32_t>(i);
+    entries_[scratch_cursor_[scratch_home_[i]]++] = static_cast<std::int32_t>(i);
   }
   // Sort each bin by particle id for permutation-independent iteration.
   for (int c = 0; c < cells; ++c) {
@@ -188,6 +221,86 @@ ForceResult accumulate_forces(ParticleVector& particles, const CellGrid& grid,
       p.force = force;
       result.potential_energy += pe;
       result.virial += virial;
+    }
+  }
+  return result;
+}
+
+PCMD_HOT void ForceWorkspace::load(const ParticleVector& particles,
+                                   const CellBins& bins) {
+  const std::span<const std::int32_t> entries = bins.entries();
+  const std::size_t n = entries.size();
+  x_.resize(n);
+  y_.resize(n);
+  z_.resize(n);
+  id_.resize(n);
+  index_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const Particle& p = particles[entries[s]];
+    x_[s] = p.position.x;
+    y_[s] = p.position.y;
+    z_[s] = p.position.z;
+    id_[s] = p.id;
+    index_[s] = entries[s];
+  }
+}
+
+// SoA fast path. Same sweep order as the reference above (sorted stencil,
+// id-sorted bins, same-id skip) and per-pair arithmetic spelled exactly like
+// the reference's (minimum image per component, left-associated r2 sum,
+// identical LJ expressions via the fused kernel), so the accumulated sums
+// round identically and the scattered forces are bitwise equal.
+PCMD_HOT ForceResult accumulate_forces(ParticleVector& particles,
+                                       const CellGrid& grid,
+                                       const CellBins& bins,
+                                       std::span<const int> target_cells,
+                                       const LennardJones& lj,
+                                       ForceWorkspace& workspace) {
+  workspace.load(particles, bins);
+  ForceResult result;
+  const Vec3 box_length = grid.box().length;
+  const double cutoff2 = lj.cutoff2();
+  const double* const xs = workspace.x_.data();
+  const double* const ys = workspace.y_.data();
+  const double* const zs = workspace.z_.data();
+  const std::int64_t* const ids = workspace.id_.data();
+  const std::span<const std::int32_t> offsets = bins.offsets();
+  for (const int c : target_cells) {
+    const std::span<const int> sten = grid.stencil(c);
+    for (std::int32_t si = offsets[c]; si < offsets[c + 1]; ++si) {
+      const double px = xs[si];
+      const double py = ys[si];
+      const double pz = zs[si];
+      const std::int64_t pid = ids[si];
+      double fx = 0.0;
+      double fy = 0.0;
+      double fz = 0.0;
+      double pe = 0.0;
+      double virial = 0.0;
+      std::uint64_t pairs = 0;
+      for (const int nc : sten) {
+        const std::int32_t qe = offsets[nc + 1];
+        for (std::int32_t qi = offsets[nc]; qi < qe; ++qi) {
+          if (ids[qi] == pid) continue;
+          const double dx = min_image_component(px - xs[qi], box_length.x);
+          const double dy = min_image_component(py - ys[qi], box_length.y);
+          const double dz = min_image_component(pz - zs[qi], box_length.z);
+          const double r2 = dx * dx + dy * dy + dz * dz;
+          ++pairs;
+          if (r2 < cutoff2) {
+            const PairKernelResult k = lj.pair_kernel(r2);
+            fx += dx * k.force_over_r;
+            fy += dy * k.force_over_r;
+            fz += dz * k.force_over_r;
+            pe += 0.5 * k.potential;
+            virial += 0.5 * k.force_over_r * r2;
+          }
+        }
+      }
+      particles[workspace.index_[si]].force = Vec3{fx, fy, fz};
+      result.potential_energy += pe;
+      result.virial += virial;
+      result.pair_evaluations += pairs;
     }
   }
   return result;

@@ -4,7 +4,15 @@
 // an optional energy shift is provided for energy-conservation studies.
 #pragma once
 
+#include "util/hot.hpp"
+
 namespace pcmd::md {
+
+// Result of one fused pair evaluation (see LennardJones::pair_kernel).
+struct PairKernelResult {
+  double force_over_r = 0.0;
+  double potential = 0.0;
+};
 
 class LennardJones {
  public:
@@ -23,6 +31,21 @@ class LennardJones {
 
   // Potential value at the cut-off (the shift amount when shifting).
   double potential_at_cutoff() const;
+
+  // Fused force + potential evaluation for r2 < cutoff2(). Shares one
+  // reciprocal between the two quantities; the individual expressions are
+  // the same as force_over_r() / potential_r2(), so the results are bitwise
+  // identical to the separate calls. Callers must check the cut-off — this
+  // kernel has no branch so the hot loop stays tight.
+  PCMD_HOT PairKernelResult pair_kernel(double r2) const {
+    const double inv_r2 = 1.0 / r2;
+    const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    PairKernelResult out;
+    out.force_over_r = 24.0 * (2.0 * inv_r6 * inv_r6 - inv_r6) * inv_r2;
+    out.potential = 4.0 * (inv_r6 * inv_r6 - inv_r6);
+    if (shift_energy_) out.potential -= shift_;
+    return out;
+  }
 
  private:
   double cutoff_;

@@ -1,34 +1,41 @@
 #include "md/neighbor_list.hpp"
 
+#include "util/hot.hpp"
+
 #include <stdexcept>
 
 namespace pcmd::md {
 
-NeighborList::NeighborList(const Box& box, double cutoff, double skin)
-    : box_(box), cutoff_(cutoff), skin_(skin) {
+namespace {
+double validated_cutoff(double cutoff, double skin) {
   if (cutoff <= 0.0 || skin < 0.0) {
     throw std::invalid_argument(
         "NeighborList: cutoff must be > 0 and skin >= 0");
   }
-  const double reach = cutoff + skin;
-  reach2_ = reach * reach;
+  return cutoff;
 }
+}  // namespace
 
-void NeighborList::rebuild(const ParticleVector& particles) {
-  const double reach = cutoff_ + skin_;
-  const CellGrid grid(box_, reach);
-  const CellBins bins(grid, particles);
+NeighborList::NeighborList(const Box& box, double cutoff, double skin)
+    : box_(box),
+      cutoff_(validated_cutoff(cutoff, skin)),
+      skin_(skin),
+      reach2_((cutoff + skin) * (cutoff + skin)),
+      grid_(box, cutoff + skin) {}
+
+PCMD_HOT void NeighborList::rebuild(const ParticleVector& particles) {
+  bins_.rebuild(grid_, particles);
 
   offsets_.assign(particles.size() + 1, 0);
-  neighbors_.clear();
+  neighbors_.clear();  // keeps capacity from the previous build
   // Half list: for particle index i keep only j > i (by index). The cell
   // stencil visits each unordered pair from both sides; the index order
   // filter keeps exactly one.
   for (std::size_t i = 0; i < particles.size(); ++i) {
     offsets_[i] = static_cast<std::int32_t>(neighbors_.size());
-    const int cell = grid.cell_of_position(particles[i].position);
-    for (const int nc : grid.stencil(cell)) {
-      for (const std::int32_t j : bins.cell(nc)) {
+    const int cell = grid_.cell_of_position(particles[i].position);
+    for (const int nc : grid_.stencil(cell)) {
+      for (const std::int32_t j : bins_.cell(nc)) {
         if (static_cast<std::size_t>(j) <= i) continue;
         if (minimum_image_distance2(particles[i].position,
                                     particles[j].position, box_) < reach2_) {
@@ -59,8 +66,8 @@ bool NeighborList::needs_rebuild(const ParticleVector& particles) const {
   return false;
 }
 
-ForceResult NeighborList::compute(ParticleVector& particles,
-                                  const LennardJones& lj) const {
+PCMD_HOT ForceResult NeighborList::compute(ParticleVector& particles,
+                                           const LennardJones& lj) const {
   if (offsets_.size() != particles.size() + 1) {
     throw std::logic_error("NeighborList::compute: list not built for this "
                            "particle count");
@@ -75,12 +82,12 @@ ForceResult NeighborList::compute(ParticleVector& particles,
       const double r2 = norm2(d);
       ++result.pair_evaluations;
       if (r2 < lj.cutoff2()) {
-        const double fov = lj.force_over_r(r2);
-        const Vec3 f = d * fov;
+        const PairKernelResult pair = lj.pair_kernel(r2);
+        const Vec3 f = d * pair.force_over_r;
         particles[i].force += f;
         particles[j].force -= f;
-        result.potential_energy += lj.potential_r2(r2);
-        result.virial += fov * r2;
+        result.potential_energy += pair.potential;
+        result.virial += pair.force_over_r * r2;
       }
     }
   }

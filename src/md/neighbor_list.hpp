@@ -48,6 +48,12 @@ class NeighborList {
   double cutoff_;
   double skin_;
   double reach2_;  // (cutoff + skin)^2
+  // The grid shape depends only on box and reach, both fixed at
+  // construction; bins_ is rebuilt in place so rebuild() reuses all
+  // capacity instead of re-deriving the grid and re-allocating bins every
+  // time the skin is exhausted.
+  CellGrid grid_;
+  CellBins bins_;
   std::vector<std::int32_t> offsets_;   // CSR offsets, size N + 1
   std::vector<std::int32_t> neighbors_; // CSR payload (j > i ordering)
   std::vector<Vec3> built_positions_;

@@ -51,7 +51,8 @@ ForceResult SerialMd::compute_forces() {
     return accumulate_forces_naive(particles_, box_, lj_);
   }
   bins_.rebuild(grid_, particles_);
-  return accumulate_forces(particles_, grid_, bins_, all_cells_, lj_);
+  return accumulate_forces(particles_, grid_, bins_, all_cells_, lj_,
+                           workspace_);
 }
 
 std::uint64_t SerialMd::neighbor_rebuilds() const {

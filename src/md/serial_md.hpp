@@ -75,6 +75,7 @@ class SerialMd {
   LennardJones lj_;
   CellGrid grid_;
   CellBins bins_;
+  ForceWorkspace workspace_;
   VelocityVerlet integrator_;
   std::optional<RescaleThermostat> thermostat_;
   std::optional<NeighborList> neighbor_list_;

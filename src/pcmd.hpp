@@ -52,6 +52,7 @@
 
 // ddm — domain decomposition and the SPMD engines
 #include "ddm/comm_volume.hpp"
+#include "ddm/engine_config.hpp"
 #include "ddm/parallel_md.hpp"
 #include "ddm/slab_md.hpp"
 #include "ddm/wire.hpp"
@@ -62,3 +63,6 @@
 #include "theory/concentration.hpp"
 #include "theory/effective_range.hpp"
 #include "theory/synthetic_balance.hpp"
+
+// run — declarative run descriptions for harnesses
+#include "run/run_spec.hpp"

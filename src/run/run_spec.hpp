@@ -1,0 +1,114 @@
+// Declarative run description for the example and bench harnesses.
+//
+// Every harness used to carry its own copy of the same flag-parsing blocks
+// (--faults, --degrade, --trace, --checkpoint-every, healing knobs) and its
+// own translation into the engine configs. RunSpec centralises both: one
+// struct describes a paper-system run — workload, PE count, steps, DLB
+// policy, fault plan, trace sink, checkpoint cadence — with a chainable
+// builder for programmatic use, a strict shared CLI parser for the
+// harnesses, and bridges to the layer-specific configs
+// (theory::MdTrajectoryConfig, ddm::ParallelMdConfig) that actually drive a
+// run.
+//
+// The parser is strict in the repo's house style: malformed values throw
+// std::invalid_argument naming the flag, the offending token and the
+// accepted grammar, and harnesses reject unknown flags as hard errors via
+// require_all_flags_consumed().
+#pragma once
+
+#include "core/dlb_protocol.hpp"
+#include "ddm/fault_tolerance.hpp"
+#include "ddm/parallel_md.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
+#include "theory/effective_range.hpp"
+#include "util/cli.hpp"
+#include "workload/paper_system.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pcmd::run {
+
+// A deliberately degraded PE: `rank`'s compute slows down by `factor` from
+// virtual time `at` on (until the end of the run). The harnesses use this
+// to show the DLB draining load off a hot/throttled PE.
+struct DegradeSpec {
+  int rank = -1;
+  double at = 0.0;
+  double factor = 6.0;
+
+  // Strict parse of "rank=K,at=T": rejects trailing garbage, duplicate or
+  // unknown keys, and names the offending token, so typos like
+  // "rank=4,at=0.05x" or "ranks=4" fail loudly instead of running a wrong
+  // experiment. `factor` is carried through unchanged (it arrives via its
+  // own flag).
+  static DegradeSpec parse(const std::string& text, double factor = 6.0);
+
+  // The equivalent fault-plan stall (open-ended: until 1e30).
+  sim::FaultPlan::Stall stall() const;
+};
+
+struct RunSpec {
+  workload::PaperSystemSpec system;  // pe_count, m, density, seed, T*, dt
+  std::int64_t steps = 500;
+  bool dlb_enabled = true;
+  core::DlbConfig dlb;
+  sim::MachineModel machine = sim::MachineModel::t3e();
+  sim::FaultPlan faults;
+  ddm::FaultToleranceConfig fault_tolerance;
+  int checkpoint_every = 0;                // > 0: checkpoint every N steps
+  std::optional<std::string> trace_path;   // sink base path (PATH.json/.csv)
+  std::optional<DegradeSpec> degrade;
+
+  // ---- builder (chainable; each returns *this) ----
+  RunSpec& with_pe_count(int value);
+  RunSpec& with_m(int value);
+  RunSpec& with_density(double value);
+  RunSpec& with_seed(std::uint64_t value);
+  RunSpec& with_steps(std::int64_t value);
+  RunSpec& with_dlb(bool value);
+  RunSpec& with_machine(const sim::MachineModel& value);
+  RunSpec& with_faults(sim::FaultPlan value);
+  RunSpec& with_checkpoint_every(int value);
+  RunSpec& with_trace(std::string path);
+  RunSpec& with_degrade(const DegradeSpec& value);
+
+  bool healing_enabled() const { return fault_tolerance.healing.enabled; }
+
+  // The complete fault plan for the run: `faults` plus the degrade stall
+  // (when one is set). This is what should reach the FaultInjector.
+  sim::FaultPlan fault_plan() const;
+
+  // Bridge to the theory-layer trajectory driver (Fig. 5/6/9 runs). The
+  // trace collector is attached by the caller (it owns the sink lifetime).
+  theory::MdTrajectoryConfig trajectory_config() const;
+
+  // Bridge for harnesses driving ParallelMd directly. Trace collector and
+  // checkpoint cadence stay with the caller.
+  ddm::ParallelMdConfig parallel_config() const;
+};
+
+// Applies the shared flag surface on top of `defaults` and returns the
+// resulting spec:
+//
+//   --steps N  --density R  --m M  --seed S  --dlb 0|1
+//   --faults PLAN            (sim::FaultPlan grammar, e.g. seed=7,drop=0.05)
+//   --checkpoint-every N
+//   --buddy-every N  --spares S   (either > 0 turns self-healing on)
+//   --degrade rank=K,at=T  --degrade-factor F
+//   --trace PATH
+//
+// A non-empty fault plan switches fault_tolerance.reliable on, matching
+// what every harness did by hand before.
+RunSpec parse_run_spec(const Cli& cli, RunSpec defaults = {});
+
+// Call after the harness has queried its own extra flags: throws
+// std::invalid_argument listing every flag nobody consumed, together with
+// the shared grammar, so unknown flags are hard errors instead of silently
+// ignored typos.
+void require_all_flags_consumed(const Cli& cli, const std::string& program);
+
+}  // namespace pcmd::run

@@ -1,0 +1,56 @@
+// Reusable message-buffer pool.
+//
+// The virtual network hands Buffer ownership down the send path (sender →
+// mailbox → receiver), so every logical message needs one owned buffer — but
+// the *capacity* behind short-lived buffers (retransmitted frames, corrupt
+// copies drained by the reliable channel) can be recycled instead of freed.
+// BufferPool is a bounded freelist: release() parks a spent buffer, and
+// acquire() hands its capacity back out as an empty buffer, so steady-state
+// framing stops hitting the allocator.
+//
+// Not thread-safe by design: a pool belongs to exactly one rank's state
+// (ReliableChannel is per-rank and only touched by that rank's phase body),
+// matching the rest of the per-rank scratch in the engines.
+#pragma once
+
+#include "sim/message.hpp"
+#include "util/hot.hpp"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pcmd::sim {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_buffers = 16)
+      : max_buffers_(max_buffers) {}
+
+  // An empty buffer, reusing the capacity of a previously released one when
+  // available.
+  PCMD_HOT Buffer acquire() {
+    if (free_.empty()) return Buffer{};
+    Buffer out = std::move(free_.back());
+    free_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  // Parks a spent buffer for reuse; beyond max_buffers the buffer is simply
+  // freed, bounding the idle memory the pool can pin.
+  PCMD_HOT void release(Buffer&& buffer) {
+    if (free_.size() < max_buffers_) {
+      free_.push_back(std::move(buffer));
+    }
+  }
+
+  std::size_t idle() const { return free_.size(); }
+  std::size_t max_buffers() const { return max_buffers_; }
+
+ private:
+  std::size_t max_buffers_;
+  std::vector<Buffer> free_;
+};
+
+}  // namespace pcmd::sim

@@ -39,6 +39,11 @@ class Packer {
     }
   }
 
+  // Pre-sizes the underlying buffer. Hot per-step packers (halo, digest,
+  // particle migration) know their exact payload size up front; reserving
+  // once replaces the geometric-growth reallocations of repeated put().
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
   Buffer take() { return std::move(buffer_); }
   std::size_t size() const { return buffer_.size(); }
 

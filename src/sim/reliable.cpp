@@ -26,9 +26,11 @@ void write_u32(std::uint8_t* p, std::uint32_t v) {
 // Frame layout: [magic][seq][attempt][crc] then the payload; crc covers
 // seq, attempt and payload, so a single flipped byte anywhere in the frame
 // fails either the magic or the crc check.
-Buffer ReliableChannel::frame(std::uint32_t seq, std::uint32_t attempt,
-                              const Buffer& payload) const {
-  Buffer out(kFrameHeaderBytes + payload.size());
+PCMD_HOT Buffer ReliableChannel::frame(std::uint32_t seq,
+                                       std::uint32_t attempt,
+                                       const Buffer& payload) {
+  Buffer out = pool_.acquire();
+  out.resize(kFrameHeaderBytes + payload.size());
   write_u32(out.data() + 0, kFrameMagic);
   write_u32(out.data() + 4, seq);
   write_u32(out.data() + 8, attempt);
@@ -42,18 +44,17 @@ Buffer ReliableChannel::frame(std::uint32_t seq, std::uint32_t attempt,
   return out;
 }
 
-std::optional<ReliableChannel::ParsedFrame> ReliableChannel::parse(
-    Buffer raw) const {
+PCMD_HOT std::optional<std::uint32_t> ReliableChannel::parse_in_place(
+    Buffer& raw) const {
   if (raw.size() < kFrameHeaderBytes) return std::nullopt;
   if (read_u32(raw.data()) != kFrameMagic) return std::nullopt;
   std::uint32_t crc = pcmd::crc32(raw.data() + 4, 8);
   crc = pcmd::crc32(raw.data() + kFrameHeaderBytes,
                     raw.size() - kFrameHeaderBytes, crc);
   if (crc != read_u32(raw.data() + 12)) return std::nullopt;
-  ParsedFrame out;
-  out.seq = read_u32(raw.data() + 4);
-  out.payload.assign(raw.begin() + kFrameHeaderBytes, raw.end());
-  return out;
+  const std::uint32_t seq = read_u32(raw.data() + 4);
+  raw.erase(raw.begin(), raw.begin() + kFrameHeaderBytes);
+  return seq;
 }
 
 void ReliableChannel::send(Comm& comm, int dst, int tag,
@@ -81,20 +82,25 @@ void ReliableChannel::send(Comm& comm, int dst, int tag,
 Buffer ReliableChannel::recv(Comm& comm, int src, int tag) {
   std::uint32_t& expected = recv_seq_[{src, tag}];
   for (;;) {
-    auto parsed = parse(comm.recv(src, tag));
-    if (!parsed) {
+    Buffer raw = comm.recv(src, tag);
+    const auto seq = parse_in_place(raw);
+    if (!seq) {
       counters_.corrupt_discarded += 1;
+      pool_.release(std::move(raw));
       continue;
     }
-    if (parsed->seq < expected) continue;  // stale duplicate
-    if (parsed->seq > expected) {
+    if (*seq < expected) {  // stale duplicate
+      pool_.release(std::move(raw));
+      continue;
+    }
+    if (*seq > expected) {
       throw ProtocolError("ReliableChannel::recv: sequence gap from rank " +
                           std::to_string(src) + " tag " + std::to_string(tag) +
                           " (expected " + std::to_string(expected) + ", got " +
-                          std::to_string(parsed->seq) + ")");
+                          std::to_string(*seq) + ")");
     }
     expected += 1;
-    return std::move(parsed->payload);
+    return raw;  // header already stripped in place
   }
 }
 
@@ -107,21 +113,24 @@ std::optional<Buffer> ReliableChannel::recv_deadline(Comm& comm, int src,
       counters_.recv_timeouts += 1;
       return std::nullopt;
     }
-    auto parsed = parse(std::move(*raw));
-    if (!parsed) {
+    const auto seq = parse_in_place(*raw);
+    if (!seq) {
       counters_.corrupt_discarded += 1;
+      pool_.release(std::move(*raw));
       continue;
     }
-    if (parsed->seq < expected) continue;
-    if (parsed->seq > expected) {
+    if (*seq < expected) {
+      pool_.release(std::move(*raw));
+      continue;
+    }
+    if (*seq > expected) {
       throw ProtocolError(
           "ReliableChannel::recv_deadline: sequence gap from rank " +
           std::to_string(src) + " tag " + std::to_string(tag) + " (expected " +
-          std::to_string(expected) + ", got " + std::to_string(parsed->seq) +
-          ")");
+          std::to_string(expected) + ", got " + std::to_string(*seq) + ")");
     }
     expected += 1;
-    return std::move(parsed->payload);
+    return std::move(*raw);  // header already stripped in place
   }
 }
 

@@ -20,6 +20,7 @@
 // rank's phase body, so no synchronisation is needed.
 #pragma once
 
+#include "sim/buffer_pool.hpp"
 #include "sim/comm.hpp"
 #include "sim/message.hpp"
 
@@ -100,17 +101,19 @@ class ReliableChannel {
  private:
   using StreamKey = std::pair<int, int>;  // (peer rank, tag)
 
+  // Builds a frame into a pool-backed buffer (capacity recycled from
+  // previously discarded frames).
   Buffer frame(std::uint32_t seq, std::uint32_t attempt,
-               const Buffer& payload) const;
-  // Parses + integrity-checks a frame; nullopt when corrupt.
-  struct ParsedFrame {
-    std::uint32_t seq = 0;
-    Buffer payload;
-  };
-  std::optional<ParsedFrame> parse(Buffer raw) const;
+               const Buffer& payload);
+  // Integrity-checks a frame and strips the header in place: on success
+  // `raw` *becomes* the payload (no allocation, no copy) and the sequence
+  // number is returned; nullopt when the frame is corrupt (`raw` untouched,
+  // ready to be released back to the pool).
+  std::optional<std::uint32_t> parse_in_place(Buffer& raw) const;
 
   ReliablePolicy policy_;
   ChannelCounters counters_;
+  BufferPool pool_;
   std::map<StreamKey, std::uint32_t> send_seq_;
   std::map<StreamKey, std::uint32_t> recv_seq_;
 };

@@ -1,6 +1,7 @@
 #include "sim/comm.hpp"
 
-#include <condition_variable>
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -11,6 +12,20 @@ namespace pcmd::sim {
 // Persistent worker pool: one thread per rank, woken per phase. A generation
 // counter implements the phase barrier; the first stored exception is
 // rethrown on the driving thread.
+//
+// The barrier is futex-backed (C++20 atomic wait/notify) rather than a
+// mutex + condition variable: a step is 6+ phases and every phase is two
+// full barrier crossings, so with many workers the old shared mutex was
+// acquired 4x per worker per phase and serialized wake-up into a convoy.
+// Now the dispatch path touches no lock at all — workers sleep on the
+// `generation` word, the driver sleeps on the `pending` count, and the only
+// mutex left guards the cold exception slot.
+//
+// Ordering: `body` is published by the release bump of `generation` and read
+// under its acquire load; each worker's phase effects are published by its
+// release fetch_sub of `pending`, and the driver's acquire load of 0
+// synchronizes with every decrement in the release sequence, so the driving
+// thread observes all rank state before run() returns.
 struct ThreadEngine::Pool {
   explicit Pool(ThreadEngine* engine) : engine(engine) {
     const int n = engine->size();
@@ -21,72 +36,62 @@ struct ThreadEngine::Pool {
   }
 
   ~Pool() {
-    {
-      std::lock_guard lock(mutex);
-      shutdown = true;
-    }
-    cv.notify_all();
+    shutdown.store(true, std::memory_order_relaxed);
+    generation.fetch_add(1, std::memory_order_release);
+    generation.notify_all();
     for (auto& t : workers) t.join();
   }
 
   void run(const std::function<void(Comm&)>& phase_body) {
-    {
-      std::lock_guard lock(mutex);
-      body = &phase_body;
-      pending = static_cast<int>(workers.size());
-      ++generation;
+    body = &phase_body;
+    pending.store(static_cast<int>(workers.size()),
+                  std::memory_order_relaxed);
+    generation.fetch_add(1, std::memory_order_release);
+    generation.notify_all();
+    for (;;) {
+      const int left = pending.load(std::memory_order_acquire);
+      if (left == 0) break;
+      pending.wait(left, std::memory_order_acquire);
     }
-    cv.notify_all();
-    {
-      std::unique_lock lock(mutex);
-      done_cv.wait(lock, [this] { return pending == 0; });
-      body = nullptr;
-      if (error) {
-        auto e = error;
-        error = nullptr;
-        std::rethrow_exception(e);
-      }
+    body = nullptr;
+    if (error) {
+      std::lock_guard lock(error_mutex);
+      auto e = error;
+      error = nullptr;
+      std::rethrow_exception(e);
     }
   }
 
   void worker_loop(int rank) {
     std::uint64_t seen = 0;
     for (;;) {
-      const std::function<void(Comm&)>* my_body = nullptr;
-      {
-        std::unique_lock lock(mutex);
-        cv.wait(lock, [&] { return shutdown || generation != seen; });
-        if (shutdown) return;
-        seen = generation;
-        my_body = body;
-      }
+      generation.wait(seen, std::memory_order_acquire);
+      if (shutdown.load(std::memory_order_relaxed)) return;
+      seen = generation.load(std::memory_order_acquire);
       try {
         // Aliveness only changes between phases, so this read is stable for
         // the whole dispatch. Crashed ranks never run again.
         if (engine->alive(rank)) {
           Comm comm(engine, rank);
-          (*my_body)(comm);
+          (*body)(comm);
         }
       } catch (...) {
-        std::lock_guard lock(mutex);
+        std::lock_guard lock(error_mutex);
         if (!error) error = std::current_exception();
       }
-      {
-        std::lock_guard lock(mutex);
-        if (--pending == 0) done_cv.notify_all();
+      if (pending.fetch_sub(1, std::memory_order_release) == 1) {
+        pending.notify_one();  // last rank out wakes the driving thread
       }
     }
   }
 
   ThreadEngine* engine;
   std::vector<std::thread> workers;
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::condition_variable done_cv;
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<int> pending{0};
+  std::atomic<bool> shutdown{false};
   const std::function<void(Comm&)>* body = nullptr;
-  std::uint64_t generation = 0;
-  int pending = 0;
-  bool shutdown = false;
+  std::mutex error_mutex;  // cold path only
   std::exception_ptr error;
 };
 

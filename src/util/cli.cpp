@@ -78,7 +78,11 @@ double Cli::get_double(const std::string& name, double fallback) const {
 bool Cli::get_bool(const std::string& name, bool fallback) const {
   const std::string v = get(name, "");
   if (v.empty()) return fallback;
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + name + ": '" + v +
+                              "' is not a boolean (expected true/false, 1/0, "
+                              "yes/no, on/off)");
 }
 
 std::vector<std::string> Cli::unqueried_flags() const {

@@ -28,6 +28,8 @@ class Cli {
   // offending token, and the accepted grammar.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  // Accepts true/false, 1/0, yes/no, on/off; a bare "--flag" reads as true,
+  // any other token is an error.
   bool get_bool(const std::string& name, bool fallback) const;
 
   const std::vector<std::string>& positional() const { return positional_; }

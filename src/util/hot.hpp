@@ -1,0 +1,12 @@
+// Hot-path annotation. PCMD_HOT marks a function whose body runs on the
+// per-step simulation hot path (force kernels, bin rebuilds, halo packing).
+// pcmd-analyze forbids heap-allocation markers (`new`, `make_unique`,
+// `std::vector` construction) inside annotated function bodies: hot code
+// must work out of caller-owned, reusable scratch instead of allocating.
+// The macro expands to nothing — it exists purely for the analyzer and the
+// reader.
+#pragma once
+
+#define PCMD_HOT
+
+namespace pcmd {}

@@ -24,26 +24,6 @@ bool in_primary_image(const Vec3& p, const Box& box) {
          p.y < box.length.y && p.z >= 0.0 && p.z < box.length.z;
 }
 
-namespace {
-double min_image_component(double d, double len) {
-  if (d > 0.5 * len) return d - len;
-  if (d < -0.5 * len) return d + len;
-  return d;
-}
-}  // namespace
-
-Vec3 minimum_image(const Vec3& a, const Vec3& b, const Box& box) {
-  Vec3 d = a - b;
-  d.x = min_image_component(d.x, box.length.x);
-  d.y = min_image_component(d.y, box.length.y);
-  d.z = min_image_component(d.z, box.length.z);
-  return d;
-}
-
-double minimum_image_distance2(const Vec3& a, const Vec3& b, const Box& box) {
-  return norm2(minimum_image(a, b, box));
-}
-
 std::ostream& operator<<(std::ostream& os, const Box& box) {
   return os << "Box(" << box.length.x << " x " << box.length.y << " x "
             << box.length.z << ")";

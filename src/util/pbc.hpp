@@ -4,6 +4,7 @@
 // the minimum-image convention.
 #pragma once
 
+#include "util/hot.hpp"
 #include "util/vec3.hpp"
 
 #include <iosfwd>
@@ -31,11 +32,29 @@ Vec3 wrap(const Vec3& p, const Box& box);
 // True if the position lies in the primary image on every axis.
 bool in_primary_image(const Vec3& p, const Box& box);
 
+// One axis of the minimum-image convention. Inline: this runs once per axis
+// per pair evaluation on the force hot path.
+PCMD_HOT constexpr double min_image_component(double d, double len) {
+  if (d > 0.5 * len) return d - len;
+  if (d < -0.5 * len) return d + len;
+  return d;
+}
+
 // Minimum-image displacement a - b.
-Vec3 minimum_image(const Vec3& a, const Vec3& b, const Box& box);
+PCMD_HOT constexpr Vec3 minimum_image(const Vec3& a, const Vec3& b,
+                                      const Box& box) {
+  Vec3 d = a - b;
+  d.x = min_image_component(d.x, box.length.x);
+  d.y = min_image_component(d.y, box.length.y);
+  d.z = min_image_component(d.z, box.length.z);
+  return d;
+}
 
 // Squared minimum-image distance between two points.
-double minimum_image_distance2(const Vec3& a, const Vec3& b, const Box& box);
+PCMD_HOT constexpr double minimum_image_distance2(const Vec3& a, const Vec3& b,
+                                                  const Box& box) {
+  return norm2(minimum_image(a, b, box));
+}
 
 std::ostream& operator<<(std::ostream& os, const Box& box);
 

@@ -1,0 +1,167 @@
+// Bitwise-parity battery for the SoA force fast path.
+//
+// The determinism contract (DESIGN.md) requires the packed-SoA kernel the
+// engines run to produce *bit-identical* results to the straight-line AoS
+// reference: same per-pair arithmetic, same ascending-stencil iteration
+// order, same same-id skip. Every comparison here is exact (EXPECT_EQ on
+// doubles) — a tolerance would hide a reordering that breaks golden
+// regressions and Seq/Thread parity.
+#include "md/cell_grid.hpp"
+#include "md/lj.hpp"
+#include "util/rng.hpp"
+#include "workload/gas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pcmd::md {
+namespace {
+
+ParticleVector random_particles(int n, const Box& box, std::uint64_t seed) {
+  pcmd::Rng rng(seed);
+  workload::GasConfig config;
+  config.min_separation = 0.85;
+  return workload::random_gas(n, box, config, rng);
+}
+
+std::vector<int> all_cells(const CellGrid& grid) {
+  std::vector<int> cells(grid.num_cells());
+  std::iota(cells.begin(), cells.end(), 0);
+  return cells;
+}
+
+// Exact comparison of every targeted particle's force plus the sweep
+// accumulators between the AoS reference and the SoA overload.
+void expect_bitwise_parity(const CellGrid& grid, ParticleVector particles,
+                           std::span<const int> targets,
+                           const LennardJones& lj) {
+  const CellBins bins(grid, particles);
+  ParticleVector reference = particles;
+  const auto expected =
+      accumulate_forces(reference, grid, bins, targets, lj);
+  ForceWorkspace workspace;
+  const auto actual =
+      accumulate_forces(particles, grid, bins, targets, lj, workspace);
+  EXPECT_EQ(actual.potential_energy, expected.potential_energy);
+  EXPECT_EQ(actual.virial, expected.virial);
+  EXPECT_EQ(actual.pair_evaluations, expected.pair_evaluations);
+  ASSERT_EQ(particles.size(), reference.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(particles[i].force.x, reference[i].force.x) << "particle " << i;
+    EXPECT_EQ(particles[i].force.y, reference[i].force.y) << "particle " << i;
+    EXPECT_EQ(particles[i].force.z, reference[i].force.z) << "particle " << i;
+  }
+}
+
+TEST(ForceParity, SoaMatchesAosOnDenseGas) {
+  const Box box = Box::cubic(12.5);
+  const CellGrid grid(box, 2.5);
+  expect_bitwise_parity(grid, random_particles(400, box, 7), all_cells(grid),
+                        LennardJones(2.5));
+}
+
+TEST(ForceParity, SoaMatchesAosOnAnisotropicGrid) {
+  // Non-cubic cell counts exercise the wrap arithmetic in the stencil and
+  // the minimum-image folds along each axis independently.
+  const Box box{Vec3{15.0, 10.0, 7.5}};
+  const CellGrid grid(box, 6, 4, 3);
+  expect_bitwise_parity(grid, random_particles(300, box, 11),
+                        all_cells(grid), LennardJones(2.5));
+}
+
+TEST(ForceParity, SoaMatchesAosOnTargetSubset) {
+  // The engines sweep only their own cells; halo particles keep stale
+  // forces. Target roughly half the cells and check untouched particles
+  // stay untouched in both implementations.
+  const Box box = Box::cubic(10.0);
+  const CellGrid grid(box, 2.5);
+  std::vector<int> targets;
+  for (int c = 0; c < grid.num_cells(); c += 2) targets.push_back(c);
+  expect_bitwise_parity(grid, random_particles(250, box, 13), targets,
+                        LennardJones(2.5));
+}
+
+TEST(ForceParity, SoaMatchesAosWithTinyCutoff) {
+  // Cutoff well below the cell edge: most stencil pairs fail the r2 test,
+  // exercising the cutoff branch ordering in both kernels.
+  const Box box = Box::cubic(12.5);
+  const CellGrid grid(box, 2.5);
+  expect_bitwise_parity(grid, random_particles(300, box, 17),
+                        all_cells(grid), LennardJones(1.1));
+}
+
+TEST(ForceParity, WorkspaceReuseAcrossShrinkingLoads) {
+  // A workspace that served a large system must serve a smaller one with no
+  // stale-slot leakage: results still bitwise match a fresh workspace.
+  const Box box = Box::cubic(12.5);
+  const CellGrid grid(box, 2.5);
+  const LennardJones lj(2.5);
+  auto big = random_particles(400, box, 19);
+  auto small = random_particles(100, box, 23);
+  const CellBins big_bins(grid, big);
+  const CellBins small_bins(grid, small);
+  ForceWorkspace reused;
+  accumulate_forces(big, grid, big_bins, all_cells(grid), lj, reused);
+  ParticleVector fresh_particles = small;
+  ForceWorkspace fresh;
+  const auto expected = accumulate_forces(fresh_particles, grid, small_bins,
+                                          all_cells(grid), lj, fresh);
+  const auto actual = accumulate_forces(small, grid, small_bins,
+                                        all_cells(grid), lj, reused);
+  EXPECT_EQ(actual.potential_energy, expected.potential_energy);
+  EXPECT_EQ(actual.pair_evaluations, expected.pair_evaluations);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].force.x, fresh_particles[i].force.x);
+    EXPECT_EQ(small[i].force.y, fresh_particles[i].force.y);
+    EXPECT_EQ(small[i].force.z, fresh_particles[i].force.z);
+  }
+}
+
+TEST(StencilCache, SharedTableIsBitwiseIdenticalToPrivate) {
+  const Box box = Box::cubic(11.0);
+  const CellGrid shared(box, 5, 4, 3, StencilSource::kShared);
+  const CellGrid priv(box, 5, 4, 3, StencilSource::kPrivate);
+  const StencilTable& a = shared.stencil_table();
+  const StencilTable& b = priv.stencil_table();
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(a.width, b.width);
+  EXPECT_EQ(a.sizes, b.sizes);
+  EXPECT_EQ(a.storage, b.storage);
+}
+
+TEST(StencilCache, SameShapeSharesOneTableAcrossGrids) {
+  // Two grids of the same (nx, ny, nz) — even over different boxes — must
+  // reuse one cached table instead of rebuilding the O(27 C) structure.
+  const CellGrid one(Box::cubic(10.0), 4, 4, 4);
+  const CellGrid two(Box::cubic(25.0), 4, 4, 4);
+  EXPECT_EQ(&one.stencil_table(), &two.stencil_table());
+  const CellGrid other(Box::cubic(10.0), 4, 4, 5);
+  EXPECT_NE(&one.stencil_table(), &other.stencil_table());
+}
+
+TEST(StencilCache, CacheSourceDoesNotChangeForces) {
+  const Box box = Box::cubic(12.5);
+  const LennardJones lj(2.5);
+  auto particles = random_particles(300, box, 29);
+  const CellGrid shared(box, 2.5, StencilSource::kShared);
+  const CellGrid priv(box, 2.5, StencilSource::kPrivate);
+  ASSERT_EQ(shared.num_cells(), priv.num_cells());
+  const CellBins bins(shared, particles);
+  ParticleVector with_private = particles;
+  ForceWorkspace wa, wb;
+  const auto a = accumulate_forces(particles, shared, bins,
+                                   all_cells(shared), lj, wa);
+  const auto b = accumulate_forces(with_private, priv, bins,
+                                   all_cells(priv), lj, wb);
+  EXPECT_EQ(a.potential_energy, b.potential_energy);
+  EXPECT_EQ(a.pair_evaluations, b.pair_evaluations);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_EQ(particles[i].force.x, with_private[i].force.x);
+    EXPECT_EQ(particles[i].force.y, with_private[i].force.y);
+    EXPECT_EQ(particles[i].force.z, with_private[i].force.z);
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::md

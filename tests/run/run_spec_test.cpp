@@ -1,0 +1,236 @@
+// run::RunSpec parser battery: every legacy flag spelling the harnesses used
+// to parse by hand must keep working through the shared parser, malformed
+// values must throw naming flag + token + grammar (the PR-4 house style),
+// and unknown flags must be hard errors via require_all_flags_consumed.
+#include "run/run_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pcmd::run {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+RunSpec parse(std::initializer_list<const char*> args,
+              RunSpec defaults = {}) {
+  const Cli cli = make_cli(args);
+  RunSpec spec = parse_run_spec(cli, std::move(defaults));
+  require_all_flags_consumed(cli, "run_spec_test");
+  return spec;
+}
+
+// Expects fn() to throw std::invalid_argument whose message contains every
+// needle — flag name, offending token, and a grammar hint.
+template <typename Fn>
+void expect_rejected(Fn fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(message.find(needle), std::string::npos)
+          << "message \"" << message << "\" lacks \"" << needle << "\"";
+    }
+  }
+}
+
+// ---- legacy flag spellings ------------------------------------------------
+
+TEST(RunSpecParser, DefaultsSurviveEmptyCommandLine) {
+  RunSpec defaults;
+  defaults.system.pe_count = 9;
+  defaults.system.m = 2;
+  defaults.system.density = 0.256;
+  defaults.system.seed = 42;
+  defaults.steps = 100;
+  const auto spec = parse({}, defaults);
+  EXPECT_EQ(spec.system.pe_count, 9);
+  EXPECT_EQ(spec.system.m, 2);
+  EXPECT_DOUBLE_EQ(spec.system.density, 0.256);
+  EXPECT_EQ(spec.system.seed, 42u);
+  EXPECT_EQ(spec.steps, 100);
+  EXPECT_TRUE(spec.dlb_enabled);
+  EXPECT_FALSE(spec.degrade.has_value());
+  EXPECT_FALSE(spec.trace_path.has_value());
+  EXPECT_TRUE(spec.faults.empty());
+  EXPECT_FALSE(spec.fault_tolerance.reliable);
+  EXPECT_FALSE(spec.healing_enabled());
+  EXPECT_EQ(spec.checkpoint_every, 0);
+}
+
+TEST(RunSpecParser, CoreNumericFlagsBothSpellings) {
+  const auto eq = parse({"--steps=250", "--density=0.384", "--m=4",
+                         "--seed=7"});
+  EXPECT_EQ(eq.steps, 250);
+  EXPECT_DOUBLE_EQ(eq.system.density, 0.384);
+  EXPECT_EQ(eq.system.m, 4);
+  EXPECT_EQ(eq.system.seed, 7u);
+  const auto space = parse({"--steps", "250", "--density", "0.384", "--m",
+                            "4", "--seed", "7"});
+  EXPECT_EQ(space.steps, 250);
+  EXPECT_DOUBLE_EQ(space.system.density, 0.384);
+  EXPECT_EQ(space.system.m, 4);
+  EXPECT_EQ(space.system.seed, 7u);
+}
+
+TEST(RunSpecParser, DlbToggleSpellings) {
+  EXPECT_FALSE(parse({"--dlb=0"}).dlb_enabled);
+  EXPECT_FALSE(parse({"--dlb", "false"}).dlb_enabled);
+  EXPECT_TRUE(parse({"--dlb=1"}).dlb_enabled);
+  RunSpec off;
+  off.dlb_enabled = false;
+  EXPECT_TRUE(parse({"--dlb", "yes"}, off).dlb_enabled);
+}
+
+TEST(RunSpecParser, TraceFlagSetsSinkPath) {
+  const auto spec = parse({"--trace", "out/run"});
+  ASSERT_TRUE(spec.trace_path.has_value());
+  EXPECT_EQ(*spec.trace_path, "out/run");
+}
+
+TEST(RunSpecParser, FaultsPlanEnablesReliableRouting) {
+  const auto spec = parse({"--faults", "seed=7,drop=0.05"});
+  EXPECT_FALSE(spec.faults.empty());
+  EXPECT_EQ(spec.faults.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.faults.drop_rate, 0.05);
+  EXPECT_TRUE(spec.fault_tolerance.reliable);
+}
+
+TEST(RunSpecParser, CheckpointAndHealingFlags) {
+  const auto spec = parse(
+      {"--checkpoint-every", "50", "--buddy-every", "10", "--spares", "1"});
+  EXPECT_EQ(spec.checkpoint_every, 50);
+  EXPECT_TRUE(spec.healing_enabled());
+  EXPECT_EQ(spec.fault_tolerance.healing.buddy_every, 10);
+  EXPECT_EQ(spec.fault_tolerance.healing.spares, 1);
+  // --spares alone also turns healing on (the buddy cadence keeps its
+  // default), matching the old scaling_study behaviour.
+  const auto spares_only = parse({"--spares", "2"});
+  EXPECT_TRUE(spares_only.healing_enabled());
+  EXPECT_EQ(spares_only.fault_tolerance.healing.spares, 2);
+}
+
+TEST(RunSpecParser, DegradeSpecWithDefaultAndExplicitFactor) {
+  const auto spec = parse({"--degrade", "rank=4,at=0.05"});
+  ASSERT_TRUE(spec.degrade.has_value());
+  EXPECT_EQ(spec.degrade->rank, 4);
+  EXPECT_DOUBLE_EQ(spec.degrade->at, 0.05);
+  EXPECT_DOUBLE_EQ(spec.degrade->factor, 6.0);
+  const auto custom =
+      parse({"--degrade", "rank=2,at=0.1", "--degrade-factor", "3.5"});
+  ASSERT_TRUE(custom.degrade.has_value());
+  EXPECT_DOUBLE_EQ(custom.degrade->factor, 3.5);
+  // The degrade stall folds into the effective fault plan.
+  const auto plan = custom.fault_plan();
+  ASSERT_EQ(plan.stalls.size(), 1u);
+  EXPECT_EQ(plan.stalls[0].rank, 2);
+  EXPECT_DOUBLE_EQ(plan.stalls[0].from, 0.1);
+  EXPECT_DOUBLE_EQ(plan.stalls[0].factor, 3.5);
+}
+
+TEST(RunSpecParser, DegradeFactorAloneIsConsumedNotUnknown) {
+  const auto spec = parse({"--degrade-factor", "4"});
+  EXPECT_FALSE(spec.degrade.has_value());
+}
+
+// ---- derived configs ------------------------------------------------------
+
+TEST(RunSpecParser, ParallelConfigMirrorsSystemSpec) {
+  RunSpec defaults;
+  defaults.system.pe_count = 9;
+  defaults.system.m = 4;
+  const auto spec = parse({"--dlb=0"}, defaults);
+  const auto config = spec.parallel_config();
+  EXPECT_EQ(config.pe_side, 3);
+  EXPECT_EQ(config.m, 4);
+  EXPECT_FALSE(config.dlb_enabled);
+  EXPECT_DOUBLE_EQ(config.cutoff, spec.system.cutoff);
+  EXPECT_DOUBLE_EQ(config.dt, spec.system.dt);
+}
+
+TEST(RunSpecParser, BuildersChain) {
+  const RunSpec spec = RunSpec{}
+                           .with_pe_count(16)
+                           .with_m(4)
+                           .with_density(0.384)
+                           .with_seed(9)
+                           .with_steps(1200)
+                           .with_dlb(false)
+                           .with_checkpoint_every(25)
+                           .with_trace("out/x");
+  EXPECT_EQ(spec.system.pe_count, 16);
+  EXPECT_EQ(spec.system.m, 4);
+  EXPECT_DOUBLE_EQ(spec.system.density, 0.384);
+  EXPECT_EQ(spec.system.seed, 9u);
+  EXPECT_EQ(spec.steps, 1200);
+  EXPECT_FALSE(spec.dlb_enabled);
+  EXPECT_EQ(spec.checkpoint_every, 25);
+  ASSERT_TRUE(spec.trace_path.has_value());
+  EXPECT_EQ(*spec.trace_path, "out/x");
+}
+
+// ---- rejection: flag + token + grammar in every message -------------------
+
+TEST(RunSpecParser, UnknownFlagIsHardError) {
+  expect_rejected(
+      [] {
+        const Cli cli = make_cli({"--steps", "10", "--typo-flag", "3"});
+        (void)parse_run_spec(cli, {});
+        require_all_flags_consumed(cli, "run_spec_test");
+      },
+      {"run_spec_test", "--typo-flag", "shared run flags"});
+}
+
+TEST(RunSpecParser, SeveralUnknownFlagsAllListed) {
+  expect_rejected(
+      [] {
+        const Cli cli = make_cli({"--first", "--second=2"});
+        (void)parse_run_spec(cli, {});
+        require_all_flags_consumed(cli, "run_spec_test");
+      },
+      {"unknown flags", "--first", "--second"});
+}
+
+TEST(RunSpecParser, DegradeBadTokenNamesFlagTokenAndGrammar) {
+  expect_rejected([] { (void)parse({"--degrade", "rank=4,bogus=1"}); },
+                  {"--degrade", "bogus=1", "rank=K,at=T"});
+  expect_rejected([] { (void)parse({"--degrade", "rank=x,at=0.1"}); },
+                  {"--degrade", "rank=x", "rank=K,at=T"});
+}
+
+TEST(RunSpecParser, DegradeMissingKeyRejected) {
+  expect_rejected([] { (void)parse({"--degrade", "rank=4"}); },
+                  {"--degrade", "missing at=T", "rank=K,at=T"});
+  expect_rejected([] { (void)parse({"--degrade", "at=0.1"}); },
+                  {"--degrade", "missing rank=K", "rank=K,at=T"});
+}
+
+TEST(RunSpecParser, DegradeDuplicateKeyRejected) {
+  expect_rejected([] { (void)parse({"--degrade", "rank=1,rank=2"}); },
+                  {"--degrade", "rank=2"});
+}
+
+TEST(RunSpecParser, MalformedNumericsRejected) {
+  expect_rejected([] { (void)parse({"--steps", "ten"}); }, {"steps", "ten"});
+  expect_rejected([] { (void)parse({"--density", "0.2x"}); },
+                  {"density", "0.2x"});
+  expect_rejected([] { (void)parse({"--dlb", "maybe"}); }, {"dlb", "maybe"});
+}
+
+TEST(RunSpecParser, MalformedFaultPlanRejected) {
+  expect_rejected([] { (void)parse({"--faults", "drop=lots"}); },
+                  {"drop=lots"});
+}
+
+}  // namespace
+}  // namespace pcmd::run

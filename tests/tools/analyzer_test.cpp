@@ -132,6 +132,31 @@ TEST(Analyzer, PointerKeyedContainersFlagged) {
   EXPECT_EQ(findings[1].line, 15);
 }
 
+TEST(Analyzer, HotAllocFlaggedInsideAnnotatedBodiesOnly) {
+  const auto findings =
+      analyze_one(load_fixture("hot_alloc.cpp", "src/md/hot_alloc.cpp"));
+  // The member vector, the bodiless declaration, and the unannotated
+  // function must not count.
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.rule, "hot-alloc");
+    EXPECT_EQ(finding.file, "src/md/hot_alloc.cpp");
+  }
+  EXPECT_EQ(findings[0].line, 19);  // std::vector construction
+  EXPECT_EQ(findings[1].line, 20);  // new expression
+  EXPECT_EQ(findings[2].line, 21);  // make_unique
+  EXPECT_TRUE(contains(findings[0].message, "vector construction"));
+  EXPECT_TRUE(contains(findings[1].message, "`new` expression"));
+  EXPECT_TRUE(contains(findings[2].message, "make_unique"));
+}
+
+TEST(Analyzer, HotAllocScopedToSrc) {
+  // The same text under bench/ is legal — harnesses may allocate freely.
+  const auto findings =
+      analyze_one(load_fixture("hot_alloc.cpp", "bench/hot_alloc.cpp"));
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(Analyzer, UnsortedIncludeBlockFlagged) {
   const auto findings = analyze_one(
       load_fixture("include_sort.cpp", "src/util/include_sort.cpp"));

@@ -1,0 +1,32 @@
+// Seeded violation: loaded as src/md/hot_alloc.cpp; PCMD_HOT bodies run on
+// the per-step hot path and must not hit the allocator — scratch is owned
+// by the caller and reused across steps.
+#include "util/hot.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace pcmd::md {
+
+struct Scratch {
+  std::vector<double> values;  // member declaration outside a body: legal
+};
+
+// Declaration only — there is no body to scan.
+PCMD_HOT void fixture_declared(Scratch& scratch);
+
+PCMD_HOT double fixture_hot(Scratch& scratch) {
+  std::vector<double> local(4, 0.0);  // line 19: vector construction
+  double* raw = new double[4];        // line 20: new expression
+  auto owned = std::make_unique<double>(1.0);  // line 21: make_unique
+  const double out = local[0] + raw[0] + *owned + scratch.values.size();
+  delete[] raw;
+  return out;
+}
+
+double fixture_cold() {
+  std::vector<double> fine(4, 1.0);  // unannotated function: legal
+  return fine[0];
+}
+
+}  // namespace pcmd::md

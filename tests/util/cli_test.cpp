@@ -37,6 +37,12 @@ TEST(Cli, BooleanExplicitValues) {
   EXPECT_TRUE(make_cli({"--x=1"}).get_bool("x", false));
   EXPECT_TRUE(make_cli({"--x=yes"}).get_bool("x", false));
   EXPECT_FALSE(make_cli({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make_cli({"--x=off"}).get_bool("x", true));
+}
+
+TEST(Cli, BooleanRejectsNonBooleanTokens) {
+  EXPECT_THROW(make_cli({"--x=maybe"}).get_bool("x", false),
+               std::invalid_argument);
 }
 
 TEST(Cli, Fallbacks) {

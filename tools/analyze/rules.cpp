@@ -67,7 +67,7 @@ std::vector<Unit::Include> parse_includes(const std::string& text) {
 int layer_rank(const std::string& name) {
   static const std::map<std::string, int> kRanks = {
       {"util", 0}, {"sim", 1},  {"obs", 2},  {"md", 3},
-      {"workload", 4}, {"core", 5}, {"ddm", 6}, {"theory", 7}};
+      {"workload", 4}, {"core", 5}, {"ddm", 6}, {"theory", 7}, {"run", 8}};
   const auto it = kRanks.find(name);
   return it == kRanks.end() ? -1 : it->second;
 }
@@ -93,7 +93,7 @@ void rule_layering(const Unit& unit, std::vector<Finding>& findings) {
     os << "layer violation: " << unit.source->path << " includes \""
        << include.target
        << "\" from a higher layer (allowed order: util < sim < obs < md < "
-          "workload < core < ddm < theory)";
+          "workload < core < ddm < theory < run)";
     findings.push_back(
         {"layering", unit.source->path, include.line, os.str()});
   }
@@ -293,6 +293,72 @@ void rule_pointer_key(const Unit& unit, std::vector<Finding>& findings) {
                  " — iteration follows allocation addresses, which are not "
                  "deterministic; key on a stable id instead"});
         break;
+      }
+    }
+  }
+}
+
+// ---- hot-path allocation --------------------------------------------------
+//
+// PCMD_HOT (util/hot.hpp) marks functions on the per-step critical path;
+// they must work out of caller-owned, reusable scratch. Flags `new`
+// expressions, make_unique/make_shared calls, and std::vector construction
+// inside an annotated function's body. Declarations (';' before the body),
+// member vectors, and unannotated functions stay legal.
+
+void rule_hot_alloc(const Unit& unit, std::vector<Finding>& findings) {
+  const auto& path = unit.source->path;
+  if (!starts_with(path, "src/")) return;
+  const auto& tokens = unit.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdentifier ||
+        tokens[i].text != "PCMD_HOT") {
+      continue;
+    }
+    // The macro's own `#define PCMD_HOT` line is not an annotation.
+    if (i > 0 && tokens[i - 1].kind == Token::Kind::kIdentifier &&
+        tokens[i - 1].text == "define") {
+      continue;
+    }
+    // The annotated function's body: the first '{' after the annotation. A
+    // ';' first means this was a declaration — nothing to scan.
+    std::size_t open = 0;
+    for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+      if (tokens[j].kind != Token::Kind::kPunct) continue;
+      if (tokens[j].text == ";") break;
+      if (tokens[j].text == "{") {
+        open = j;
+        break;
+      }
+    }
+    if (open == 0) continue;
+    int braces = 0;
+    for (std::size_t j = open; j < tokens.size(); ++j) {
+      const auto& t = tokens[j];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "{") ++braces;
+        if (t.text == "}" && --braces == 0) break;
+        continue;
+      }
+      if (t.kind != Token::Kind::kIdentifier) continue;
+      std::string what;
+      if (t.text == "new") {
+        what = "`new` expression";
+      } else if (t.text == "make_unique" || t.text == "make_shared") {
+        what = "std::" + t.text + " call";
+      } else if (t.text == "vector" && j + 1 < tokens.size() &&
+                 tokens[j + 1].kind == Token::Kind::kPunct &&
+                 tokens[j + 1].text == "<" && j > 0 &&
+                 tokens[j - 1].kind == Token::Kind::kPunct &&
+                 tokens[j - 1].text == ":") {
+        what = "std::vector construction";
+      }
+      if (!what.empty()) {
+        findings.push_back(
+            {"hot-alloc", path, t.line,
+             what + " inside a PCMD_HOT function — hot-path code must reuse "
+                    "preallocated workspace (util/hot.hpp), not allocate per "
+                    "step"});
       }
     }
   }
@@ -498,6 +564,7 @@ void run_rules(const std::vector<Source>& sources,
     rule_wall_clock(unit, findings);
     rule_naked_assert(unit, findings);
     rule_pointer_key(unit, findings);
+    rule_hot_alloc(unit, findings);
     rule_include_sort(unit, findings);
     rule_wire_pairing(unit, findings);
   }
