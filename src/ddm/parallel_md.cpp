@@ -3,6 +3,7 @@
 #include "ddm/wire.hpp"
 #include "md/checkpoint.hpp"
 #include "md/observables.hpp"
+#include "obs/balance_metric.hpp"
 #include "obs/collector.hpp"
 #include "sim/fault.hpp"
 
@@ -58,7 +59,7 @@ ParallelMd::ParallelMd(const EngineConfig& setup,
             layout_.cells_axis(), layout_.cells_axis(), layout_.cells_axis()),
       lj_(config.cutoff),
       integrator_(config.dt),
-      protocol_(layout_, config.dlb),
+      balancer_(make_balancer(layout_, config.dlb, config.balancer)),
       membership_(layout_.pe_count(),
                   validated_rank_count(*setup.engine, layout_, config)),
       watchdog_(config.fault_tolerance.healing) {
@@ -200,6 +201,8 @@ void ParallelMd::finish_construction(
     spans_.ctr_checkpoint_bytes = config_.trace->intern("checkpoint_bytes");
     spans_.ctr_rollbacks = config_.trace->intern("rollbacks");
     spans_.ctr_failovers = config_.trace->intern("failovers");
+    spans_.ctr_imbalance = config_.trace->intern("imbalance");
+    spans_.ctr_cells_moved = config_.trace->intern("cells_moved");
   }
   for (auto& rank : ranks_) {
     rank->peer_alive.assign(static_cast<std::size_t>(layout_.pe_count()), 1);
@@ -572,7 +575,7 @@ void ParallelMd::phase_b_decide_and_migrate(sim::Comm& comm, int me) {
     core::NeighborTimes times;
     times.self_time = rank.last_busy;
     times.neighbor_times = rank.neighbor_times;
-    const core::DlbDecision decision = protocol_.decide(
+    const core::DlbDecision decision = balancer_->decide(
         me, rank.map, times, [&](int col) { return column_load[col]; });
     if (decision.target >= 0 &&
         rank.peer_alive[static_cast<std::size_t>(decision.target)] != 0) {
@@ -897,6 +900,11 @@ ParallelStepStats ParallelMd::attempt_step() {
 
     stats.force_avg =
         r0.sums[6] / static_cast<double>(std::max(stats.live_ranks, 1));
+    // Balancer quality from the already-reduced force times: no extra
+    // collective slots, so the virtual-time makespan is untouched.
+    stats.imbalance =
+        obs::fractional_load_imbalance(stats.force_max, stats.force_avg);
+    stats.cells_moved = stats.transfers * layout_.cells_axis();
 
     if (healing_enabled() && r0.maxes.size() >= 4) {
       last_suspect_ = static_cast<int>(r0.maxes[3]) - 1;
@@ -918,6 +926,11 @@ ParallelStepStats ParallelMd::attempt_step() {
           static_cast<double>(fc.messages_dropped + fc.messages_corrupted +
                               fc.messages_delayed));
     }
+    // Per-step gauges (not running totals: a rolled-back attempt's values
+    // must not accumulate).
+    config_.trace->counter(host, spans_.ctr_imbalance, now, stats.imbalance);
+    config_.trace->counter(host, spans_.ctr_cells_moved, now,
+                           static_cast<double>(stats.cells_moved));
   }
   return stats;
 }

@@ -30,6 +30,7 @@
 #include "core/dlb_protocol.hpp"
 #include "core/invariant.hpp"
 #include "core/pillar_layout.hpp"
+#include "ddm/balancer.hpp"
 #include "ddm/engine_config.hpp"
 #include "ddm/fault_tolerance.hpp"
 #include "ddm/recovery.hpp"
@@ -65,6 +66,9 @@ struct ParallelMdConfig {
   int rescale_interval = 50;
   bool dlb_enabled = false;
   core::DlbConfig dlb;
+  // Which load-balancing policy drives phase B's decision (ddm/balancer.hpp).
+  // Only consulted when dlb_enabled; kPermanent reproduces the paper.
+  BalancerConfig balancer;
   // Runtime verification: attach a sim::ProtocolChecker to the engine (all
   // traffic must stay on the 8-neighbour torus stencil and drain every
   // step) and re-verify the permanent-cell ownership invariants after each
@@ -101,6 +105,8 @@ struct ParallelStepStats {
   std::uint64_t pair_evaluations = 0;
   std::int64_t total_particles = 0;
   int transfers = 0;        // columns moved by DLB this step
+  double imbalance = 0.0;   // fractional load imbalance, Fmax/Fave - 1
+  int cells_moved = 0;      // cells migrated this step (transfers x K)
   // Concentration bookkeeping for the Section 4 analysis:
   int empty_cells = 0;           // C0: cells with no particle, whole space
   int max_domain_cells = 0;      // cells of the PE owning the most cells
@@ -322,6 +328,9 @@ class ParallelMd {
     std::uint32_t ctr_checkpoint_bytes = 0;
     std::uint32_t ctr_rollbacks = 0;
     std::uint32_t ctr_failovers = 0;
+    // Balancer quality tracks:
+    std::uint32_t ctr_imbalance = 0;
+    std::uint32_t ctr_cells_moved = 0;
   };
   void span_begin(sim::Comm& comm, std::uint32_t name) const;
   void span_end(sim::Comm& comm, std::uint32_t name) const;
@@ -337,7 +346,7 @@ class ParallelMd {
   md::LennardJones lj_;
   md::VelocityVerlet integrator_;
   std::optional<md::RescaleThermostat> thermostat_;
-  core::DlbProtocol protocol_;
+  std::unique_ptr<Balancer> balancer_;
   sim::Membership membership_;
   Watchdog watchdog_;
   std::unique_ptr<sim::ProtocolChecker> checker_;  // when verify_invariants

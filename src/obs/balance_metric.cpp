@@ -1,0 +1,31 @@
+#include "obs/balance_metric.hpp"
+
+#include <algorithm>
+
+namespace pcmd::obs {
+
+double fractional_load_imbalance(std::span<const double> busy_times) {
+  if (busy_times.empty()) return 0.0;
+  double max = busy_times.front();
+  double min = busy_times.front();
+  double sum = 0.0;
+  for (const double t : busy_times) {
+    max = std::max(max, t);
+    min = std::min(min, t);
+    sum += t;
+  }
+  // Uniform inputs are exactly balanced by definition; short-circuit before
+  // the division so summation rounding cannot produce a spurious epsilon.
+  if (max == min) return 0.0;
+  return fractional_load_imbalance(max,
+                                   sum / static_cast<double>(busy_times.size()));
+}
+
+double fractional_load_imbalance(double busy_max, double busy_avg) {
+  if (busy_avg <= 0.0) return 0.0;
+  // max >= mean mathematically; the clamp guards the reduced-pair caller,
+  // where Fmax and Fave arrive from independently rounded reductions.
+  return std::max(0.0, busy_max / busy_avg - 1.0);
+}
+
+}  // namespace pcmd::obs

@@ -1,0 +1,24 @@
+// Fractional load imbalance: the scalar every balancing policy is judged by.
+//
+//   FLI = max(busy) / mean(busy) - 1
+//
+// 0 means perfectly uniform busy times, 1 means the slowest rank carries
+// twice the average — the same normalisation HemoCell's
+// calculateFractionalLoadImbalance reports and HOOMD's LoadBalancer gates
+// its tuner on. The metric is dimensionless (scale-invariant under
+// multiplying all busy times by a constant), which is what lets the bake-off
+// compare policies across workloads of different cost.
+#pragma once
+
+#include <span>
+
+namespace pcmd::obs {
+
+// FLI over one busy time per rank; 0 for empty input or non-positive mean.
+double fractional_load_imbalance(std::span<const double> busy_times);
+
+// FLI from an already-reduced (max, mean) pair — the engines reduce
+// Fmax/Fave every step, so per-step imbalance costs no extra wire traffic.
+double fractional_load_imbalance(double busy_max, double busy_avg);
+
+}  // namespace pcmd::obs

@@ -52,6 +52,8 @@ const StepMetrics& MetricsRecorder::record(const StepInput& input) {
   row.rollbacks = input.rollbacks;
   row.failovers = input.failovers;
   row.particles_recovered = input.particles_recovered;
+  row.imbalance = input.imbalance;
+  row.cells_moved = input.cells_moved;
   row.recv_timeouts = now.recv_timeouts - last_.recv_timeouts;
   row.faults_dropped = now.faults_dropped - last_.faults_dropped;
   row.faults_corrupted = now.faults_corrupted - last_.faults_corrupted;
@@ -66,7 +68,7 @@ std::string csv_header() {
          "collective_seconds,messages,bytes,transfers,potential_energy,"
          "kinetic_energy,temperature,retransmissions,recv_timeouts,"
          "faults_dropped,faults_corrupted,faults_delayed,checkpoint_bytes,"
-         "rollbacks,failovers,particles_recovered";
+         "rollbacks,failovers,particles_recovered,imbalance,cells_moved";
 }
 
 namespace {
@@ -90,7 +92,8 @@ void write_csv(std::ostream& os, std::span<const StepMetrics> rows) {
        << r.recv_timeouts << ',' << r.faults_dropped << ','
        << r.faults_corrupted << ',' << r.faults_delayed << ','
        << r.checkpoint_bytes << ',' << r.rollbacks << ',' << r.failovers
-       << ',' << r.particles_recovered << '\n';
+       << ',' << r.particles_recovered << ',' << num(r.imbalance) << ','
+       << r.cells_moved << '\n';
   }
 }
 

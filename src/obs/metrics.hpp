@@ -51,6 +51,9 @@ struct StepMetrics {
   std::uint64_t rollbacks = 0;            // all-role rollbacks executed
   std::uint64_t failovers = 0;            // roles promoted onto a spare
   std::uint64_t particles_recovered = 0;  // particles replayed from envelopes
+  // Load-balancing quality for this step:
+  double imbalance = 0.0;  // fractional load imbalance, Fmax/Fave - 1
+  int cells_moved = 0;     // cells migrated by the balancer (columns x K)
 };
 
 class MetricsRecorder {
@@ -74,6 +77,9 @@ class MetricsRecorder {
     std::uint64_t rollbacks = 0;
     std::uint64_t failovers = 0;
     std::uint64_t particles_recovered = 0;
+    // Balancer quality, forwarded from ParallelStepStats likewise.
+    double imbalance = 0.0;
+    int cells_moved = 0;
   };
 
   // Snapshots the engine's counters as the step-0 baseline; the engine must

@@ -51,6 +51,7 @@
 #include "core/pillar_layout.hpp"
 
 // ddm — domain decomposition and the SPMD engines
+#include "ddm/balancer.hpp"
 #include "ddm/comm_volume.hpp"
 #include "ddm/engine_config.hpp"
 #include "ddm/parallel_md.hpp"

@@ -90,6 +90,11 @@ RunSpec& RunSpec::with_dlb(bool value) {
   return *this;
 }
 
+RunSpec& RunSpec::with_balancer(ddm::BalancerKind value) {
+  balancer.kind = value;
+  return *this;
+}
+
 RunSpec& RunSpec::with_machine(const sim::MachineModel& value) {
   machine = value;
   return *this;
@@ -128,6 +133,7 @@ theory::MdTrajectoryConfig RunSpec::trajectory_config() const {
   config.steps = static_cast<int>(steps);
   config.dlb_enabled = dlb_enabled;
   config.dlb = dlb;
+  config.balancer = balancer;
   config.machine = machine;
   config.faults = fault_plan();
   config.fault_tolerance = fault_tolerance;
@@ -145,6 +151,7 @@ ddm::ParallelMdConfig RunSpec::parallel_config() const {
   config.rescale_interval = system.rescale_interval;
   config.dlb_enabled = dlb_enabled;
   config.dlb = dlb;
+  config.balancer = balancer;
   config.fault_tolerance = fault_tolerance;
   return config;
 }
@@ -157,6 +164,13 @@ RunSpec parse_run_spec(const Cli& cli, RunSpec defaults) {
   spec.system.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(spec.system.seed)));
   spec.dlb_enabled = cli.get_bool("dlb", spec.dlb_enabled);
+  if (const auto balancer = cli.get_optional("balancer")) {
+    try {
+      spec.balancer.kind = ddm::parse_balancer_kind(*balancer);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("--balancer: " + std::string(e.what()));
+    }
+  }
   if (const auto trace = cli.get_optional("trace")) spec.trace_path = *trace;
   if (const auto faults = cli.get_optional("faults")) {
     spec.faults = sim::FaultPlan::parse(*faults);
@@ -194,8 +208,9 @@ void require_all_flags_consumed(const Cli& cli, const std::string& program) {
   throw std::invalid_argument(
       program + ": unknown flag" + (unknown.size() > 1 ? "s " : " ") + joined +
       " (shared run flags: --steps N, --density R, --m M, --seed S, "
-      "--dlb 0|1, --faults PLAN, --checkpoint-every N, --buddy-every N, "
-      "--spares S, --degrade rank=K,at=T, --degrade-factor F, --trace PATH)");
+      "--dlb 0|1, --balancer POLICY, --faults PLAN, --checkpoint-every N, "
+      "--buddy-every N, --spares S, --degrade rank=K,at=T, "
+      "--degrade-factor F, --trace PATH)");
 }
 
 }  // namespace pcmd::run

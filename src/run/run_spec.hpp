@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/dlb_protocol.hpp"
+#include "ddm/balancer.hpp"
 #include "ddm/fault_tolerance.hpp"
 #include "ddm/parallel_md.hpp"
 #include "sim/cost_model.hpp"
@@ -56,6 +57,7 @@ struct RunSpec {
   std::int64_t steps = 500;
   bool dlb_enabled = true;
   core::DlbConfig dlb;
+  ddm::BalancerConfig balancer;  // policy behind --balancer
   sim::MachineModel machine = sim::MachineModel::t3e();
   sim::FaultPlan faults;
   ddm::FaultToleranceConfig fault_tolerance;
@@ -70,6 +72,7 @@ struct RunSpec {
   RunSpec& with_seed(std::uint64_t value);
   RunSpec& with_steps(std::int64_t value);
   RunSpec& with_dlb(bool value);
+  RunSpec& with_balancer(ddm::BalancerKind value);
   RunSpec& with_machine(const sim::MachineModel& value);
   RunSpec& with_faults(sim::FaultPlan value);
   RunSpec& with_checkpoint_every(int value);
@@ -95,6 +98,7 @@ struct RunSpec {
 // resulting spec:
 //
 //   --steps N  --density R  --m M  --seed S  --dlb 0|1
+//   --balancer permanent|rescale|diffusion|none
 //   --faults PLAN            (sim::FaultPlan grammar, e.g. seed=7,drop=0.05)
 //   --checkpoint-every N
 //   --buddy-every N  --spares S   (either > 0 turns self-healing on)

@@ -140,6 +140,7 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
   pmd_config.rescale_interval = config.spec.rescale_interval;
   pmd_config.dlb_enabled = config.dlb_enabled;
   pmd_config.dlb = config.dlb;
+  pmd_config.balancer = config.balancer;
   pmd_config.trace = config.trace;
   pmd_config.fault_tolerance = config.fault_tolerance;
 
@@ -177,6 +178,8 @@ MdTrajectoryResult run_md_trajectory(const MdTrajectoryConfig& config) {
     input.rollbacks = stats.rollbacks;
     input.failovers = stats.failovers;
     input.particles_recovered = stats.particles_recovered;
+    input.imbalance = stats.imbalance;
+    input.cells_moved = stats.cells_moved;
     recorder.record(input);
     result.retransmissions_total += stats.retransmissions;
     result.recv_timeouts_total += stats.recv_timeouts;

@@ -90,6 +90,8 @@ struct MdTrajectoryConfig {
   int steps = 500;
   bool dlb_enabled = true;
   core::DlbConfig dlb;
+  // Balancing policy (ddm/balancer.hpp); kPermanent reproduces the paper.
+  ddm::BalancerConfig balancer;
   sim::MachineModel machine = sim::MachineModel::t3e();
   // When set, the collector is attached to the engine as its trace sink and
   // to the MD engine for sub-step spans, so the run produces a full span +

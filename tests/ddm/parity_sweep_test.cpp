@@ -1,8 +1,10 @@
-// Parameterised parity sweep: across decomposition geometries and backends,
-// the SPMD pillar engine must reproduce the serial engine bitwise (no global
-// reductions feed the physics before the first rescale). This is the
-// strongest whole-system correctness property the library offers, so it is
-// exercised as a TEST_P grid rather than a single configuration.
+// Parameterised parity sweep: across decomposition geometries, backends and
+// balancer policies, the SPMD pillar engine must reproduce the serial engine
+// bitwise (no global reductions feed the physics before the first rescale).
+// This is the strongest whole-system correctness property the library
+// offers, so it is exercised as a TEST_P grid rather than a single
+// configuration.
+#include "ddm/balancer.hpp"
 #include "ddm/parallel_md.hpp"
 #include "md/serial_md.hpp"
 #include "util/rng.hpp"
@@ -22,6 +24,7 @@ struct SweepParam {
   bool thread_backend;
   int particles;
   std::uint64_t seed;
+  BalancerKind balancer = BalancerKind::kPermanent;
 };
 
 std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -31,6 +34,9 @@ std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
   std::ostringstream os;
   os << "s" << p.pe_side << "m" << p.m << (p.dlb ? "dlb" : "static")
      << (p.thread_backend ? "Thread" : "Seq");
+  if (p.balancer != BalancerKind::kPermanent) {
+    os << "_" << balancer_name(p.balancer);
+  }
   return os.str();
 }
 
@@ -58,6 +64,7 @@ TEST_P(ParitySweep, ParallelMatchesSerialBitwise) {
   config.dt = 0.004;
   config.dlb_enabled = param.dlb;
   config.dlb.fallback_to_helpable = param.dlb;  // exercise both code paths
+  config.balancer.kind = param.balancer;
 
   std::unique_ptr<sim::Engine> engine;
   if (param.thread_backend) {
@@ -95,6 +102,25 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{5, 2, true, false, 700, 7},
                       SweepParam{3, 2, true, true, 300, 8},
                       SweepParam{4, 2, true, true, 500, 9}),
+    param_name);
+
+// Every non-paper balancer policy preserves serial parity too: decisions
+// only relabel ownership, never the physics, so the trajectory must stay
+// bitwise identical whatever moves (or doesn't).
+INSTANTIATE_TEST_SUITE_P(
+    Balancers, ParitySweep,
+    ::testing::Values(
+        SweepParam{3, 2, true, false, 300, 21, BalancerKind::kRescale},
+        SweepParam{4, 2, true, false, 500, 22, BalancerKind::kRescale},
+        SweepParam{3, 3, true, false, 500, 23, BalancerKind::kRescale},
+        SweepParam{3, 2, true, false, 300, 24, BalancerKind::kDiffusion},
+        SweepParam{4, 2, true, false, 500, 25, BalancerKind::kDiffusion},
+        SweepParam{3, 3, true, false, 500, 26, BalancerKind::kDiffusion},
+        SweepParam{3, 2, true, false, 300, 27, BalancerKind::kNone},
+        SweepParam{4, 2, true, false, 500, 28, BalancerKind::kNone},
+        SweepParam{3, 2, true, true, 300, 29, BalancerKind::kRescale},
+        SweepParam{3, 2, true, true, 300, 30, BalancerKind::kDiffusion},
+        SweepParam{3, 2, true, true, 300, 31, BalancerKind::kNone}),
     param_name);
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Property battery for the fractional load imbalance metric: the bake-off
+// compares policies by this number, so its invariants (non-negativity,
+// zero-at-uniform, scale invariance, monotonicity in the slowest rank) are
+// pinned here rather than trusted.
+#include "obs/balance_metric.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace pcmd::obs {
+namespace {
+
+std::vector<double> random_busy(pcmd::Rng& rng, int ranks) {
+  std::vector<double> busy(ranks);
+  for (double& t : busy) t = 0.1 + rng.uniform();
+  return busy;
+}
+
+TEST(FractionalLoadImbalance, NonNegativeOnRandomInputs) {
+  pcmd::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto busy = random_busy(rng, 1 + trial % 64);
+    EXPECT_GE(fractional_load_imbalance(busy), 0.0);
+  }
+}
+
+TEST(FractionalLoadImbalance, ExactlyZeroForUniformBusyTimes) {
+  for (const double t : {1e-9, 0.25, 1.0, 3.5e7}) {
+    for (const int ranks : {1, 4, 9, 64}) {
+      const std::vector<double> busy(ranks, t);
+      EXPECT_EQ(fractional_load_imbalance(busy), 0.0)
+          << "t=" << t << " ranks=" << ranks;
+    }
+  }
+}
+
+TEST(FractionalLoadImbalance, ScaleInvariantUnderConstantMultiplication) {
+  pcmd::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto busy = random_busy(rng, 2 + trial % 32);
+    const double base = fractional_load_imbalance(busy);
+    for (const double c : {0.001, 0.5, 2.0, 1000.0}) {
+      std::vector<double> scaled = busy;
+      for (double& t : scaled) t *= c;
+      EXPECT_NEAR(fractional_load_imbalance(scaled), base, 1e-12 * (1 + base))
+          << "c=" << c;
+    }
+  }
+}
+
+TEST(FractionalLoadImbalance, MonotoneWhenTheSlowestRankGrows) {
+  pcmd::Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto busy = random_busy(rng, 4 + trial % 16);
+    std::size_t slowest = 0;
+    for (std::size_t i = 1; i < busy.size(); ++i) {
+      if (busy[i] > busy[slowest]) slowest = i;
+    }
+    double previous = fractional_load_imbalance(busy);
+    for (int bump = 0; bump < 5; ++bump) {
+      busy[slowest] *= 1.5;
+      const double next = fractional_load_imbalance(busy);
+      EXPECT_GT(next, previous);
+      previous = next;
+    }
+  }
+}
+
+TEST(FractionalLoadImbalance, DegenerateInputsReportZero) {
+  EXPECT_EQ(fractional_load_imbalance(std::vector<double>{}), 0.0);
+  EXPECT_EQ(fractional_load_imbalance(std::vector<double>{0.0, 0.0}), 0.0);
+  EXPECT_EQ(fractional_load_imbalance(1.0, 0.0), 0.0);
+  EXPECT_EQ(fractional_load_imbalance(1.0, -2.0), 0.0);
+}
+
+TEST(FractionalLoadImbalance, ReducedPairMatchesSpanOverload) {
+  pcmd::Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto busy = random_busy(rng, 3 + trial % 24);
+    double max = busy.front();
+    double sum = 0.0;
+    for (const double t : busy) {
+      max = std::max(max, t);
+      sum += t;
+    }
+    EXPECT_DOUBLE_EQ(
+        fractional_load_imbalance(busy),
+        fractional_load_imbalance(max, sum / static_cast<double>(busy.size())));
+  }
+}
+
+}  // namespace
+}  // namespace pcmd::obs

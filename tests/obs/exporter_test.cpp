@@ -367,7 +367,7 @@ TEST(MetricsCsv, HeaderMatchesSchema) {
             "collective_seconds,messages,bytes,transfers,potential_energy,"
             "kinetic_energy,temperature,retransmissions,recv_timeouts,"
             "faults_dropped,faults_corrupted,faults_delayed,checkpoint_bytes,"
-            "rollbacks,failovers,particles_recovered");
+            "rollbacks,failovers,particles_recovered,imbalance,cells_moved");
 
   std::ostringstream os;
   write_csv(os, {});

@@ -92,6 +92,24 @@ TEST(RunSpecParser, DlbToggleSpellings) {
   EXPECT_TRUE(parse({"--dlb", "yes"}, off).dlb_enabled);
 }
 
+TEST(RunSpecParser, BalancerFlagSelectsPolicy) {
+  EXPECT_EQ(parse({}).balancer.kind, ddm::BalancerKind::kPermanent);
+  EXPECT_EQ(parse({"--balancer", "permanent"}).balancer.kind,
+            ddm::BalancerKind::kPermanent);
+  EXPECT_EQ(parse({"--balancer=rescale"}).balancer.kind,
+            ddm::BalancerKind::kRescale);
+  EXPECT_EQ(parse({"--balancer", "diffusion"}).balancer.kind,
+            ddm::BalancerKind::kDiffusion);
+  EXPECT_EQ(parse({"--balancer=none"}).balancer.kind,
+            ddm::BalancerKind::kNone);
+}
+
+TEST(RunSpecParser, UnknownBalancerPolicyIsHardError) {
+  expect_rejected(
+      [] { (void)parse({"--balancer", "greedy"}); },
+      {"--balancer", "greedy", "permanent|rescale|diffusion|none"});
+}
+
 TEST(RunSpecParser, TraceFlagSetsSinkPath) {
   const auto spec = parse({"--trace", "out/run"});
   ASSERT_TRUE(spec.trace_path.has_value());
@@ -166,6 +184,7 @@ TEST(RunSpecParser, BuildersChain) {
                            .with_seed(9)
                            .with_steps(1200)
                            .with_dlb(false)
+                           .with_balancer(ddm::BalancerKind::kDiffusion)
                            .with_checkpoint_every(25)
                            .with_trace("out/x");
   EXPECT_EQ(spec.system.pe_count, 16);
@@ -174,6 +193,7 @@ TEST(RunSpecParser, BuildersChain) {
   EXPECT_EQ(spec.system.seed, 9u);
   EXPECT_EQ(spec.steps, 1200);
   EXPECT_FALSE(spec.dlb_enabled);
+  EXPECT_EQ(spec.balancer.kind, ddm::BalancerKind::kDiffusion);
   EXPECT_EQ(spec.checkpoint_every, 25);
   ASSERT_TRUE(spec.trace_path.has_value());
   EXPECT_EQ(*spec.trace_path, "out/x");
