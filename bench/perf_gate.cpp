@@ -21,6 +21,11 @@
 // exits non-zero when any throughput metric drops more than --tolerance
 // (relative), or the fig5 wall time grows by more than it — the CI perf job
 // runs exactly this against the BENCH_perf.json in the repository root.
+// That file also carries keys owned by other gates (serve_gate's
+// serve_jobs_per_sec); only the four keys above are checked here, and
+// --merge 1 preserves the others when regenerating the baseline.
+
+#include "scoreboard.hpp"
 
 #include "ddm/parallel_md.hpp"
 #include "ddm/slab_md.hpp"
@@ -104,105 +109,6 @@ double run_slab8(sim::Engine& engine, std::int64_t n, std::int64_t steps) {
   });
 }
 
-// ---- flat-JSON scoreboard I/O ---------------------------------------------
-
-using Scoreboard = std::map<std::string, double>;
-
-void write_scoreboard(const std::string& path, const Scoreboard& board) {
-  std::ofstream out(path);
-  out << "{\n";
-  std::size_t i = 0;
-  for (const auto& [key, value] : board) {
-    out << "  \"" << key << "\": " << value
-        << (++i < board.size() ? "," : "") << "\n";
-  }
-  out << "}\n";
-  if (!out) {
-    throw std::runtime_error("perf_gate: failed to write " + path);
-  }
-}
-
-// Strict scanner for the flat {"key": number, ...} scoreboard format —
-// no dependency, and anything else (nesting, arrays, trailing garbage)
-// throws naming the offending position.
-Scoreboard read_scoreboard(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("perf_gate: cannot open " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-  Scoreboard board;
-  std::size_t pos = 0;
-  const auto skip_ws = [&] {
-    while (pos < text.size() && std::isspace(
-               static_cast<unsigned char>(text[pos]))) {
-      ++pos;
-    }
-  };
-  const auto bad = [&](const std::string& what) {
-    throw std::runtime_error("perf_gate: " + path + ": " + what +
-                             " at byte " + std::to_string(pos) +
-                             " (expected flat {\"key\": number, ...})");
-  };
-  skip_ws();
-  if (pos >= text.size() || text[pos] != '{') bad("missing '{'");
-  ++pos;
-  skip_ws();
-  while (pos < text.size() && text[pos] != '}') {
-    if (text[pos] != '"') bad("missing key quote");
-    const std::size_t end = text.find('"', pos + 1);
-    if (end == std::string::npos) bad("unterminated key");
-    const std::string key = text.substr(pos + 1, end - pos - 1);
-    pos = end + 1;
-    skip_ws();
-    if (pos >= text.size() || text[pos] != ':') bad("missing ':'");
-    ++pos;
-    skip_ws();
-    char* num_end = nullptr;
-    const double value = std::strtod(text.c_str() + pos, &num_end);
-    if (num_end == text.c_str() + pos) bad("malformed number");
-    pos = static_cast<std::size_t>(num_end - text.c_str());
-    board[key] = value;
-    skip_ws();
-    if (pos < text.size() && text[pos] == ',') {
-      ++pos;
-      skip_ws();
-    }
-  }
-  if (pos >= text.size() || text[pos] != '}') bad("missing '}'");
-  ++pos;
-  skip_ws();
-  if (pos != text.size()) bad("trailing bytes");
-  return board;
-}
-
-// Relative comparison against the baseline: throughputs (_pps) must not
-// drop, wall times (_seconds) must not grow, by more than `tolerance`.
-int check_against(const Scoreboard& current, const Scoreboard& baseline,
-                  double tolerance) {
-  int failures = 0;
-  for (const auto& [key, base] : baseline) {
-    const auto it = current.find(key);
-    if (it == current.end()) {
-      std::printf("FAIL %-20s missing from this run\n", key.c_str());
-      ++failures;
-      continue;
-    }
-    const double now = it->second;
-    const bool lower_is_better =
-        key.size() >= 8 && key.compare(key.size() - 8, 8, "_seconds") == 0;
-    const double ratio = lower_is_better
-                             ? (base > 0 ? now / base : 1.0)
-                             : (now > 0 ? base / now : 1e30);
-    const bool ok = ratio <= 1.0 + tolerance;
-    std::printf("%s %-20s baseline %12.1f  now %12.1f  (%+.1f%%)\n",
-                ok ? "  ok" : "FAIL", key.c_str(), base, now,
-                100.0 * (now / base - 1.0));
-    if (!ok) ++failures;
-  }
-  return failures;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +126,7 @@ int main(int argc, char** argv) {
   const std::string out_path = cli.get("out", "BENCH_perf.json");
   const auto check_path = cli.get_optional("check");
   const double tolerance = cli.get_double("tolerance", 0.15);
+  const bool merge = cli.get_bool("merge", false);
   run::require_all_flags_consumed(cli, "perf_gate");
 
   const std::int64_t serial_n = 4000;
@@ -246,7 +153,7 @@ int main(int argc, char** argv) {
                 r + 1, repeats, best_serial, best_seq, best_thr);
   }
 
-  Scoreboard board;
+  bench::Scoreboard board;
   board["serial_md_pps"] =
       static_cast<double>(serial_n * serial_steps) / best_serial;
   board["seq_engine_pps"] =
@@ -259,14 +166,14 @@ int main(int argc, char** argv) {
   for (const auto& [key, value] : board) {
     std::printf("  %-20s %14.1f\n", key.c_str(), value);
   }
-  write_scoreboard(out_path, board);
+  bench::write_scoreboard(out_path, board, merge);
   std::printf("wrote %s\n", out_path.c_str());
 
   if (check_path) {
-    const auto baseline = read_scoreboard(*check_path);
+    const auto baseline = bench::read_scoreboard(*check_path);
     std::printf("\nchecking against %s (tolerance %.0f%%):\n",
                 check_path->c_str(), 100.0 * tolerance);
-    const int failures = check_against(board, baseline, tolerance);
+    const int failures = bench::check_against(board, baseline, tolerance);
     if (failures > 0) {
       std::printf("perf gate FAILED: %d metric(s) regressed beyond %.0f%%\n",
                   failures, 100.0 * tolerance);

@@ -120,7 +120,7 @@ void ParallelMd::init_resume(const sim::Buffer& checkpoint) {
     const auto pe_side = unpacker.get<std::int32_t>();
     const auto m = unpacker.get<std::int32_t>();
     if (pe_side != config_.pe_side || m != config_.m) {
-      throw std::runtime_error(
+      throw md::CheckpointError(
           "ParallelMd: checkpoint decomposition (pe_side=" +
           std::to_string(pe_side) + ", m=" + std::to_string(m) +
           ") does not match the config");
@@ -130,7 +130,7 @@ void ParallelMd::init_resume(const sim::Buffer& checkpoint) {
     grid_ = md::CellGrid(box_, layout_.cells_axis(), layout_.cells_axis(),
                          layout_.cells_axis());
     if (!grid_.covers_cutoff(config_.cutoff)) {
-      throw std::runtime_error(
+      throw md::CheckpointError(
           "ParallelMd: checkpointed box too small for this cut-off");
     }
     std::vector<double> last_busy(static_cast<std::size_t>(layout_.pe_count()),
@@ -141,7 +141,7 @@ void ParallelMd::init_resume(const sim::Buffer& checkpoint) {
       rank->owned = unpacker.get_vector<md::Particle>();
       const auto owners = unpacker.get_vector<std::int32_t>();
       if (static_cast<int>(owners.size()) != layout_.num_columns()) {
-        throw std::runtime_error(
+        throw md::CheckpointError(
             "ParallelMd: checkpoint column table has the wrong size");
       }
       for (int col = 0; col < layout_.num_columns(); ++col) {
@@ -152,12 +152,12 @@ void ParallelMd::init_resume(const sim::Buffer& checkpoint) {
       ranks_.push_back(std::move(rank));
     }
     if (!unpacker.exhausted()) {
-      throw std::runtime_error(
+      throw md::CheckpointError(
           "ParallelMd: trailing bytes in checkpoint payload");
     }
     finish_construction(true, last_busy);
   } catch (const std::out_of_range& e) {
-    throw std::runtime_error(std::string("ParallelMd: truncated checkpoint: ") +
+    throw md::CheckpointError(std::string("ParallelMd: truncated checkpoint: ") +
                              e.what());
   }
 }

@@ -30,13 +30,13 @@ RankEnvelope unpack_rank_envelope(sim::Buffer sealed, int expect_columns) {
     envelope.owned = unpacker.get_vector<md::Particle>();
     envelope.owners = unpacker.get_vector<std::int32_t>();
     if (!unpacker.exhausted()) {
-      throw std::runtime_error("buddy envelope: trailing bytes");
+      throw md::CheckpointError("buddy envelope: trailing bytes");
     }
     if (envelope.role < 0 || envelope.generation < 0) {
-      throw std::runtime_error("buddy envelope: negative role or generation");
+      throw md::CheckpointError("buddy envelope: negative role or generation");
     }
     if (static_cast<int>(envelope.owners.size()) != expect_columns) {
-      throw std::runtime_error(
+      throw md::CheckpointError(
           "buddy envelope: column-map view has " +
           std::to_string(envelope.owners.size()) + " columns, expected " +
           std::to_string(expect_columns));
@@ -45,7 +45,7 @@ RankEnvelope unpack_rank_envelope(sim::Buffer sealed, int expect_columns) {
   } catch (const std::out_of_range& error) {
     // Unpacker underflow / oversized vector count: same failure class as a
     // malformed envelope. Normalise so callers catch one type.
-    throw std::runtime_error(std::string("buddy envelope: ") + error.what());
+    throw md::CheckpointError(std::string("buddy envelope: ") + error.what());
   }
 }
 

@@ -151,7 +151,7 @@ void SlabMd::init_resume(const sim::Buffer& checkpoint) {
   try {
     const auto pe_count = unpacker.get<std::int32_t>();
     if (pe_count != config_.pe_count) {
-      throw std::runtime_error("SlabMd: checkpoint ring size (pe_count=" +
+      throw md::CheckpointError("SlabMd: checkpoint ring size (pe_count=" +
                                std::to_string(pe_count) +
                                ") does not match the config");
     }
@@ -163,13 +163,13 @@ void SlabMd::init_resume(const sim::Buffer& checkpoint) {
                                config_.cells_per_axis, config_.cells_per_axis)
                 : md::CellGrid(box_, config_.cutoff);
     if (grid_.nx() != layers) {
-      throw std::runtime_error(
+      throw md::CheckpointError(
           "SlabMd: checkpoint layer count (" + std::to_string(layers) +
           ") does not match the config's grid (" + std::to_string(grid_.nx()) +
           ")");
     }
     if (!grid_.covers_cutoff(config_.cutoff)) {
-      throw std::runtime_error(
+      throw md::CheckpointError(
           "SlabMd: checkpointed box too small for this cut-off");
     }
     std::vector<double> last_busy(static_cast<std::size_t>(config_.pe_count),
@@ -181,18 +181,18 @@ void SlabMd::init_resume(const sim::Buffer& checkpoint) {
       rank->lo = unpacker.get<std::int32_t>();
       rank->hi = unpacker.get<std::int32_t>();
       if (rank->hi - rank->lo < 1 || rank->lo < 0 || rank->hi > grid_.nx()) {
-        throw std::runtime_error("SlabMd: checkpoint slab range invalid");
+        throw md::CheckpointError("SlabMd: checkpoint slab range invalid");
       }
       last_busy[static_cast<std::size_t>(r)] = unpacker.get<double>();
       rank->force_seconds = unpacker.get<double>();
       ranks_.push_back(std::move(rank));
     }
     if (!unpacker.exhausted()) {
-      throw std::runtime_error("SlabMd: trailing bytes in checkpoint payload");
+      throw md::CheckpointError("SlabMd: trailing bytes in checkpoint payload");
     }
     finish_construction(true, last_busy);
   } catch (const std::out_of_range& e) {
-    throw std::runtime_error(std::string("SlabMd: truncated checkpoint: ") +
+    throw md::CheckpointError(std::string("SlabMd: truncated checkpoint: ") +
                              e.what());
   }
 }

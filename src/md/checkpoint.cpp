@@ -35,28 +35,32 @@ sim::Buffer seal_checkpoint(CheckpointKind kind, sim::Buffer payload) {
 
 sim::Buffer open_checkpoint(CheckpointKind kind, sim::Buffer sealed) {
   if (sealed.size() < kEnvelopeBytes) {
-    throw std::runtime_error("checkpoint: shorter than the envelope");
+    throw CheckpointError("checkpoint: envelope truncated at byte " +
+                          std::to_string(sealed.size()) + " (needs " +
+                          std::to_string(kEnvelopeBytes) + ")");
   }
   if (read_u32(sealed.data()) != kMagic) {
-    throw std::runtime_error("checkpoint: bad magic (not a checkpoint)");
+    throw CheckpointError(
+        "checkpoint: bad magic at byte 0 (not a checkpoint)");
   }
   const std::uint32_t version = read_u32(sealed.data() + 4);
   if (version != kCheckpointVersion) {
-    throw std::runtime_error("checkpoint: version " + std::to_string(version) +
-                             " unsupported (expected " +
-                             std::to_string(kCheckpointVersion) + ")");
+    throw CheckpointError("checkpoint: version field at byte 4 is " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kCheckpointVersion) + ")");
   }
   const std::uint32_t actual_kind = read_u32(sealed.data() + 8);
   if (actual_kind != static_cast<std::uint32_t>(kind)) {
-    throw std::runtime_error("checkpoint: kind " + std::to_string(actual_kind) +
-                             " does not match the restoring engine (" +
-                             std::to_string(static_cast<std::uint32_t>(kind)) +
-                             ")");
+    throw CheckpointError(
+        "checkpoint: kind field at byte 8 is " + std::to_string(actual_kind) +
+        ", does not match the restoring engine (" +
+        std::to_string(static_cast<std::uint32_t>(kind)) + ")");
   }
   const std::uint32_t crc = read_u32(sealed.data() + 12);
   if (crc != pcmd::crc32(sealed.data() + kEnvelopeBytes,
                          sealed.size() - kEnvelopeBytes)) {
-    throw std::runtime_error("checkpoint: payload checksum mismatch");
+    throw CheckpointError(
+        "checkpoint: payload checksum mismatch (crc field at byte 12)");
   }
   return sim::Buffer(sealed.begin() + kEnvelopeBytes, sealed.end());
 }
@@ -64,21 +68,23 @@ sim::Buffer open_checkpoint(CheckpointKind kind, sim::Buffer sealed) {
 void write_checkpoint_file(const std::string& path, const sim::Buffer& data) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
-    throw std::runtime_error("checkpoint: cannot open '" + path +
-                             "' for writing");
+    throw CheckpointError("checkpoint: cannot open '" + path +
+                          "' for writing");
   }
   const std::size_t written =
       data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
   const bool ok = written == data.size() && std::fclose(file) == 0;
   if (!ok) {
-    throw std::runtime_error("checkpoint: short write to '" + path + "'");
+    throw CheckpointError("checkpoint: short write to '" + path + "' (" +
+                          std::to_string(written) + " of " +
+                          std::to_string(data.size()) + " bytes)");
   }
 }
 
 sim::Buffer read_checkpoint_file(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
-    throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+    throw CheckpointError("checkpoint: cannot open '" + path + "'");
   }
   sim::Buffer data;
   std::uint8_t chunk[4096];
@@ -89,7 +95,8 @@ sim::Buffer read_checkpoint_file(const std::string& path) {
   const bool ok = std::feof(file) != 0 && std::ferror(file) == 0;
   std::fclose(file);
   if (!ok) {
-    throw std::runtime_error("checkpoint: read error on '" + path + "'");
+    throw CheckpointError("checkpoint: read error on '" + path +
+                          "' at byte " + std::to_string(data.size()));
   }
   return data;
 }
@@ -107,16 +114,21 @@ sim::Buffer pack_serial_checkpoint(const SerialCheckpoint& state) {
 SerialCheckpoint unpack_serial_checkpoint(sim::Buffer sealed) {
   sim::Unpacker unpacker(
       open_checkpoint(CheckpointKind::kSerial, std::move(sealed)));
-  SerialCheckpoint state;
-  state.step = unpacker.get<std::int64_t>();
-  state.box = unpacker.get<Box>();
-  state.particles = unpacker.get_vector<Particle>();
-  state.has_rng = unpacker.get<std::uint8_t>() != 0;
-  for (auto& word : state.rng_state) word = unpacker.get<std::uint64_t>();
-  if (!unpacker.exhausted()) {
-    throw std::runtime_error("checkpoint: trailing bytes in serial payload");
+  try {
+    SerialCheckpoint state;
+    state.step = unpacker.get<std::int64_t>();
+    state.box = unpacker.get<Box>();
+    state.particles = unpacker.get_vector<Particle>();
+    state.has_rng = unpacker.get<std::uint8_t>() != 0;
+    for (auto& word : state.rng_state) word = unpacker.get<std::uint64_t>();
+    if (!unpacker.exhausted()) {
+      throw CheckpointError("checkpoint: trailing bytes in serial payload");
+    }
+    return state;
+  } catch (const std::out_of_range& e) {
+    throw CheckpointError(std::string("checkpoint: truncated serial payload: ") +
+                          e.what());
   }
-  return state;
 }
 
 }  // namespace pcmd::md

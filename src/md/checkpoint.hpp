@@ -21,11 +21,24 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace pcmd::md {
 
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Every way a checkpoint can fail to load — short envelope, bad magic,
+// version/kind mismatch, checksum failure, truncated or oversized payload,
+// file IO — throws this one typed error, with the failing field (and byte
+// offset, where one is meaningful) in the message. Derives
+// std::runtime_error so existing catch sites keep working; layers above
+// (the serve scheduler in particular) catch the type to classify "stored
+// state is bad" without string-matching.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // Payload kinds, so a checkpoint from one engine cannot be fed to another.
 enum class CheckpointKind : std::uint32_t {
@@ -41,10 +54,11 @@ enum class CheckpointKind : std::uint32_t {
 sim::Buffer seal_checkpoint(CheckpointKind kind, sim::Buffer payload);
 
 // Verifies the envelope (magic, version, kind, checksum) and returns the
-// payload. Throws std::runtime_error naming the first mismatch.
+// payload. Throws CheckpointError naming the first mismatching field and
+// its byte offset.
 sim::Buffer open_checkpoint(CheckpointKind kind, sim::Buffer sealed);
 
-// Whole-buffer file round-trip (binary). Throws std::runtime_error on IO
+// Whole-buffer file round-trip (binary). Throws CheckpointError on IO
 // failure.
 void write_checkpoint_file(const std::string& path, const sim::Buffer& data);
 sim::Buffer read_checkpoint_file(const std::string& path);

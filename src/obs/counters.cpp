@@ -1,0 +1,30 @@
+#include "obs/counters.hpp"
+
+namespace pcmd::obs {
+
+void CounterBoard::add(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::uint64_t CounterBoard::value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterBoard::snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::string CounterBoard::line(const std::string& prefix) const {
+  std::string out = prefix;
+  for (const auto& [name, count] : snapshot()) {
+    out += " " + name + "=" + std::to_string(count);
+  }
+  return out;
+}
+
+}  // namespace pcmd::obs

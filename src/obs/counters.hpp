@@ -1,0 +1,42 @@
+// Named monotonic counters for service-level observability.
+//
+// The per-run trace/metrics machinery (collector.hpp, metrics.hpp) scopes
+// to one simulation; a long-lived service — the serve::Scheduler packing
+// thousands of runs across worker threads — needs process-lifetime counters
+// that many threads bump concurrently and that dump deterministically.
+// CounterBoard is that: a thread-safe name -> count map whose snapshot and
+// line form are sorted by name, so two identical runs print identical
+// counter lines regardless of thread interleaving (provided the counted
+// events themselves are deterministic).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcmd::obs {
+
+class CounterBoard {
+ public:
+  // Adds `delta` to `name`, creating it at zero first.
+  void add(const std::string& name, std::uint64_t delta = 1);
+
+  // Current value; 0 for a name never bumped.
+  std::uint64_t value(const std::string& name) const;
+
+  // All counters, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  // "<prefix> a=1 b=2 ..." with names sorted — stable marker-line form for
+  // CI jobs that diff counters across runs.
+  std::string line(const std::string& prefix) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace pcmd::obs

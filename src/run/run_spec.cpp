@@ -8,7 +8,7 @@ namespace pcmd::run {
 
 DegradeSpec DegradeSpec::parse(const std::string& text, double factor) {
   const auto bad = [&](const std::string& token) {
-    throw std::invalid_argument(
+    throw SpecError(
         "--degrade: bad token \"" + token + "\" in \"" + text +
         "\" (expected rank=K,at=T — e.g. rank=4,at=0.05)");
   };
@@ -43,10 +43,9 @@ DegradeSpec DegradeSpec::parse(const std::string& text, double factor) {
     pos = comma + 1;
   }
   if (!have_rank || !have_at) {
-    throw std::invalid_argument("--degrade: missing " +
-                                std::string(have_rank ? "at=T" : "rank=K") +
-                                " in \"" + text +
-                                "\" (expected rank=K,at=T)");
+    throw SpecError("--degrade: missing " +
+                    std::string(have_rank ? "at=T" : "rank=K") + " in \"" +
+                    text + "\" (expected rank=K,at=T)");
   }
   return spec;
 }
@@ -157,44 +156,58 @@ ddm::ParallelMdConfig RunSpec::parallel_config() const {
 }
 
 RunSpec parse_run_spec(const Cli& cli, RunSpec defaults) {
-  RunSpec spec = std::move(defaults);
-  spec.steps = cli.get_int("steps", spec.steps);
-  spec.system.density = cli.get_double("density", spec.system.density);
-  spec.system.m = static_cast<int>(cli.get_int("m", spec.system.m));
-  spec.system.seed = static_cast<std::uint64_t>(
-      cli.get_int("seed", static_cast<std::int64_t>(spec.system.seed)));
-  spec.dlb_enabled = cli.get_bool("dlb", spec.dlb_enabled);
-  if (const auto balancer = cli.get_optional("balancer")) {
-    try {
-      spec.balancer.kind = ddm::parse_balancer_kind(*balancer);
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("--balancer: " + std::string(e.what()));
+  // Cli's own strict numeric/boolean failures already name the flag, the
+  // token and the grammar; re-throwing them as SpecError keeps that text
+  // while giving every failure path out of this function the one typed
+  // error the serve layer classifies on.
+  try {
+    RunSpec spec = std::move(defaults);
+    spec.steps = cli.get_int("steps", spec.steps);
+    spec.system.density = cli.get_double("density", spec.system.density);
+    spec.system.m = static_cast<int>(cli.get_int("m", spec.system.m));
+    spec.system.seed = static_cast<std::uint64_t>(
+        cli.get_int("seed", static_cast<std::int64_t>(spec.system.seed)));
+    spec.dlb_enabled = cli.get_bool("dlb", spec.dlb_enabled);
+    if (const auto balancer = cli.get_optional("balancer")) {
+      try {
+        spec.balancer.kind = ddm::parse_balancer_kind(*balancer);
+      } catch (const std::invalid_argument& e) {
+        throw SpecError("--balancer: " + std::string(e.what()));
+      }
     }
-  }
-  if (const auto trace = cli.get_optional("trace")) spec.trace_path = *trace;
-  if (const auto faults = cli.get_optional("faults")) {
-    spec.faults = sim::FaultPlan::parse(*faults);
-    if (!spec.faults.empty()) spec.fault_tolerance.reliable = true;
-  }
-  spec.checkpoint_every = static_cast<int>(
-      cli.get_int("checkpoint-every", spec.checkpoint_every));
-  const int buddy_every =
-      static_cast<int>(cli.get_int("buddy-every", 0));
-  const int spares = static_cast<int>(cli.get_int("spares", 0));
-  if (buddy_every > 0 || spares > 0) {
-    spec.fault_tolerance.healing.enabled = true;
-    if (buddy_every > 0) {
-      spec.fault_tolerance.healing.buddy_every = buddy_every;
+    if (const auto trace = cli.get_optional("trace")) spec.trace_path = *trace;
+    if (const auto faults = cli.get_optional("faults")) {
+      try {
+        spec.faults = sim::FaultPlan::parse(*faults);
+      } catch (const std::invalid_argument& e) {
+        throw SpecError("--faults: " + std::string(e.what()));
+      }
+      if (!spec.faults.empty()) spec.fault_tolerance.reliable = true;
     }
-    spec.fault_tolerance.healing.spares = spares;
+    spec.checkpoint_every = static_cast<int>(
+        cli.get_int("checkpoint-every", spec.checkpoint_every));
+    const int buddy_every =
+        static_cast<int>(cli.get_int("buddy-every", 0));
+    const int spares = static_cast<int>(cli.get_int("spares", 0));
+    if (buddy_every > 0 || spares > 0) {
+      spec.fault_tolerance.healing.enabled = true;
+      if (buddy_every > 0) {
+        spec.fault_tolerance.healing.buddy_every = buddy_every;
+      }
+      spec.fault_tolerance.healing.spares = spares;
+    }
+    // Queried unconditionally so "--degrade-factor 4" without "--degrade"
+    // reads as a consumed (if inert) flag rather than an unknown one.
+    const double degrade_factor = cli.get_double("degrade-factor", 6.0);
+    if (const auto degrade = cli.get_optional("degrade")) {
+      spec.degrade = DegradeSpec::parse(*degrade, degrade_factor);
+    }
+    return spec;
+  } catch (const SpecError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    throw SpecError(e.what());
   }
-  // Queried unconditionally so "--degrade-factor 4" without "--degrade"
-  // reads as a consumed (if inert) flag rather than an unknown one.
-  const double degrade_factor = cli.get_double("degrade-factor", 6.0);
-  if (const auto degrade = cli.get_optional("degrade")) {
-    spec.degrade = DegradeSpec::parse(*degrade, degrade_factor);
-  }
-  return spec;
 }
 
 void require_all_flags_consumed(const Cli& cli, const std::string& program) {
@@ -205,7 +218,7 @@ void require_all_flags_consumed(const Cli& cli, const std::string& program) {
     if (!joined.empty()) joined += ", ";
     joined += "--" + flag;
   }
-  throw std::invalid_argument(
+  throw SpecError(
       program + ": unknown flag" + (unknown.size() > 1 ? "s " : " ") + joined +
       " (shared run flags: --steps N, --density R, --m M, --seed S, "
       "--dlb 0|1, --balancer POLICY, --faults PLAN, --checkpoint-every N, "

@@ -28,10 +28,22 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace pcmd::run {
+
+// Every parse failure in this layer — malformed numerics, unknown flags,
+// bad sub-grammars (--faults, --degrade, --balancer) — is thrown as
+// SpecError naming the offending flag and token, so layers above (the serve
+// scheduler in particular) can tell "the spec is wrong" apart from "the run
+// failed" without string-matching what()s. Derives std::invalid_argument,
+// so existing catch sites keep working unchanged.
+class SpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 // A deliberately degraded PE: `rank`'s compute slows down by `factor` from
 // virtual time `at` on (until the end of the run). The harnesses use this

@@ -1,0 +1,21 @@
+// Typed errors owned by the serve layer.
+//
+// The serve layer's job is to *classify* everything thrown below it
+// (run::SpecError, md::CheckpointError, sim::ProtocolError and friends,
+// ddm::RecoveryError) into job outcomes — it deliberately adds only one
+// error of its own: StoreError, for failures of the service's durable state
+// (the JSON-lines result/quarantine stores). A StoreError is never a job
+// failure; it means the service itself cannot persist results and must stop
+// loudly.
+#pragma once
+
+#include <stdexcept>
+
+namespace pcmd::serve {
+
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pcmd::serve

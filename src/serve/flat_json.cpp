@@ -1,0 +1,201 @@
+#include "serve/flat_json.hpp"
+
+#include "run/run_spec.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pcmd::serve {
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  std::size_t pos() const { return pos_; }
+
+  [[noreturn]] void fail(const std::string& expected) const {
+    const std::string got =
+        done() ? std::string("end of input")
+               : "'" + std::string(1, text_[pos_]) + "'";
+    throw run::SpecError("flat json: expected " + expected + " at byte " +
+                         std::to_string(pos_) + ", got " + got);
+  }
+
+  void expect(char c) {
+    if (done() || text_[pos_] != c) fail("'" + std::string(1, c) + "'");
+    ++pos_;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (done()) fail("closing '\"'");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw run::SpecError(
+            "flat json: raw control character inside string at byte " +
+            std::to_string(pos_ - 1));
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (done()) fail("escape character after '\\'");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // Only the ASCII plane: json_escape emits \u00XX for control
+          // characters and nothing in this codec ever needs more.
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (done()) fail("four hex digits after '\\u'");
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              throw run::SpecError(
+                  "flat json: bad hex digit '" + std::string(1, h) +
+                  "' in \\u escape at byte " + std::to_string(pos_ - 1));
+            }
+          }
+          if (value > 0x7F) {
+            throw run::SpecError(
+                "flat json: \\u escape beyond ASCII at byte " +
+                std::to_string(pos_ - 6) + " (this codec is ASCII-only)");
+          }
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          throw run::SpecError(
+              "flat json: unsupported escape '\\" + std::string(1, esc) +
+              "' at byte " + std::to_string(pos_ - 2) +
+              " (supported: \\\" \\\\ \\/ \\b \\f \\n \\r \\t)");
+      }
+    }
+  }
+
+  std::string scalar_token() {
+    if (!done() && text_[pos_] == '"') return string_token();
+    const std::size_t start = pos_;
+    while (!done()) {
+      const char c = text_[pos_];
+      const bool number_char = (c >= '0' && c <= '9') || c == '-' ||
+                               c == '+' || c == '.' || c == 'e' || c == 'E';
+      const bool word_char = (c >= 'a' && c <= 'z');
+      if (!number_char && !word_char) break;
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token == "true" || token == "false") return token;
+    if (token == "null") {
+      throw run::SpecError("flat json: null value at byte " +
+                           std::to_string(start) + " (flat scalars only)");
+    }
+    char* end = nullptr;
+    std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      throw run::SpecError("flat json: bad scalar \"" + token + "\" at byte " +
+                           std::to_string(start) +
+                           " (expected string, number, true or false)");
+    }
+    return token;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> parse_flat_json(
+    const std::string& text) {
+  Scanner scan(text);
+  std::vector<std::pair<std::string, std::string>> fields;
+  scan.skip_ws();
+  scan.expect('{');
+  scan.skip_ws();
+  if (!scan.done() && scan.peek() == '}') {
+    scan.expect('}');
+  } else {
+    while (true) {
+      scan.skip_ws();
+      const std::size_t key_at = scan.pos();
+      std::string key = scan.string_token();
+      for (const auto& [existing, value] : fields) {
+        (void)value;
+        if (existing == key) {
+          throw run::SpecError("flat json: duplicate key \"" + key +
+                               "\" at byte " + std::to_string(key_at));
+        }
+      }
+      scan.skip_ws();
+      scan.expect(':');
+      scan.skip_ws();
+      if (!scan.done() && (scan.peek() == '{' || scan.peek() == '[')) {
+        scan.fail("a flat scalar (no nested objects or arrays)");
+      }
+      fields.emplace_back(std::move(key), scan.scalar_token());
+      scan.skip_ws();
+      if (!scan.done() && scan.peek() == ',') {
+        scan.expect(',');
+        continue;
+      }
+      scan.expect('}');
+      break;
+    }
+  }
+  scan.skip_ws();
+  if (!scan.done()) scan.fail("end of input after '}'");
+  return fields;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pcmd::serve

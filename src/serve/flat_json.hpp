@@ -1,0 +1,30 @@
+// Strict flat-JSON codec for the serve layer's wire surfaces.
+//
+// Job specs arrive as JSON objects and results persist as JSON-lines; both
+// only ever need one shape — a single flat object of scalar fields:
+//
+//   {"steps": 200, "faults": "seed=7,drop=0.3", "priority": "high"}
+//
+// parse_flat_json() accepts exactly that shape and nothing else (no nesting,
+// no arrays, no null, no duplicate keys) and reports the first violation
+// with its byte offset, in the repo's strict-parse house style. Values come
+// back as text: strings unescaped, numbers and booleans as their literal
+// spelling — callers know the schema per key and re-parse as needed.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcmd::serve {
+
+// Field order is document order (writers emit sorted keys, so round-trips
+// are stable). Throws run::SpecError naming the byte offset and what was
+// expected there.
+std::vector<std::pair<std::string, std::string>> parse_flat_json(
+    const std::string& text);
+
+// Escapes a string for embedding between double quotes in JSON output.
+std::string json_escape(const std::string& text);
+
+}  // namespace pcmd::serve

@@ -1,0 +1,297 @@
+#include "serve/scheduler.hpp"
+
+#include "util/rng.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace pcmd::serve {
+
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerConfig config, ResultStore& store,
+                     obs::CounterBoard* counters)
+    : config_(std::move(config)), store_(store), counters_(counters) {
+  const int workers = config_.workers < 1 ? 1 : config_.workers;
+  slots_.reserve(workers);
+  pool_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (int i = 0; i < workers; ++i) {
+    pool_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  drain();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : pool_) thread.join();
+}
+
+void Scheduler::bump(const char* counter) {
+  if (counters_ != nullptr) counters_->add(counter);
+}
+
+std::string Scheduler::submit(const JobSpec& job) {
+  const std::string key = ResultStore::key_of(job);
+  bool enqueued = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    bump("submitted");
+    if (store_.find(key)) {
+      ++cache_hits_;
+      bump("cache_hits");
+    } else if (in_flight_.count(key) != 0) {
+      ++collapsed_;
+      bump("collapsed");
+    } else {
+      QueueEntry entry;
+      entry.job = job;
+      entry.key = key;
+      in_flight_.insert(key);
+      lanes_[static_cast<int>(job.priority)].push_back(std::move(entry));
+      maybe_preempt_locked(job.priority);
+      enqueued = true;
+    }
+  }
+  if (enqueued) work_cv_.notify_one();
+  return key;
+}
+
+std::string Scheduler::submit(const std::string& text) {
+  JobSpec job;
+  try {
+    job = JobSpec::parse(text);
+  } catch (const run::SpecError& e) {
+    // Malformed input is a terminal outcome of the *submission*, keyed by
+    // the raw text so a rerun quarantines it identically.
+    JobResultRecord record;
+    record.key = "malformed:" + hex16(fnv1a64(text));
+    record.spec = text;
+    record.outcome = JobOutcome::kQuarantined;
+    record.attempts = 0;
+    record.failure = failure_kind_name(FailureKind::kMalformedSpec);
+    record.error = e.what();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++submitted_;
+      ++malformed_;
+      bump("submitted");
+      bump("malformed");
+      bump("quarantined");
+    }
+    store_.put(std::move(record));
+    return "malformed:" + hex16(fnv1a64(text));
+  }
+  return submit(job);
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return busy_workers_ == 0 && lanes_[0].empty() && lanes_[1].empty() &&
+           lanes_[2].empty();
+  });
+}
+
+SchedulerStats Scheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string Scheduler::counters_line() const {
+  std::uint64_t succeeded = 0, retried_then_succeeded = 0, deadline = 0,
+                quarantined = 0;
+  for (const auto& [key, record] : store_.records()) {
+    (void)key;
+    switch (record.outcome) {
+      case JobOutcome::kSucceeded:
+        ++succeeded;
+        if (record.attempts > 1) ++retried_then_succeeded;
+        break;
+      case JobOutcome::kDeadline: ++deadline; break;
+      case JobOutcome::kQuarantined: ++quarantined; break;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "SERVE-COUNTERS";
+  out += " cache_hits=" + std::to_string(cache_hits_);
+  out += " collapsed=" + std::to_string(collapsed_);
+  out += " deadline=" + std::to_string(deadline);
+  out += " malformed=" + std::to_string(malformed_);
+  out += " quarantined=" + std::to_string(quarantined);
+  out += " retried_then_succeeded=" + std::to_string(retried_then_succeeded);
+  out += " retries=" + std::to_string(retries_);
+  out += " submitted=" + std::to_string(submitted_);
+  out += " succeeded=" + std::to_string(succeeded);
+  return out;
+}
+
+double Scheduler::retry_backoff_seconds(const SchedulerConfig& config,
+                                        const JobSpec& job, int attempt) {
+  double raw = config.backoff_base;
+  for (int i = 2; i < attempt; ++i) raw *= 2.0;
+  if (raw > config.backoff_cap) raw = config.backoff_cap;
+  SplitMix64 mix(job.digest() ^ static_cast<std::uint64_t>(attempt));
+  const double jitter =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return raw * (1.0 + jitter);
+}
+
+std::optional<Scheduler::QueueEntry> Scheduler::pop_locked() {
+  for (int lane = 2; lane >= 0; --lane) {
+    if (!lanes_[lane].empty()) {
+      QueueEntry entry = std::move(lanes_[lane].front());
+      lanes_[lane].pop_front();
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+void Scheduler::maybe_preempt_locked(Priority priority) {
+  if (!config_.preemption_enabled) return;
+  for (const auto& slot : slots_) {
+    if (!slot->busy) return;  // an idle worker will pick the job up
+  }
+  WorkerSlot* victim = nullptr;
+  for (const auto& slot : slots_) {
+    if (!slot->preemptible || slot->priority >= priority) continue;
+    if (slot->preempt.load(std::memory_order_relaxed)) continue;
+    if (victim == nullptr || slot->priority < victim->priority) {
+      victim = slot.get();
+    }
+  }
+  if (victim != nullptr) {
+    victim->preempt.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Scheduler::worker_loop(int slot_index) {
+  WorkerSlot& slot = *slots_[slot_index];
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stopping_ || !lanes_[0].empty() || !lanes_[1].empty() ||
+             !lanes_[2].empty();
+    });
+    auto maybe_entry = pop_locked();
+    if (!maybe_entry) {
+      if (stopping_) return;
+      continue;
+    }
+    QueueEntry entry = std::move(*maybe_entry);
+    slot.busy = true;
+    slot.preemptible =
+        config_.preemption_enabled && entry.job.preemptible();
+    slot.priority = entry.job.priority;
+    ++busy_workers_;
+    const bool resuming = entry.resume.has_value();
+    if (resuming) ++stats_.resumes;
+    lock.unlock();
+
+    AttemptContext context;
+    context.attempt = entry.attempt;
+    context.preempt_flag = &slot.preempt;
+    context.resume = std::move(entry.resume);
+    entry.resume.reset();
+    AttemptResult result = run_attempt(entry.job, context);
+
+    lock.lock();
+    slot.busy = false;
+    slot.preemptible = false;
+    slot.preempt.store(false, std::memory_order_relaxed);
+
+    bool requeued = false;
+    bool terminal = false;
+    JobResultRecord record;
+    record.key = entry.key;
+    record.spec = entry.job.canonical();
+    record.seed = entry.job.run.system.seed;
+    record.attempts = entry.attempt;
+    record.steps = result.steps_done;
+    record.virtual_seconds = result.virtual_seconds;
+
+    switch (result.status) {
+      case AttemptStatus::kCompleted:
+        record.outcome = JobOutcome::kSucceeded;
+        record.trajectory_digest = hex16(result.trajectory_digest);
+        record.potential_energy = result.potential_energy;
+        record.kinetic_energy = result.kinetic_energy;
+        terminal = true;
+        break;
+      case AttemptStatus::kDeadline:
+        record.outcome = JobOutcome::kDeadline;
+        record.failure = "deadline";
+        record.error = result.error;
+        terminal = true;
+        break;
+      case AttemptStatus::kPreempted:
+        ++stats_.preemptions;
+        entry.resume = std::move(result.preempt);
+        lanes_[static_cast<int>(entry.job.priority)].push_front(
+            std::move(entry));
+        requeued = true;
+        break;
+      case AttemptStatus::kFailed:
+        if (failure_is_retryable(result.failure) &&
+            entry.attempt < config_.max_attempts) {
+          ++retries_;
+          bump("retries");
+          ++entry.attempt;
+          backoff_virtual_seconds_ +=
+              retry_backoff_seconds(config_, entry.job, entry.attempt);
+          entry.resume.reset();
+          lanes_[static_cast<int>(entry.job.priority)].push_back(
+              std::move(entry));
+          requeued = true;
+        } else {
+          record.outcome = JobOutcome::kQuarantined;
+          record.failure = failure_kind_name(result.failure);
+          record.error = result.error;
+          terminal = true;
+        }
+        break;
+    }
+
+    if (terminal) {
+      bump(job_outcome_name(record.outcome));
+      lock.unlock();
+      store_.put(std::move(record));
+      lock.lock();
+      in_flight_.erase(entry.key);
+    }
+    --busy_workers_;
+    if (requeued) work_cv_.notify_one();
+    if (busy_workers_ == 0 && lanes_[0].empty() && lanes_[1].empty() &&
+        lanes_[2].empty()) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pcmd::serve

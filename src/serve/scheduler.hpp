@@ -1,0 +1,159 @@
+// Fault-contained job scheduler: the simulation-as-a-service core.
+//
+// A Scheduler owns a pool of host worker threads draining three priority
+// lanes (high > normal > low). Each attempt runs inside run_attempt()'s
+// containment boundary, so no job — malformed, crashing, deadline-blown or
+// invariant-tripping — can take the service down; every submission reaches
+// exactly one terminal state in the ResultStore:
+//
+//   succeeded               completed (attempts == 1)
+//   succeeded, retried      completed after seed-remixed retries
+//   deadline                cancelled when Σ t_step exceeded the budget
+//   quarantined             poison: non-retryable failure, or the retry
+//                           budget exhausted (spec + last error archived)
+//
+// Retry policy: retryable failures (checksum, peer-dead, unsurvivable —
+// see runner.hpp for why unsurvivable retries) re-enqueue at the BACK of
+// their lane with the attempt counter bumped and a deterministic, seeded
+// exponential backoff charged in *virtual* seconds (recorded, never slept —
+// the service has no wall-clock behaviour to make timing-dependent).
+//
+// Preemption: submitting a job that outranks a running *preemptible* job
+// (clean fault plan — see JobSpec::preemptible) while no worker is idle
+// raises that worker's eviction flag; the evicted attempt checkpoints,
+// re-enqueues at the FRONT of its lane, and later resumes bitwise
+// identically from the checkpoint.
+//
+// Idempotency: submissions are keyed by (spec digest, seed). A key already
+// answered in the store is a cache hit (no re-run); a key already queued
+// collapses into the in-flight entry.
+//
+// Determinism contract: the terminal record of every job — outcome,
+// attempts, steps, virtual seconds, trajectory digest, energies — is a pure
+// function of its spec, independent of worker count, lane timing and
+// preemption. counters_line() only aggregates such values, so two runs of
+// the same submission sequence print identical counters and write
+// byte-identical stores. (Preemption/resume tallies ARE timing-dependent;
+// they live in stats(), not in the deterministic line.)
+#pragma once
+
+#include "obs/counters.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/runner.hpp"
+#include "serve/store.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pcmd::serve {
+
+struct SchedulerConfig {
+  int workers = 4;
+  // Total attempts a retryable job gets before quarantine.
+  int max_attempts = 3;
+  // Virtual-seconds backoff: min(cap, base * 2^(retry-1)) * (1 + jitter),
+  // jitter in [0, 1) drawn from SplitMix64(spec digest ^ attempt).
+  double backoff_base = 1e-3;
+  double backoff_cap = 1e-1;
+  bool preemption_enabled = true;
+};
+
+// Timing-dependent service tallies (NOT part of the determinism contract).
+struct SchedulerStats {
+  std::uint64_t preemptions = 0;
+  std::uint64_t resumes = 0;
+};
+
+class Scheduler {
+ public:
+  // The store must outlive the scheduler. `counters` (optional) receives
+  // the deterministic event tallies as they happen.
+  Scheduler(SchedulerConfig config, ResultStore& store,
+            obs::CounterBoard* counters = nullptr);
+  ~Scheduler();  // drains, then joins the pool
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Enqueues a parsed job; returns its store key. Cache hits and in-flight
+  // duplicates are collapsed, not re-run.
+  std::string submit(const JobSpec& job);
+
+  // Parses `text` (flag or JSON grammar) and submits. A malformed spec is
+  // itself a terminal outcome: it is quarantined under a key derived from
+  // the raw text, with the parse error archived — the service never throws
+  // on bad input.
+  std::string submit(const std::string& text);
+
+  // Blocks until every lane is empty and every worker is idle.
+  void drain();
+
+  SchedulerStats stats() const;
+
+  // Deterministic counter line, e.g.
+  //   "SERVE-COUNTERS cache_hits=3 deadline=2 ... submitted=100"
+  // computed from submission tallies and the store's terminal records.
+  std::string counters_line() const;
+
+  // The deterministic per-attempt backoff charge (virtual seconds) before
+  // `attempt` (>= 2) of `job` runs. Exposed for tests.
+  static double retry_backoff_seconds(const SchedulerConfig& config,
+                                      const JobSpec& job, int attempt);
+
+ private:
+  struct QueueEntry {
+    JobSpec job;
+    std::string key;
+    int attempt = 1;
+    std::optional<PreemptState> resume;
+  };
+
+  struct WorkerSlot {
+    std::atomic<bool> preempt{false};
+    // Guarded by mutex_: what the worker is running, for eviction picks.
+    bool busy = false;
+    bool preemptible = false;
+    Priority priority = Priority::kLow;
+  };
+
+  void worker_loop(int slot_index);
+  // mutex_ held: pop the best entry, or nullopt when all lanes are empty.
+  std::optional<QueueEntry> pop_locked();
+  // mutex_ held: raise the eviction flag on the weakest running job that
+  // `priority` outranks, if the lanes would otherwise make it wait.
+  void maybe_preempt_locked(Priority priority);
+  void bump(const char* counter);
+
+  const SchedulerConfig config_;
+  ResultStore& store_;
+  obs::CounterBoard* counters_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for entries
+  std::condition_variable idle_cv_;   // drain() waits for quiescence
+  std::deque<QueueEntry> lanes_[3];   // indexed by Priority
+  std::set<std::string> in_flight_;   // queued or running keys
+  bool stopping_ = false;
+  int busy_workers_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t collapsed_ = 0;
+  std::uint64_t retries_ = 0;
+  double backoff_virtual_seconds_ = 0.0;
+  SchedulerStats stats_;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace pcmd::serve

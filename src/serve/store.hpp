@@ -1,0 +1,92 @@
+// Durable, deterministic result and quarantine stores (JSON lines).
+//
+// The scheduler's workers finish jobs in a timing-dependent order, but the
+// service's durable state must not depend on timing: a rerun of the same
+// queue has to reproduce the store byte for byte. Both stores therefore
+// keep their records in an in-memory map keyed by (spec digest, seed) and
+// persist by *atomically rewriting the whole file in key order* — write to
+// `<path>.tmp`, then rename over `<path>` — on every put. Completion order
+// cannot leak into the bytes, and a crash mid-write leaves either the old
+// complete file or the new complete file, never a half-written one.
+//
+// Reload is nevertheless paranoid about a torn tail (a file produced by a
+// non-atomic writer, or a filesystem that renamed before flushing): a
+// record that fails to parse *on the last line* is dropped and counted; a
+// malformed record anywhere else is real corruption and throws StoreError
+// naming the line.
+//
+// Records double as an idempotency cache: the scheduler consults find()
+// before running, so resubmitting an already-answered (spec, seed) is a
+// cache hit, not a re-run.
+#pragma once
+
+#include "serve/job_spec.hpp"
+#include "serve/runner.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace pcmd::serve {
+
+// The three terminal states of a job. "Retried then succeeded" is
+// kSucceeded with attempts > 1; preemption is not terminal (the job
+// resumes).
+enum class JobOutcome { kSucceeded, kDeadline, kQuarantined };
+
+const char* job_outcome_name(JobOutcome outcome);
+JobOutcome parse_job_outcome(const std::string& name);  // throws StoreError
+
+struct JobResultRecord {
+  std::string key;        // digest_hex:seed — the store's primary key
+  std::string spec;       // JobSpec::canonical() — re-parseable
+  std::uint64_t seed = 0;
+  JobOutcome outcome = JobOutcome::kSucceeded;
+  int attempts = 1;
+  std::int64_t steps = 0;
+  double virtual_seconds = 0.0;
+  // kSucceeded only; 16 hex digits (zero when not applicable).
+  std::string trajectory_digest;
+  double potential_energy = 0.0;
+  double kinetic_energy = 0.0;
+  // kDeadline / kQuarantined: the classified failure kind and last error.
+  std::string failure;
+  std::string error;
+
+  std::string json_line() const;  // one sorted-key flat JSON object, no '\n'
+  static JobResultRecord parse(const std::string& line);  // throws StoreError
+};
+
+class ResultStore {
+ public:
+  // Loads `path` if it exists (see torn-tail policy above). An empty path
+  // makes the store memory-only — nothing is ever written.
+  explicit ResultStore(std::string path);
+
+  static std::string key_of(const JobSpec& job);
+
+  // nullopt on miss. Thread-safe.
+  std::optional<JobResultRecord> find(const std::string& key) const;
+
+  // Inserts or replaces, then atomically rewrites the file. Thread-safe.
+  void put(JobResultRecord record);
+
+  std::size_t size() const;
+  // Records dropped off the tail during load — 0 unless the file was torn.
+  std::size_t torn_records_dropped() const { return torn_dropped_; }
+
+  // Sorted copy of everything held (for drain-time accounting).
+  std::map<std::string, JobResultRecord> records() const;
+
+ private:
+  void rewrite_locked() const;
+
+  std::string path_;
+  std::size_t torn_dropped_ = 0;
+  mutable std::mutex mutex_;
+  std::map<std::string, JobResultRecord> records_;
+};
+
+}  // namespace pcmd::serve

@@ -142,6 +142,24 @@ void Engine::align_clocks() {
 #endif
 }
 
+void Engine::restore_clocks(const std::vector<double>& clocks) {
+  if (clocks.size() != static_cast<std::size_t>(ranks_)) {
+    throw std::invalid_argument(
+        "Engine::restore_clocks: got " + std::to_string(clocks.size()) +
+        " clocks for " + std::to_string(ranks_) + " ranks");
+  }
+  for (int r = 0; r < ranks_; ++r) {
+    states_[static_cast<std::size_t>(r)]->clock = clocks[static_cast<std::size_t>(r)];
+  }
+#if PCMD_CHECKER_ENABLED
+  if (checker_) {
+    for (int r = 0; r < ranks_; ++r) {
+      checker_->on_clock(r, clocks[static_cast<std::size_t>(r)]);
+    }
+  }
+#endif
+}
+
 void Engine::set_checker(ProtocolChecker* checker) {
   checker_ = checker;
 #if PCMD_CHECKER_ENABLED

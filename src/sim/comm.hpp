@@ -236,6 +236,13 @@ class Engine {
   // hard synchronisation point without paying collective cost).
   void align_clocks();
 
+  // Overwrites every rank's clock, one value per rank. Clock skew carries
+  // across phases, so a suspended run resumed on a fresh engine (implicitly
+  // aligned at zero) would observe different per-step makespans; restoring
+  // the captured clocks makes virtual time itself resume-invariant. Call
+  // only between phases (from the driving thread).
+  void restore_clocks(const std::vector<double>& clocks);
+
   // Attaches a protocol checker (sim/checker.hpp) observing every
   // communication event; nullptr detaches. Attach before the first phase —
   // traffic already in flight makes the trace unmatchable. Hooks only fire

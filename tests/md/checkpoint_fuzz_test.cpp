@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace pcmd {
@@ -48,6 +49,21 @@ ddm::RankEnvelope random_envelope(Rng& rng, int columns) {
 }
 
 constexpr int kColumns = 36;  // the 3x3, m=2 layout's column count
+
+TEST(CheckpointFuzz, DecodeFailuresAreTypedCheckpointErrors) {
+  // The precise type matters to the serve layer: an md::CheckpointError is
+  // classified kInternal (not retryable), distinct from protocol and spec
+  // errors. It must stay a runtime_error for the legacy catch sites below.
+  static_assert(std::is_base_of_v<std::runtime_error, md::CheckpointError>);
+  Rng rng(37);
+  auto sealed = ddm::pack_rank_envelope(random_envelope(rng, kColumns));
+  EXPECT_THROW((void)ddm::unpack_rank_envelope(sealed, kColumns + 1),
+               md::CheckpointError);
+  sealed.resize(sealed.size() / 2);
+  EXPECT_THROW((void)ddm::unpack_rank_envelope(sealed, kColumns),
+               md::CheckpointError);
+  EXPECT_THROW((void)md::unpack_serial_checkpoint({}), md::CheckpointError);
+}
 
 TEST(CheckpointFuzz, BuddyEnvelopeRoundTripsExactly) {
   Rng rng(41);

@@ -28,20 +28,33 @@ RunSpec parse(std::initializer_list<const char*> args,
   return spec;
 }
 
-// Expects fn() to throw std::invalid_argument whose message contains every
+// Expects fn() to throw run::SpecError (the typed parse error, still an
+// std::invalid_argument for legacy catch sites) whose message contains every
 // needle — flag name, offending token, and a grammar hint.
 template <typename Fn>
 void expect_rejected(Fn fn, std::initializer_list<const char*> needles) {
   try {
     fn();
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
+    FAIL() << "expected run::SpecError";
+  } catch (const SpecError& e) {
     const std::string message = e.what();
     for (const char* needle : needles) {
       EXPECT_NE(message.find(needle), std::string::npos)
           << "message \"" << message << "\" lacks \"" << needle << "\"";
     }
   }
+}
+
+TEST(RunSpecParser, RejectionsAreTypedSpecErrors) {
+  // The precise type matters: the serve layer classifies a SpecError as
+  // kMalformedSpec (terminal quarantine, no retry), so these must neither
+  // widen to a bare invalid_argument nor escape as anything else.
+  EXPECT_THROW(parse({"--steps", "banana"}), SpecError);
+  EXPECT_THROW(parse({"--no-such-flag", "1"}), SpecError);
+  EXPECT_THROW(parse({"--faults", "seed=x"}), SpecError);
+  EXPECT_THROW(parse({"--degrade", "rank=0"}), SpecError);
+  // And SpecError still reads as invalid_argument for legacy catch sites.
+  EXPECT_THROW(parse({"--steps", "banana"}), std::invalid_argument);
 }
 
 // ---- legacy flag spellings ------------------------------------------------

@@ -67,7 +67,8 @@ std::vector<Unit::Include> parse_includes(const std::string& text) {
 int layer_rank(const std::string& name) {
   static const std::map<std::string, int> kRanks = {
       {"util", 0}, {"sim", 1},  {"obs", 2},  {"md", 3},
-      {"workload", 4}, {"core", 5}, {"ddm", 6}, {"theory", 7}, {"run", 8}};
+      {"workload", 4}, {"core", 5}, {"ddm", 6}, {"theory", 7}, {"run", 8},
+      {"serve", 9}};
   const auto it = kRanks.find(name);
   return it == kRanks.end() ? -1 : it->second;
 }
@@ -93,7 +94,7 @@ void rule_layering(const Unit& unit, std::vector<Finding>& findings) {
     os << "layer violation: " << unit.source->path << " includes \""
        << include.target
        << "\" from a higher layer (allowed order: util < sim < obs < md < "
-          "workload < core < ddm < theory < run)";
+          "workload < core < ddm < theory < run < serve)";
     findings.push_back(
         {"layering", unit.source->path, include.line, os.str()});
   }
