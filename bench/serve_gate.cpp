@@ -11,7 +11,13 @@
 // scheduler, and the best of --repeats samples is kept, same one-sided
 // noise argument as perf_gate.
 //
+// The store is file-backed in FlushMode::kOnCompact — the production serve
+// configuration — so the metric includes durable persistence (one sorted
+// rewrite at shutdown) without the retired per-put whole-file rewrite that
+// used to make persistence O(N^2) in the store size.
+//
 //   ./serve_gate [--jobs 48] [--workers 4] [--repeats 3]
+//                [--store BENCH_serve_store.jsonl]
 //                [--out BENCH_serve.json] [--merge 0|1]
 //                [--check BASELINE.json] [--tolerance 0.15]
 //
@@ -34,8 +40,10 @@ using namespace pcmd;
 
 namespace {
 
-double run_queue(const std::vector<std::string>& specs, int workers) {
-  serve::ResultStore store("");  // memory-only: measure the service, not disk
+double run_queue(const std::vector<std::string>& specs, int workers,
+                 const std::string& store_path) {
+  std::remove(store_path.c_str());  // each sample starts cold
+  serve::ResultStore store(store_path, serve::FlushMode::kOnCompact);
   serve::SchedulerConfig config;
   config.workers = workers;
   const auto start = std::chrono::steady_clock::now();
@@ -43,7 +51,7 @@ double run_queue(const std::vector<std::string>& specs, int workers) {
     serve::Scheduler scheduler(config, store);
     for (const auto& text : specs) scheduler.submit(text);
     scheduler.drain();
-  }
+  }  // destructor stops the pool and compacts the store file — timed
   const auto stop = std::chrono::steady_clock::now();
   if (store.size() != specs.size()) {
     std::fprintf(stderr, "serve_gate: %zu of %zu jobs reached the store\n",
@@ -60,6 +68,7 @@ int main(int argc, char** argv) {
   const int jobs = static_cast<int>(cli.get_int("jobs", 48));
   const int workers = static_cast<int>(cli.get_int("workers", 4));
   const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const std::string store_path = cli.get("store", "BENCH_serve_store.jsonl");
   const std::string out_path = cli.get("out", "BENCH_serve.json");
   const bool merge = cli.get_bool("merge", false);
   const auto check_path = cli.get_optional("check");
@@ -68,8 +77,8 @@ int main(int argc, char** argv) {
   if (!unknown.empty()) {
     std::fprintf(stderr,
                  "serve_gate: unknown flag --%s (accepted: --jobs N, "
-                 "--workers W, --repeats R, --out PATH, --merge 0|1, "
-                 "--check PATH, --tolerance F)\n",
+                 "--workers W, --repeats R, --store PATH, --out PATH, "
+                 "--merge 0|1, --check PATH, --tolerance F)\n",
                  unknown.front().c_str());
     return 2;
   }
@@ -83,10 +92,11 @@ int main(int argc, char** argv) {
 
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
-    best = std::min(best, run_queue(specs, workers));
+    best = std::min(best, run_queue(specs, workers, store_path));
     std::printf("repeat %d/%d: %d jobs in %.3fs\n", r + 1, repeats, jobs,
                 best);
   }
+  std::remove(store_path.c_str());
 
   bench::Scoreboard board;
   board["serve_jobs_per_sec"] = static_cast<double>(jobs) / best;

@@ -174,6 +174,10 @@ std::uint64_t JobSpec::digest() const {
   return hash;
 }
 
+std::uint64_t JobSpec::family_digest() const {
+  return family_digest_of_canonical(canonical());
+}
+
 std::string JobSpec::digest_hex() const {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
@@ -184,6 +188,25 @@ std::string JobSpec::digest_hex() const {
 bool JobSpec::preemptible() const {
   return run.fault_plan().empty() && !run.fault_tolerance.recovery &&
          !run.fault_tolerance.healing.enabled;
+}
+
+std::uint64_t family_digest_of_canonical(const std::string& canonical) {
+  // Mask "--seed <n>" to "--seed 0" textually: canonical() emits the flag
+  // exactly once, so this is a digest over the seed-free configuration.
+  std::string masked = canonical;
+  const std::string flag = "--seed ";
+  const std::size_t at = masked.find(flag);
+  if (at != std::string::npos) {
+    std::size_t end = at + flag.size();
+    while (end < masked.size() && masked[end] != ' ') ++end;
+    masked.replace(at + flag.size(), end - (at + flag.size()), "0");
+  }
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : masked) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
 }
 
 }  // namespace pcmd::serve

@@ -53,6 +53,12 @@ struct JobSpec {
   std::uint64_t digest() const;     // FNV-1a 64 of canonical()
   std::string digest_hex() const;   // 16 lowercase hex digits
 
+  // Digest of the spec with its seed masked to 0: all seeds of one physical
+  // configuration share a family. The circuit breaker trips per family — a
+  // spec that quarantines at seed 7 will usually quarantine at seed 8 too,
+  // and shedding its siblings early is the point.
+  std::uint64_t family_digest() const;
+
   // Only jobs whose trajectory is provably resume-invariant may be evicted
   // mid-run: fault-injection decisions are keyed on the engine's phase
   // index, which restarts from zero on resume, so preempting a faulty (or
@@ -60,5 +66,9 @@ struct JobSpec {
   // the uninterrupted run. Clean jobs resume bitwise identically.
   bool preemptible() const;
 };
+
+// family_digest() on a canonical() string one already has — used when only
+// the stored spec text of a record is available (no re-parse needed).
+std::uint64_t family_digest_of_canonical(const std::string& canonical);
 
 }  // namespace pcmd::serve

@@ -125,7 +125,8 @@ JobResultRecord JobResultRecord::parse(const std::string& line) {
   return record;
 }
 
-ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+ResultStore::ResultStore(std::string path, FlushMode mode)
+    : path_(std::move(path)), mode_(mode) {
   if (path_.empty()) return;
   std::FILE* file = std::fopen(path_.c_str(), "rb");
   if (file == nullptr) return;  // fresh store
@@ -183,6 +184,11 @@ std::optional<JobResultRecord> ResultStore::find(const std::string& key) const {
 void ResultStore::put(JobResultRecord record) {
   const std::lock_guard<std::mutex> lock(mutex_);
   records_[record.key] = std::move(record);
+  if (mode_ == FlushMode::kEveryPut) rewrite_locked();
+}
+
+void ResultStore::compact() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   rewrite_locked();
 }
 

@@ -5,9 +5,16 @@
 // queue has to reproduce the store byte for byte. Both stores therefore
 // keep their records in an in-memory map keyed by (spec digest, seed) and
 // persist by *atomically rewriting the whole file in key order* — write to
-// `<path>.tmp`, then rename over `<path>` — on every put. Completion order
-// cannot leak into the bytes, and a crash mid-write leaves either the old
-// complete file or the new complete file, never a half-written one.
+// `<path>.tmp`, then rename over `<path>`. Completion order cannot leak
+// into the bytes, and a crash mid-write leaves either the old complete file
+// or the new complete file, never a half-written one.
+//
+// When the rewrite happens is the FlushMode: kEveryPut (the default) pays
+// an O(N) rewrite per insert — O(N²) bytes over a run — in exchange for
+// needing no other durability mechanism. kOnCompact defers the rewrite to
+// explicit compact() calls (drain/shutdown boundaries) and is the mode the
+// scheduler uses when a JobJournal carries crash-durability between
+// compaction points.
 //
 // Reload is nevertheless paranoid about a torn tail (a file produced by a
 // non-atomic writer, or a filesystem that renamed before flushing): a
@@ -59,19 +66,27 @@ struct JobResultRecord {
   static JobResultRecord parse(const std::string& line);  // throws StoreError
 };
 
+enum class FlushMode { kEveryPut, kOnCompact };
+
 class ResultStore {
  public:
   // Loads `path` if it exists (see torn-tail policy above). An empty path
   // makes the store memory-only — nothing is ever written.
-  explicit ResultStore(std::string path);
+  explicit ResultStore(std::string path, FlushMode mode = FlushMode::kEveryPut);
 
   static std::string key_of(const JobSpec& job);
 
   // nullopt on miss. Thread-safe.
   std::optional<JobResultRecord> find(const std::string& key) const;
 
-  // Inserts or replaces, then atomically rewrites the file. Thread-safe.
+  // Inserts or replaces; atomically rewrites the file in kEveryPut mode.
+  // Thread-safe.
   void put(JobResultRecord record);
+
+  // Atomically rewrites the file from the in-memory map now. The final
+  // bytes are a pure function of the record set, so compacting after a
+  // drain yields the same file kEveryPut would have. Thread-safe.
+  void compact() const;
 
   std::size_t size() const;
   // Records dropped off the tail during load — 0 unless the file was torn.
@@ -84,6 +99,7 @@ class ResultStore {
   void rewrite_locked() const;
 
   std::string path_;
+  FlushMode mode_ = FlushMode::kEveryPut;
   std::size_t torn_dropped_ = 0;
   mutable std::mutex mutex_;
   std::map<std::string, JobResultRecord> records_;

@@ -1,0 +1,235 @@
+// Admission-control battery: overload is a typed verdict, never an
+// exception, a block or a deadlock.
+//
+//   * high-water marks: a submission to a full lane returns
+//     kRejectedOverloaded immediately — exercised with the single worker
+//     parked in the pre-attempt seam, so the lanes are provably full and
+//     submit() provably cannot be waiting on them;
+//   * shed-low-first is configuration: the low lane gets the smallest mark;
+//   * the circuit breaker trips after the configured number of family
+//     quarantines and cools on non-family virtual-time credit — both sides
+//     derived from the store's record set, so the verdicts are identical
+//     across worker counts (asserted 1 vs 4) and scheduler restarts;
+//   * try_drain() bounds shutdown: false while a job is wedged, true once
+//     it is released.
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pcmd::serve {
+namespace {
+
+// Parks every worker attempt until released; counts arrivals.
+struct WorkerGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  int held = 0;
+
+  void hook(const JobSpec&) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++held;
+    cv.notify_all();
+    cv.wait(lock, [this] { return release; });
+  }
+  void wait_held(int count) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this, count] { return held >= count; });
+  }
+  void open() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      release = true;
+    }
+    cv.notify_all();
+  }
+};
+
+std::string clean_spec(int seed, const char* priority = nullptr) {
+  std::string text =
+      "--pe 9 --m 2 --density 0.2 --steps 5 --seed " + std::to_string(seed);
+  if (priority != nullptr) text += std::string(" --priority ") + priority;
+  return text;
+}
+
+// Deterministically unsurvivable; every seed is the same breaker family
+// (family_digest masks the --seed token).
+std::string poison_spec(int seed) {
+  return "--pe 9 --m 2 --density 0.2 --steps 8 --seed " +
+         std::to_string(seed) +
+         " --faults seed=1,crash=4@0 --buddy-every 3 --spares 1";
+}
+
+TEST(Admission, FullLanesShedTypedAndLowShedsFirst) {
+  ResultStore store("");
+  SchedulerConfig config;
+  config.workers = 1;
+  config.preemption_enabled = false;  // keep lane depths exact
+  config.high_water[static_cast<int>(Priority::kLow)] = 1;
+  config.high_water[static_cast<int>(Priority::kNormal)] = 2;
+  // high lane: unbounded (0)
+  WorkerGate gate;
+  config.before_attempt_hook = [&gate](const JobSpec& job) {
+    gate.hook(job);
+  };
+
+  Scheduler scheduler(config, store);
+  // The worker picks this up and parks; the lanes drain no further.
+  EXPECT_EQ(scheduler.submit(clean_spec(300)).admission, Admission::kAccepted);
+  gate.wait_held(1);
+
+  EXPECT_EQ(scheduler.submit(clean_spec(301)).admission, Admission::kAccepted);
+  EXPECT_EQ(scheduler.submit(clean_spec(302)).admission, Admission::kAccepted);
+  const auto overflow = scheduler.submit(clean_spec(303));
+  EXPECT_EQ(overflow.admission, Admission::kRejectedOverloaded);
+
+  // The smaller low-lane mark sheds low traffic first: one fits, two don't.
+  EXPECT_EQ(scheduler.submit(clean_spec(304, "low")).admission,
+            Admission::kAccepted);
+  EXPECT_EQ(scheduler.submit(clean_spec(305, "low")).admission,
+            Admission::kRejectedOverloaded);
+  EXPECT_EQ(scheduler.submit(clean_spec(306, "low")).admission,
+            Admission::kRejectedOverloaded);
+
+  // The unbounded high lane still admits.
+  EXPECT_EQ(scheduler.submit(clean_spec(307, "high")).admission,
+            Admission::kAccepted);
+
+  gate.open();
+  scheduler.drain();
+  EXPECT_EQ(store.size(), 5u) << "shed submissions leave no record";
+  EXPECT_FALSE(store.find(ResultStore::key_of(JobSpec::parse(clean_spec(303))))
+                   .has_value());
+  const auto line = scheduler.counters_line();
+  EXPECT_NE(line.find("shed=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("submitted=8"), std::string::npos) << line;
+
+  // Shedding is about queue depth, not identity: once the lane has space,
+  // the same spec is welcome.
+  EXPECT_EQ(scheduler.submit(clean_spec(303)).admission, Admission::kAccepted);
+  scheduler.drain();
+  EXPECT_EQ(store.size(), 6u);
+}
+
+TEST(Admission, BreakerVerdictsAreWorkerCountInvariant) {
+  // The full trip/hold/cool/re-quarantine sequence, replayed at two worker
+  // counts: every admission and both counter lines must match exactly.
+  const auto run_sequence = [](int workers) {
+    std::vector<Admission> admissions;
+    std::vector<std::string> lines;
+    ResultStore store("");
+
+    {
+      SchedulerConfig config;
+      config.workers = workers;
+      config.max_attempts = 2;
+      config.breaker.trip_quarantines = 2;
+      config.breaker.cooldown = 1e18;  // effectively: never cool
+      Scheduler scheduler(config, store);
+      admissions.push_back(scheduler.submit(poison_spec(400)).admission);
+      admissions.push_back(scheduler.submit(poison_spec(401)).admission);
+      scheduler.drain();  // two family quarantines now on record
+      admissions.push_back(scheduler.submit(poison_spec(402)).admission);
+      admissions.push_back(scheduler.submit(clean_spec(403)).admission);
+      scheduler.drain();
+      // Clean credit accrued, but nowhere near 1e18: still open.
+      admissions.push_back(scheduler.submit(poison_spec(404)).admission);
+      lines.push_back(scheduler.counters_line());
+    }
+    {
+      // The breaker is store-derived state, not scheduler state: a new
+      // scheduler with a tiny cooldown sees the same records and admits.
+      SchedulerConfig config;
+      config.workers = workers;
+      config.max_attempts = 2;
+      config.breaker.trip_quarantines = 2;
+      config.breaker.cooldown = 1e-12;
+      Scheduler scheduler(config, store);
+      admissions.push_back(scheduler.submit(poison_spec(405)).admission);
+      scheduler.drain();  // third family quarantine
+      lines.push_back(scheduler.counters_line());
+    }
+    return std::make_pair(admissions, lines);
+  };
+
+  const auto [one, one_lines] = run_sequence(1);
+  const std::vector<Admission> expected = {
+      Admission::kAccepted,        Admission::kAccepted,
+      Admission::kRejectedTripped, Admission::kAccepted,
+      Admission::kRejectedTripped, Admission::kAccepted,
+  };
+  EXPECT_EQ(one, expected);
+  EXPECT_NE(one_lines[0].find("tripped=2"), std::string::npos)
+      << one_lines[0];
+
+  const auto [four, four_lines] = run_sequence(4);
+  EXPECT_EQ(four, one);
+  EXPECT_EQ(four_lines, one_lines);
+}
+
+TEST(Admission, BreakerIgnoresMalformedQuarantines) {
+  // Malformed-text records (attempts == 0) have no spec family; they must
+  // not count toward anyone's trip threshold.
+  ResultStore store("");
+  SchedulerConfig config;
+  config.breaker.trip_quarantines = 1;
+  config.breaker.cooldown = 1e18;
+  Scheduler scheduler(config, store);
+  EXPECT_EQ(scheduler.submit(std::string("--steps banana")).admission,
+            Admission::kMalformed);
+  EXPECT_EQ(scheduler.submit(std::string("--steps turnip")).admission,
+            Admission::kMalformed);
+  scheduler.drain();
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(scheduler.submit(clean_spec(420)).admission, Admission::kAccepted);
+  scheduler.drain();
+}
+
+TEST(Admission, TryDrainBoundsAStalledShutdown) {
+  ResultStore store("");
+  SchedulerConfig config;
+  config.workers = 1;
+  WorkerGate gate;
+  config.before_attempt_hook = [&gate](const JobSpec& job) {
+    gate.hook(job);
+  };
+  Scheduler scheduler(config, store);
+  scheduler.submit(clean_spec(430));
+  gate.wait_held(1);
+  EXPECT_FALSE(scheduler.try_drain(0.05))
+      << "a wedged worker must time the drain out, not hang it";
+  gate.open();
+  EXPECT_TRUE(scheduler.try_drain(60.0));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Admission, NamesCoverEveryVerdict) {
+  EXPECT_STREQ(admission_name(Admission::kAccepted), "accepted");
+  EXPECT_STREQ(admission_name(Admission::kCacheHit), "cache_hit");
+  EXPECT_STREQ(admission_name(Admission::kCollapsed), "collapsed");
+  EXPECT_STREQ(admission_name(Admission::kRejectedOverloaded),
+               "rejected_overloaded");
+  EXPECT_STREQ(admission_name(Admission::kRejectedTripped),
+               "rejected_tripped");
+  EXPECT_STREQ(admission_name(Admission::kMalformed), "malformed");
+}
+
+TEST(Admission, MalformedTextIsATypedTerminalVerdict) {
+  ResultStore store("");
+  Scheduler scheduler({}, store);
+  const auto result = scheduler.submit(std::string("{\"bogus\": true}"));
+  EXPECT_EQ(result.admission, Admission::kMalformed);
+  EXPECT_EQ(result.key.rfind("malformed:", 0), 0u) << result.key;
+  const auto record = store.find(result.key);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->outcome, JobOutcome::kQuarantined);
+  EXPECT_EQ(record->attempts, 0);
+}
+
+}  // namespace
+}  // namespace pcmd::serve

@@ -119,8 +119,8 @@ TEST(PreemptResume, SchedulerEvictionLeavesTerminalRecordsSoloIdentical) {
   std::uint64_t preemptions = 0;
   {
     Scheduler scheduler(config, store);
-    low_key = scheduler.submit(JobSpec::parse(low_text));
-    high_key = scheduler.submit(JobSpec::parse(high_text));
+    low_key = scheduler.submit(JobSpec::parse(low_text)).key;
+    high_key = scheduler.submit(JobSpec::parse(high_text)).key;
     scheduler.drain();
     preemptions = scheduler.stats().preemptions;
     EXPECT_EQ(scheduler.stats().resumes, preemptions);

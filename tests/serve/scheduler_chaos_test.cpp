@@ -114,7 +114,7 @@ RunOutput run_battery(const char* file_tag, int workers) {
     config.max_attempts = 3;
     Scheduler scheduler(config, store);
     for (const auto& job : battery()) {
-      out.keys.push_back(scheduler.submit(job.text));
+      out.keys.push_back(scheduler.submit(job.text).key);
     }
     scheduler.drain();
     out.counters = scheduler.counters_line();
@@ -173,10 +173,13 @@ TEST(SchedulerChaos, DuplicateSubmissionsCollapseAndCacheHit) {
     Scheduler scheduler({}, store);
     const auto k1 = scheduler.submit(text);
     const auto k2 = scheduler.submit(text);  // queued or running: collapses
-    EXPECT_EQ(k1, k2);
+    EXPECT_EQ(k1.key, k2.key);
+    EXPECT_EQ(k1.admission, Admission::kAccepted);
+    EXPECT_EQ(k2.admission, Admission::kCollapsed);
     scheduler.drain();
     const auto k3 = scheduler.submit(text);  // answered: cache hit
-    EXPECT_EQ(k1, k3);
+    EXPECT_EQ(k1.key, k3.key);
+    EXPECT_EQ(k3.admission, Admission::kCacheHit);
     scheduler.drain();
     const auto line = scheduler.counters_line();
     EXPECT_NE(line.find("cache_hits=1"), std::string::npos) << line;

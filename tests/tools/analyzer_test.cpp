@@ -185,6 +185,38 @@ TEST(Analyzer, WirePairingCatchesDriftAndOrphans) {
   EXPECT_TRUE(contains(all, "no matching unpack_orphan"));
 }
 
+TEST(Analyzer, ServeRawWritesFlaggedOutsideStoreAndJournal) {
+  const auto findings = analyze_one(
+      load_fixture("serve_raw_write.cpp", "src/serve/serve_raw_write.cpp"));
+  // The `int fopen` member and the `w.fopen` access must not count; the
+  // <fstream> include line itself does (same convention as
+  // unordered-container: the include is the earliest signal).
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& finding : findings) {
+    EXPECT_EQ(finding.rule, "serve-durable-writes");
+    EXPECT_EQ(finding.file, "src/serve/serve_raw_write.cpp");
+  }
+  EXPECT_EQ(findings[0].line, 5);   // #include <fstream>
+  EXPECT_EQ(findings[1].line, 11);  // ofstream
+  EXPECT_EQ(findings[2].line, 16);  // fopen(...)
+  EXPECT_TRUE(contains(findings[0].message, "JobJournal"));
+}
+
+TEST(Analyzer, ServeRawWritesScopedToServeOutsideItsWritePaths) {
+  // The two sanctioned write paths and everything outside src/serve are
+  // exempt — the rule is about the serve layer's durable state, not file
+  // I/O in general.
+  EXPECT_TRUE(analyze_one(load_fixture("serve_raw_write.cpp",
+                                       "src/serve/journal.cpp"))
+                  .empty());
+  EXPECT_TRUE(analyze_one(load_fixture("serve_raw_write.cpp",
+                                       "src/serve/store.cpp"))
+                  .empty());
+  EXPECT_TRUE(analyze_one(load_fixture("serve_raw_write.cpp",
+                                       "src/run/serve_raw_write.cpp"))
+                  .empty());
+}
+
 TEST(Analyzer, IncludeCycleReportedOnce) {
   const auto findings = pcmd::analyze::analyze(
       {load_fixture("cycle_a.hpp", "src/util/cycle_a.hpp"),

@@ -1,0 +1,28 @@
+// Seeded violation: loaded as src/serve/serve_raw_write.cpp; serve-layer
+// code must route durable state through ResultStore or JobJournal, never a
+// raw stream or FILE handle of its own.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace pcmd::serve {
+
+void fixture_spill(const std::string& path, const std::string& line) {
+  std::ofstream out(path);  // line 11: ofstream
+  out << line << '\n';
+}
+
+void fixture_spill_c(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");  // line 16: fopen
+  if (f != nullptr) std::fclose(f);
+}
+
+struct NotAWriter {
+  int fopen = 0;  // a member named fopen is not the filesystem
+};
+
+int fixture_member_access(NotAWriter& w) {
+  return w.fopen;  // member access: must not count
+}
+
+}  // namespace pcmd::serve

@@ -235,6 +235,50 @@ void rule_wall_clock(const Unit& unit, std::vector<Finding>& findings) {
   }
 }
 
+// ---- serve durability: no raw file writes ---------------------------------
+//
+// The serve layer's crash-safety argument rests on exactly two write paths:
+// the ResultStore's temp+rename rewrite and the JobJournal's CRC-framed
+// flushed append. A raw ofstream/fopen anywhere else in src/serve is a
+// state write the recovery replay cannot see — it would silently widen the
+// durability surface the crash-replay sweep certifies.
+
+void rule_serve_durable_writes(const Unit& unit,
+                               std::vector<Finding>& findings) {
+  const auto& path = unit.source->path;
+  if (!starts_with(path, "src/serve/")) return;
+  if (path == "src/serve/store.cpp" || path == "src/serve/journal.cpp") {
+    return;  // the two sanctioned write paths
+  }
+  // Stream types count wherever they appear; the C functions only as calls
+  // (a member or local named fopen is odd, but it is not the filesystem).
+  static const std::set<std::string> kCalls = {"fopen", "freopen"};
+  static const std::set<std::string> kTypes = {"ofstream", "fstream"};
+  const auto& tokens = unit.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const auto& token = tokens[i];
+    if (token.kind != Token::Kind::kIdentifier) continue;
+    const bool member =
+        i > 0 && tokens[i - 1].kind == Token::Kind::kPunct &&
+        (tokens[i - 1].text == "." ||
+         (tokens[i - 1].text == ">" && i > 1 && tokens[i - 2].text == "-"));
+    if (member) continue;
+    const bool call = i + 1 < tokens.size() &&
+                      tokens[i + 1].kind == Token::Kind::kPunct &&
+                      tokens[i + 1].text == "(";
+    if (!((kCalls.count(token.text) && call) || kTypes.count(token.text))) {
+      continue;
+    }
+    findings.push_back(
+        {"serve-durable-writes", path, token.line,
+         token.text +
+             " in src/serve outside the store/journal — durable serve "
+             "state must go through ResultStore (temp+rename) or "
+             "JobJournal (CRC-framed flushed append) so crash recovery "
+             "replays every write"});
+  }
+}
+
 // ---- naked assert ---------------------------------------------------------
 //
 // assert vanishes under NDEBUG, aborts instead of reporting, and carries no
@@ -563,6 +607,7 @@ void run_rules(const std::vector<Source>& sources,
     rule_layering(unit, findings);
     rule_unordered_container(unit, findings);
     rule_wall_clock(unit, findings);
+    rule_serve_durable_writes(unit, findings);
     rule_naked_assert(unit, findings);
     rule_pointer_key(unit, findings);
     rule_hot_alloc(unit, findings);
